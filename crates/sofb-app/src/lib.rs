@@ -1,0 +1,33 @@
+//! # sofb-app — the replicated service layer
+//!
+//! The ordering protocols deliver batches; this crate is what consumes
+//! them: a deterministic state machine interface ([`state_machine`]), a
+//! key-value service ([`kv`]), and seeded workload generators
+//! ([`workload`]) for both the paper's opaque fixed-size requests and
+//! structured KV operation mixes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofb_app::kv::{KvOp, KvStore};
+//! use sofb_app::state_machine::{Executor, StateMachine};
+//! use sofb_proto::codec::Encode;
+//! use sofb_proto::ids::SeqNo;
+//!
+//! let mut ex = Executor::new(KvStore::new());
+//! let op = KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() };
+//! let replies = ex.apply_batch(SeqNo(1), [op.to_bytes()]).unwrap();
+//! assert_eq!(replies[0], b"OK");
+//! assert_eq!(ex.machine().get(b"k").unwrap(), b"v");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kv;
+pub mod state_machine;
+pub mod workload;
+
+pub use kv::{KvOp, KvStore};
+pub use state_machine::{ExecError, Executor, StateMachine};
+pub use workload::{KvMix, KvWorkload, OpaqueWorkload};

@@ -1,0 +1,156 @@
+//! The deterministic state machine interface (§2: "a service, constructed
+//! as a deterministic state machine, is replicated over 2f+1 nodes").
+
+use sofb_proto::ids::SeqNo;
+
+/// A deterministic service: identical op sequences produce identical
+/// states and replies at every replica.
+pub trait StateMachine {
+    /// Applies one operation, returning the reply bytes.
+    fn apply(&mut self, op: &[u8]) -> Vec<u8>;
+
+    /// A digest of the current state (for cross-replica comparison in
+    /// tests and checkpointing).
+    fn state_digest(&self) -> Vec<u8>;
+}
+
+/// Drives a [`StateMachine`] with committed batches, enforcing gap-free
+/// in-order execution.
+#[derive(Debug)]
+pub struct Executor<S> {
+    machine: S,
+    next: SeqNo,
+    applied_ops: u64,
+}
+
+impl<S: StateMachine> Executor<S> {
+    /// Wraps a state machine; execution starts at sequence number 1.
+    pub fn new(machine: S) -> Self {
+        Executor {
+            machine,
+            next: SeqNo(1),
+            applied_ops: 0,
+        }
+    }
+
+    /// The next sequence number this executor expects.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next
+    }
+
+    /// Total operations applied.
+    pub fn applied_ops(&self) -> u64 {
+        self.applied_ops
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &S {
+        &self.machine
+    }
+
+    /// Applies the batch committed at `seq`, returning per-op replies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (without applying anything) if `seq` is not the
+    /// next expected sequence number — callers must buffer out-of-order
+    /// commits.
+    pub fn apply_batch(
+        &mut self,
+        seq: SeqNo,
+        ops: impl IntoIterator<Item = impl AsRef<[u8]>>,
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        if seq != self.next {
+            return Err(ExecError::OutOfOrder {
+                expected: self.next,
+                got: seq,
+            });
+        }
+        let replies: Vec<Vec<u8>> = ops
+            .into_iter()
+            .map(|op| {
+                self.applied_ops += 1;
+                self.machine.apply(op.as_ref())
+            })
+            .collect();
+        self.next = seq.next();
+        Ok(replies)
+    }
+}
+
+/// Execution-order violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A batch arrived out of order.
+    OutOfOrder {
+        /// The sequence number the executor expected.
+        expected: SeqNo,
+        /// The sequence number offered.
+        got: SeqNo,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfOrder { expected, got } => {
+                write!(f, "batch out of order: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter machine for testing: each op adds its first byte.
+    #[derive(Default, Debug)]
+    struct Counter(u64);
+
+    impl StateMachine for Counter {
+        fn apply(&mut self, op: &[u8]) -> Vec<u8> {
+            self.0 += u64::from(op.first().copied().unwrap_or(0));
+            self.0.to_le_bytes().to_vec()
+        }
+        fn state_digest(&self) -> Vec<u8> {
+            self.0.to_le_bytes().to_vec()
+        }
+    }
+
+    #[test]
+    fn in_order_execution() {
+        let mut ex = Executor::new(Counter::default());
+        let replies = ex.apply_batch(SeqNo(1), [[2u8], [3u8]]).unwrap();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(ex.next_seq(), SeqNo(2));
+        assert_eq!(ex.applied_ops(), 2);
+        assert_eq!(ex.machine().0, 5);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut ex = Executor::new(Counter::default());
+        let err = ex.apply_batch(SeqNo(3), [[1u8]]).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::OutOfOrder { expected: SeqNo(1), got: SeqNo(3) }
+        );
+        // Nothing applied.
+        assert_eq!(ex.applied_ops(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_replicas() {
+        let mut a = Executor::new(Counter::default());
+        let mut b = Executor::new(Counter::default());
+        for seq in 1..=5u64 {
+            let ops = vec![vec![seq as u8], vec![(seq * 2) as u8]];
+            a.apply_batch(SeqNo(seq), ops.clone()).unwrap();
+            b.apply_batch(SeqNo(seq), ops).unwrap();
+        }
+        assert_eq!(a.machine().state_digest(), b.machine().state_digest());
+    }
+}

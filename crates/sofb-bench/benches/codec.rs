@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the canonical codec: the per-message
+//! encode/decode cost every simulated (and real) transmission pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sofb_core::messages::{AckPayload, OrderMsg, OrderPayload, ScMsg};
+use sofb_crypto::provider::Dealer;
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::codec::{Decode, Encode};
+use sofb_proto::ids::{ClientId, Rank, SeqNo};
+use sofb_proto::request::{BatchRef, Digest, Request, RequestId};
+use sofb_proto::signed::{DoublySigned, Signed};
+use sofb_sim::engine::WireSize;
+
+fn sample_msgs() -> Vec<ScMsg> {
+    let mut provs = Dealer::sim(SchemeId::Md5Rsa1024, 4, 1);
+    let payload = OrderPayload {
+        c: Rank(1),
+        o: SeqNo(9),
+        batch: BatchRef {
+            requests: (0..10)
+                .map(|i| RequestId { client: ClientId(1), seq: i })
+                .collect(),
+            digest: Digest(vec![7u8; 16]),
+        },
+        formed_at_ns: 123,
+    };
+    let signed = Signed::sign(payload, &mut provs[0]);
+    let endorsed = DoublySigned::endorse(signed, &mut provs[1]);
+    let order = OrderMsg::Endorsed(endorsed);
+    vec![
+        ScMsg::Request(Request::new(ClientId(1), 1, vec![0u8; 100])),
+        ScMsg::Order(order.clone()),
+        ScMsg::Ack(Signed::sign(AckPayload { order }, &mut provs[2])),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let msgs = sample_msgs();
+    c.bench_function("encode-3-msgs", |b| {
+        b.iter(|| {
+            msgs.iter().map(|m| m.to_bytes().len()).sum::<usize>()
+        })
+    });
+    c.bench_function("wire-len-3-msgs", |b| {
+        b.iter(|| msgs.iter().map(|m| m.wire_len()).sum::<usize>())
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let encoded: Vec<Vec<u8>> = sample_msgs().iter().map(|m| m.to_bytes()).collect();
+    c.bench_function("decode-3-msgs", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .map(|bytes| ScMsg::from_bytes(bytes).expect("valid"))
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the crypto substrate (E5): real
+//! sign/verify/digest costs of this crate's from-scratch RSA/DSA/hashes.
+//!
+//! The paper's performance argument rests on the *ratios* (RSA verify ≪
+//! DSA verify; sign times similar); these benches let you check the
+//! ratios hold for the real implementations too, not just the calibrated
+//! virtual-time table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sofb_crypto::digest::DigestAlg;
+use sofb_crypto::dsa::{DsaKeyPair, DsaParams};
+use sofb_crypto::rsa::RsaKeyPair;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("digest-1KiB");
+    let data = vec![0xa5u8; 1024];
+    for alg in [DigestAlg::Md5, DigestAlg::Sha1, DigestAlg::Sha256] {
+        g.bench_with_input(BenchmarkId::from_parameter(alg), &data, |b, d| {
+            b.iter(|| alg.digest(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let msg = vec![0x5au8; 256];
+    let mut g = c.benchmark_group("rsa");
+    for bits in [512usize, 1024] {
+        let kp = RsaKeyPair::generate(&mut rng, bits);
+        let sig = kp.sign(DigestAlg::Md5, &msg);
+        g.bench_function(BenchmarkId::new("sign", bits), |b| {
+            b.iter(|| kp.sign(DigestAlg::Md5, &msg))
+        });
+        g.bench_function(BenchmarkId::new("verify", bits), |b| {
+            b.iter(|| kp.public().verify(DigestAlg::Md5, &msg, &sig))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let params = DsaParams::generate(&mut rng, 512, 160);
+    let kp = DsaKeyPair::generate(&mut rng, params);
+    let msg = vec![0x3cu8; 256];
+    let sig = kp.sign(&mut rng, DigestAlg::Sha1, &msg);
+    let mut g = c.benchmark_group("dsa-512");
+    g.bench_function("sign", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| kp.sign(&mut rng, DigestAlg::Sha1, &msg))
+    });
+    g.bench_function("verify", |b| {
+        b.iter(|| kp.public().verify(DigestAlg::Sha1, &msg, &sig))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_rsa, bench_dsa);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion end-to-end benches: one short fail-free run per protocol
+//! (wall-clock cost of simulating the deployment — also a regression
+//! guard on simulator performance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sofb_bench::experiments::{bft_point, ct_point, sc_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::topology::Variant;
+
+const FAST: Window = Window { warmup_s: 1, run_s: 3, drain_s: 5 };
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end-to-end-3s-virtual");
+    g.sample_size(10);
+    g.bench_function("sc-f1", |b| {
+        b.iter(|| sc_point(1, Variant::Sc, SchemeId::Md5Rsa1024, 100, 5, FAST))
+    });
+    g.bench_function("scr-f1", |b| {
+        b.iter(|| sc_point(1, Variant::Scr, SchemeId::Md5Rsa1024, 100, 5, FAST))
+    });
+    g.bench_function("bft-f1", |b| {
+        b.iter(|| bft_point(1, SchemeId::Md5Rsa1024, 100, 5, FAST))
+    });
+    g.bench_function("ct-f1", |b| {
+        b.iter(|| ct_point(1, 100, 5, FAST))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Exhaustive fail-over configuration scan (development aid).
+fn main() {
+    use sofb_bench::experiments::failover_point;
+    use sofb_crypto::scheme::SchemeId;
+    use sofb_proto::topology::Variant;
+    let mut bad = 0;
+    for scheme in SchemeId::PAPER {
+        for variant in [Variant::Sc, Variant::Scr] {
+            for pad_kb in [1usize, 2, 3, 4, 5] {
+                for seed in 1000..1020 {
+                    let r = std::panic::catch_unwind(|| {
+                        failover_point(variant, scheme, pad_kb * 1024, seed)
+                    });
+                    match r {
+                        Err(_) => { println!("PANIC: {scheme} {variant:?} pad {pad_kb}KB seed {seed}"); bad += 1; }
+                        Ok(None) => { println!("NONE : {scheme} {variant:?} pad {pad_kb}KB seed {seed}"); bad += 1; }
+                        Ok(Some(_)) => {}
+                    }
+                }
+            }
+        }
+    }
+    println!("scan complete: {bad} bad configurations");
+}

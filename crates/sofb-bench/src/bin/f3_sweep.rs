@@ -1,0 +1,46 @@
+//! The §5 f = 3 observation: "as we increase f to 3 ... the saturation
+//! thresholds are encountered at larger batching_intervals, and the order
+//! latencies in the steady state increase" (each process authenticates
+//! and processes more messages as n grows).
+//!
+//! This sweep reruns the Figure-4 latency measurement at f = 2 and f = 3
+//! under MD5+RSA-1024 so the two claims can be checked side by side.
+
+use sofb_bench::experiments::{bft_point, sc_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::topology::Variant;
+use sofb_sim::metrics::{render_table, Series};
+
+fn main() {
+    let intervals: Vec<u64> = vec![40, 60, 80, 100, 150, 200, 300, 400, 500];
+    let window = Window::default();
+    let scheme = SchemeId::Md5Rsa1024;
+
+    let mut series = Vec::new();
+    for f in [2u32, 3] {
+        let mut sc = Series::new(format!("SC f={f}"));
+        let mut bft = Series::new(format!("BFT f={f}"));
+        for &ms in &intervals {
+            let seed = 242 + ms + u64::from(f);
+            sc.push(
+                ms as f64,
+                sc_point(f, Variant::Sc, scheme, ms, seed, window)
+                    .latency_ms
+                    .unwrap_or(f64::NAN),
+            );
+            bft.push(
+                ms as f64,
+                bft_point(f, scheme, ms, seed, window)
+                    .latency_ms
+                    .unwrap_or(f64::NAN),
+            );
+        }
+        series.push(sc);
+        series.push(bft);
+    }
+    println!("## §5 f=3 trend — order latency, {scheme}\n");
+    println!(
+        "{}",
+        render_table("interval_ms", "order latency (ms)", &series)
+    );
+}

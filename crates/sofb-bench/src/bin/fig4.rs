@@ -1,0 +1,41 @@
+//! Figure 4 regenerator: order latency vs batching interval for SC, BFT
+//! and CT at f = 2, one panel per crypto technique.
+//!
+//! Expected shapes (paper §5): CT flat near 10 ms; SC and BFT rise
+//! drastically below a saturation threshold; BFT's threshold sits at a
+//! larger interval than SC's; steady-state BFT latency exceeds SC, with
+//! the gap widening under DSA.
+
+use sofb_bench::experiments::{bft_point, ct_point, sc_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::topology::Variant;
+use sofb_sim::metrics::{render_table, Series};
+
+fn main() {
+    let intervals: Vec<u64> = vec![40, 60, 80, 100, 150, 200, 250, 300, 400, 500];
+    let window = Window::default();
+    let f = 2;
+
+    for (panel, scheme) in SchemeId::PAPER.iter().enumerate() {
+        let mut sc = Series::new("SC");
+        let mut bft = Series::new("BFT");
+        let mut ct = Series::new("CT");
+        for &ms in &intervals {
+            let seed = 42 + ms;
+            let p_sc = sc_point(f, Variant::Sc, *scheme, ms, seed, window);
+            let p_bft = bft_point(f, *scheme, ms, seed, window);
+            let p_ct = ct_point(f, ms, seed, window);
+            sc.push(ms as f64, p_sc.latency_ms.unwrap_or(f64::NAN));
+            bft.push(ms as f64, p_bft.latency_ms.unwrap_or(f64::NAN));
+            ct.push(ms as f64, p_ct.latency_ms.unwrap_or(f64::NAN));
+        }
+        println!(
+            "## Figure 4({}) — order latency, f = {f}, {scheme}\n",
+            char::from(b'a' + panel as u8)
+        );
+        println!(
+            "{}",
+            render_table("interval_ms", "order latency (ms)", &[sc, bft, ct])
+        );
+    }
+}

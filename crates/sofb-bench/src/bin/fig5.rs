@@ -1,0 +1,45 @@
+//! Figure 5 regenerator: throughput vs batching interval for SC, BFT and
+//! CT at f = 2, one panel per crypto technique.
+//!
+//! Expected shapes (paper §5): throughput low at large intervals, rising
+//! as the interval shrinks, peaking at the saturation point and then
+//! dropping for SC and BFT (BFT first); no drop for CT in the swept
+//! range.
+
+use sofb_bench::experiments::{bft_point, ct_point, sc_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::topology::Variant;
+use sofb_sim::metrics::{render_table, Series};
+
+fn main() {
+    let intervals: Vec<u64> = vec![40, 60, 80, 100, 150, 200, 250, 300, 400, 500];
+    let window = Window::default();
+    let f = 2;
+
+    for (panel, scheme) in SchemeId::PAPER.iter().enumerate() {
+        let mut sc = Series::new("SC");
+        let mut bft = Series::new("BFT");
+        let mut ct = Series::new("CT");
+        for &ms in &intervals {
+            let seed = 142 + ms;
+            sc.push(
+                ms as f64,
+                sc_point(f, Variant::Sc, *scheme, ms, seed, window).throughput,
+            );
+            bft.push(ms as f64, bft_point(f, *scheme, ms, seed, window).throughput);
+            ct.push(ms as f64, ct_point(f, ms, seed, window).throughput);
+        }
+        println!(
+            "## Figure 5({}) — throughput, f = {f}, {scheme}\n",
+            char::from(b'a' + panel as u8)
+        );
+        println!(
+            "{}",
+            render_table(
+                "interval_ms",
+                "throughput (committed requests / process / s)",
+                &[sc, bft, ct]
+            )
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 6 regenerator: fail-over latency vs BackLog size for SC and SCR
+//! at f = 2, all three crypto techniques.
+//!
+//! A single value-domain fault is injected at the rank-1 coordinator
+//! replica; fail-over latency is the interval between the fail-signal
+//! issuance and the new coordinator's Start with its f+1
+//! identifier-signature tuples. Expected shape: linear growth with
+//! BackLog size; SCR ≥ SC.
+
+use sofb_bench::experiments::failover_avg;
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::topology::Variant;
+use sofb_sim::metrics::{render_table, Series};
+
+fn main() {
+    let pads_kb: Vec<usize> = vec![1, 2, 3, 4, 5];
+    let runs = 20;
+
+    let mut series: Vec<Series> = Vec::new();
+    for scheme in SchemeId::PAPER {
+        for (variant, label) in [(Variant::Sc, "SC"), (Variant::Scr, "SCR")] {
+            let mut s = Series::new(format!("{label}/{scheme}"));
+            for &kb in &pads_kb {
+                let ms = failover_avg(variant, scheme, kb * 1024, runs)
+                    .unwrap_or(f64::NAN);
+                s.push(kb as f64, ms);
+            }
+            series.push(s);
+        }
+    }
+    println!("## Figure 6 — fail-over latency, f = 2 (avg over {runs} runs)\n");
+    println!(
+        "{}",
+        render_table("backlog_kb", "fail-over latency (ms)", &series)
+    );
+}

@@ -1,0 +1,18 @@
+//! # sofb-bench — the §5 evaluation harness
+//!
+//! One runner per measurement ([`experiments`]) and one binary per figure:
+//!
+//! | Binary      | Paper artifact | Output |
+//! |-------------|----------------|--------|
+//! | `fig4`      | Figure 4 (a,b,c) | order latency vs batching interval, SC/BFT/CT × 3 schemes, f = 2 |
+//! | `fig5`      | Figure 5 (a,b,c) | throughput vs batching interval, same matrix |
+//! | `fig6`      | Figure 6 | fail-over latency vs BackLog size, SC and SCR × 3 schemes |
+//! | `f3_sweep`  | §5 text (f = 3) | the Figure-4 sweep at f = 3 |
+//! | `msg_counts`| Fig. 3 discussion | messages per committed batch, SC vs BFT vs CT |
+//!
+//! Run with `--release`; each figure takes a few minutes of wall time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

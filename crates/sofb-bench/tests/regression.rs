@@ -1,0 +1,56 @@
+//! Regression tests pinned to bugs found by the experiment sweeps.
+
+use sofb_bench::experiments::{failover_point, sc_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::topology::Variant;
+
+/// The Figure-6 sweep at RSA-1536 / 5 KB BackLogs found divergent commits:
+/// processes kept acking stored orders during the view-change window, so
+/// an order invisible to the view-change quorum could commit concurrently
+/// with a Start that reused its sequence number. `failover_point` panics
+/// on any total-order violation, so this simply must return a value.
+#[test]
+fn scr_large_backlog_failover_is_safe() {
+    for seed in [1000u64, 1001, 1006, 1012] {
+        let ms = failover_point(Variant::Scr, SchemeId::Md5Rsa1536, 5 * 1024, seed)
+            .expect("fail-over completes");
+        assert!(ms > 0.0 && ms < 5_000.0, "seed {seed}: {ms} ms");
+    }
+}
+
+/// Same configuration under SC (the claim-the-slot fix applies to both
+/// variants).
+#[test]
+fn sc_large_backlog_failover_is_safe() {
+    for seed in [1000u64, 1010] {
+        failover_point(Variant::Sc, SchemeId::Md5Rsa1536, 5 * 1024, seed)
+            .expect("fail-over completes");
+    }
+}
+
+/// The headline comparative result must not regress: SC beats BFT in the
+/// steady state and the DSA gap exceeds the RSA gap.
+#[test]
+fn headline_orderings_hold() {
+    let w = Window { warmup_s: 2, run_s: 6, drain_s: 10 };
+    let sc_rsa = sc_point(2, Variant::Sc, SchemeId::Md5Rsa1024, 300, 3, w)
+        .latency_ms
+        .unwrap();
+    let bft_rsa = sofb_bench::experiments::bft_point(2, SchemeId::Md5Rsa1024, 300, 3, w)
+        .latency_ms
+        .unwrap();
+    let sc_dsa = sc_point(2, Variant::Sc, SchemeId::Sha1Dsa1024, 300, 3, w)
+        .latency_ms
+        .unwrap();
+    let bft_dsa = sofb_bench::experiments::bft_point(2, SchemeId::Sha1Dsa1024, 300, 3, w)
+        .latency_ms
+        .unwrap();
+    assert!(bft_rsa > sc_rsa, "RSA: BFT {bft_rsa} ≤ SC {sc_rsa}");
+    assert!(bft_dsa > sc_dsa, "DSA: BFT {bft_dsa} ≤ SC {sc_dsa}");
+    assert!(
+        (bft_dsa - sc_dsa) > (bft_rsa - sc_rsa),
+        "gap must widen under DSA: {} vs {}",
+        bft_dsa - sc_dsa,
+        bft_rsa - sc_rsa
+    );
+}

@@ -1,0 +1,335 @@
+//! Wire messages of the BFT (Castro–Liskov) baseline.
+//!
+//! The paper compares against BFT's signature-authenticated three-phase
+//! normal case (Figure 3(b)): pre-prepare (1→n), prepare (n→n), commit
+//! (n→n), plus the view-change/new-view machinery for primary failure.
+
+use sofb_proto::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use sofb_proto::ids::{SeqNo, ViewId};
+use sofb_proto::request::{BatchRef, Digest, Request};
+use sofb_proto::signed::Signed;
+use sofb_sim::engine::WireSize;
+
+/// The primary's ordering proposal for one batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrePreparePayload {
+    /// Current view.
+    pub v: ViewId,
+    /// Assigned sequence number.
+    pub o: SeqNo,
+    /// The ordered batch.
+    pub batch: BatchRef,
+    /// Batch-formation time (latency measurement origin).
+    pub formed_at_ns: u64,
+}
+
+impl Encode for PrePreparePayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(b'P');
+        self.v.encode(enc);
+        self.o.encode(enc);
+        self.batch.encode(enc);
+        enc.put_u64(self.formed_at_ns);
+    }
+}
+
+impl Decode for PrePreparePayload {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        expect_tag(dec, b'P')?;
+        Ok(PrePreparePayload {
+            v: ViewId::decode(dec)?,
+            o: SeqNo::decode(dec)?,
+            batch: BatchRef::decode(dec)?,
+            formed_at_ns: dec.get_u64()?,
+        })
+    }
+}
+
+/// A backup's agreement to the `(v, o, digest)` binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparePayload {
+    /// Current view.
+    pub v: ViewId,
+    /// Sequence number.
+    pub o: SeqNo,
+    /// Batch digest.
+    pub digest: Digest,
+}
+
+impl Encode for PreparePayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(b'p');
+        self.v.encode(enc);
+        self.o.encode(enc);
+        self.digest.encode(enc);
+    }
+}
+
+impl Decode for PreparePayload {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        expect_tag(dec, b'p')?;
+        Ok(PreparePayload {
+            v: ViewId::decode(dec)?,
+            o: SeqNo::decode(dec)?,
+            digest: Digest::decode(dec)?,
+        })
+    }
+}
+
+/// A replica's commit vote (same fields as prepare, distinct domain tag).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitPayload {
+    /// Current view.
+    pub v: ViewId,
+    /// Sequence number.
+    pub o: SeqNo,
+    /// Batch digest.
+    pub digest: Digest,
+}
+
+impl Encode for CommitPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(b'c');
+        self.v.encode(enc);
+        self.o.encode(enc);
+        self.digest.encode(enc);
+    }
+}
+
+impl Decode for CommitPayload {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        expect_tag(dec, b'c')?;
+        Ok(CommitPayload {
+            v: ViewId::decode(dec)?,
+            o: SeqNo::decode(dec)?,
+            digest: Digest::decode(dec)?,
+        })
+    }
+}
+
+/// Proof that a batch prepared: its pre-prepare plus `2f` prepares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedProof {
+    /// The original pre-prepare.
+    pub pre_prepare: Signed<PrePreparePayload>,
+    /// The matching prepares.
+    pub prepares: Vec<Signed<PreparePayload>>,
+}
+
+impl Encode for PreparedProof {
+    fn encode(&self, enc: &mut Encoder) {
+        self.pre_prepare.encode(enc);
+        enc.put_seq(&self.prepares);
+    }
+}
+
+impl Decode for PreparedProof {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(PreparedProof {
+            pre_prepare: Signed::decode(dec)?,
+            prepares: dec.get_seq()?,
+        })
+    }
+}
+
+/// A replica's vote to move to view `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewChangePayload {
+    /// The proposed view.
+    pub v: ViewId,
+    /// Last sequence number this replica committed.
+    pub last_committed: SeqNo,
+    /// Prepared-but-uncommitted batches, with proofs (the P set).
+    pub prepared: Vec<PreparedProof>,
+}
+
+impl Encode for ViewChangePayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(b'V');
+        self.v.encode(enc);
+        self.last_committed.encode(enc);
+        enc.put_seq(&self.prepared);
+    }
+}
+
+impl Decode for ViewChangePayload {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        expect_tag(dec, b'V')?;
+        Ok(ViewChangePayload {
+            v: ViewId::decode(dec)?,
+            last_committed: SeqNo::decode(dec)?,
+            prepared: dec.get_seq()?,
+        })
+    }
+}
+
+/// The new primary's view installation: the view-change quorum and the
+/// pre-prepares it re-issues for carried-over batches (the O set).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewViewPayload {
+    /// The new view.
+    pub v: ViewId,
+    /// The `2f+1` view-change messages justifying the view.
+    pub view_changes: Vec<Signed<ViewChangePayload>>,
+    /// Re-issued pre-prepares for prepared batches.
+    pub pre_prepares: Vec<Signed<PrePreparePayload>>,
+}
+
+impl Encode for NewViewPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(b'N');
+        self.v.encode(enc);
+        enc.put_seq(&self.view_changes);
+        enc.put_seq(&self.pre_prepares);
+    }
+}
+
+impl Decode for NewViewPayload {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        expect_tag(dec, b'N')?;
+        Ok(NewViewPayload {
+            v: ViewId::decode(dec)?,
+            view_changes: dec.get_seq()?,
+            pre_prepares: dec.get_seq()?,
+        })
+    }
+}
+
+/// The complete BFT message set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BftMsg {
+    /// A client request.
+    Request(Request),
+    /// Phase 1: primary → all.
+    PrePrepare(Signed<PrePreparePayload>),
+    /// Phase 2: all → all.
+    Prepare(Signed<PreparePayload>),
+    /// Phase 3: all → all.
+    Commit(Signed<CommitPayload>),
+    /// View-change vote.
+    ViewChange(Signed<ViewChangePayload>),
+    /// View installation by the new primary.
+    NewView(Signed<NewViewPayload>),
+}
+
+impl Encode for BftMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BftMsg::Request(r) => {
+                enc.put_u8(0);
+                r.encode(enc);
+            }
+            BftMsg::PrePrepare(m) => {
+                enc.put_u8(1);
+                m.encode(enc);
+            }
+            BftMsg::Prepare(m) => {
+                enc.put_u8(2);
+                m.encode(enc);
+            }
+            BftMsg::Commit(m) => {
+                enc.put_u8(3);
+                m.encode(enc);
+            }
+            BftMsg::ViewChange(m) => {
+                enc.put_u8(4);
+                m.encode(enc);
+            }
+            BftMsg::NewView(m) => {
+                enc.put_u8(5);
+                m.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for BftMsg {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.get_u8()? {
+            0 => BftMsg::Request(Request::decode(dec)?),
+            1 => BftMsg::PrePrepare(Signed::decode(dec)?),
+            2 => BftMsg::Prepare(Signed::decode(dec)?),
+            3 => BftMsg::Commit(Signed::decode(dec)?),
+            4 => BftMsg::ViewChange(Signed::decode(dec)?),
+            5 => BftMsg::NewView(Signed::decode(dec)?),
+            d => return Err(CodecError::BadDiscriminant(d)),
+        })
+    }
+}
+
+impl WireSize for BftMsg {
+    fn wire_len(&self) -> usize {
+        self.encoded_len() + 28
+    }
+}
+
+fn expect_tag(dec: &mut Decoder<'_>, tag: u8) -> Result<(), CodecError> {
+    let got = dec.get_u8()?;
+    if got != tag {
+        return Err(CodecError::BadDiscriminant(got));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofb_crypto::provider::Dealer;
+    use sofb_crypto::scheme::SchemeId;
+    use sofb_proto::ids::ClientId;
+    use sofb_proto::request::RequestId;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let mut provs = Dealer::sim(SchemeId::Md5Rsa1024, 3, 4);
+        let pp = Signed::sign(
+            PrePreparePayload {
+                v: ViewId(1),
+                o: SeqNo(2),
+                batch: BatchRef {
+                    requests: vec![RequestId { client: ClientId(1), seq: 1 }],
+                    digest: Digest(vec![7]),
+                },
+                formed_at_ns: 5,
+            },
+            &mut provs[0],
+        );
+        let prep = Signed::sign(
+            PreparePayload { v: ViewId(1), o: SeqNo(2), digest: Digest(vec![7]) },
+            &mut provs[1],
+        );
+        let msgs = vec![
+            BftMsg::Request(Request::new(ClientId(0), 1, &b"w"[..])),
+            BftMsg::PrePrepare(pp.clone()),
+            BftMsg::Prepare(prep.clone()),
+            BftMsg::Commit(Signed::sign(
+                CommitPayload { v: ViewId(1), o: SeqNo(2), digest: Digest(vec![7]) },
+                &mut provs[2],
+            )),
+            BftMsg::ViewChange(Signed::sign(
+                ViewChangePayload {
+                    v: ViewId(2),
+                    last_committed: SeqNo(1),
+                    prepared: vec![PreparedProof {
+                        pre_prepare: pp.clone(),
+                        prepares: vec![prep],
+                    }],
+                },
+                &mut provs[1],
+            )),
+            BftMsg::NewView(Signed::sign(
+                NewViewPayload {
+                    v: ViewId(2),
+                    view_changes: vec![],
+                    pre_prepares: vec![pp],
+                },
+                &mut provs[1],
+            )),
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(BftMsg::from_bytes(&bytes).unwrap(), m, "{m:?}");
+            assert!(m.wire_len() > bytes.len());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end BFT baseline tests.
+
+use sofb_bft::sim::BftWorldBuilder;
+use sofb_core::analysis;
+use sofb_core::events::ScEvent;
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::ids::SeqNo;
+use sofb_sim::time::{SimDuration, SimTime};
+
+#[test]
+fn failfree_ordering() {
+    let (mut world, n) = BftWorldBuilder::new(2, SchemeId::Md5Rsa1024)
+        .batching_interval(SimDuration::from_ms(50))
+        .client(100.0, 100, SimTime::from_secs(2))
+        .seed(5)
+        .build();
+    world.start();
+    world.run_until(SimTime::from_secs(4));
+    let events = world.drain_events();
+    analysis::check_total_order(&events).unwrap();
+    let nodes: Vec<usize> = (0..n).collect();
+    let prefix = analysis::common_committed_prefix(&events, &nodes).expect("all commit");
+    assert!(prefix >= SeqNo(10), "prefix {prefix:?}");
+}
+
+#[test]
+fn latency_exceeds_sc_phase_count() {
+    // Sanity on the comparative claim: BFT's n-to-n prepare phase adds
+    // verification load, so the fail-free latency should exceed a small
+    // floor driven by crypto costs (sign 5 ms + verify rounds).
+    let (mut world, _) = BftWorldBuilder::new(2, SchemeId::Md5Rsa1024)
+        .batching_interval(SimDuration::from_ms(200))
+        .client(50.0, 100, SimTime::from_secs(2))
+        .seed(6)
+        .build();
+    world.start();
+    world.run_until(SimTime::from_secs(4));
+    let events = world.drain_events();
+    let lat = analysis::mean_latency_ms(&events, SimTime::from_ms(500)).expect("commits");
+    assert!(lat > 10.0, "BFT latency implausibly low: {lat} ms");
+    assert!(lat < 500.0, "BFT latency implausibly high: {lat} ms");
+}
+
+#[test]
+fn mute_primary_triggers_view_change() {
+    let (mut world, _) = BftWorldBuilder::new(2, SchemeId::Md5Rsa1024)
+        .batching_interval(SimDuration::from_ms(50))
+        .request_timeout(SimDuration::from_ms(400))
+        .mute_primary()
+        .client(100.0, 100, SimTime::from_secs(3))
+        .seed(7)
+        .build();
+    world.start();
+    world.run_until(SimTime::from_secs(8));
+    let events = world.drain_events();
+    analysis::check_total_order(&events).unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ScEvent::ViewChanged { .. })),
+        "view change must occur"
+    );
+    // The new primary (replica 1) orders batches.
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.event,
+            ScEvent::Committed { c, .. } if c.0 >= 2
+        )),
+        "commits must resume in the new view"
+    );
+}
+
+#[test]
+fn deterministic_with_seed() {
+    let run = |seed| {
+        let (mut world, _) = BftWorldBuilder::new(1, SchemeId::Md5Rsa1024)
+            .client(100.0, 100, SimTime::from_secs(1))
+            .seed(seed)
+            .build();
+        world.start();
+        world.run_until(SimTime::from_secs(2));
+        world
+            .drain_events()
+            .iter()
+            .filter(|e| matches!(e.event, ScEvent::Committed { .. }))
+            .map(|e| (e.time, e.node))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(3), run(3));
+}

@@ -1,0 +1,291 @@
+//! IN2's `NewBackLog` computation and the endorser's verification rule.
+//!
+//! From §4.2: the new coordinator "computes NewBackLog by first including
+//! the order that has the largest sequence number (o) amongst all the
+//! max_committed orders received in the (n−f) BackLogs ... then includes
+//! every uncommitted order present in any of the (n−f) BackLogs with
+//! sequence no. > max{max_committed}".
+//!
+//! When two authentic doubly-signed orders conflict at the same sequence
+//! number (possible only because the old pair had a faulty member), the
+//! "right" order — one that might have been committed by some correct
+//! process — is the one appearing in at least `f+1` backlogs; if neither
+//! reaches `f+1`, no correct process can have committed either, and the
+//! coordinator picks deterministically (smallest digest).
+
+use std::collections::BTreeMap;
+
+use sofb_proto::ids::SeqNo;
+use sofb_proto::request::Digest;
+
+use crate::messages::{BackLogPayload, OrderMsg};
+
+/// Computes `(NewBackLog, start_o)` from a quorum of BackLogs.
+///
+/// `f_plus_1` is the committed-order evidence threshold (effective `f+1`).
+pub fn compute_new_backlog(
+    backlogs: &[&BackLogPayload],
+    f_plus_1: usize,
+) -> (Vec<OrderMsg>, SeqNo) {
+    // Highest committed order across the quorum.
+    let max_committed: Option<&OrderMsg> = backlogs
+        .iter()
+        .filter_map(|b| b.max_committed.as_ref().map(|(o, _)| o))
+        .max_by_key(|o| o.payload().o);
+    let max_o = max_committed.map_or(SeqNo(0), |o| o.payload().o);
+
+    // Candidate uncommitted orders above max_o, with per-(o, digest)
+    // support counts (each backlog counts once per binding).
+    let mut by_seq: BTreeMap<SeqNo, BTreeMap<Digest, (OrderMsg, usize)>> = BTreeMap::new();
+    for b in backlogs {
+        let mut seen_in_this: Vec<(SeqNo, Digest)> = Vec::new();
+        for order in &b.uncommitted {
+            let o = order.payload().o;
+            if o <= max_o {
+                continue;
+            }
+            let d = order.payload().batch.digest.clone();
+            if seen_in_this.contains(&(o, d.clone())) {
+                continue;
+            }
+            seen_in_this.push((o, d.clone()));
+            let entry = by_seq.entry(o).or_default();
+            let slot = entry.entry(d).or_insert_with(|| (order.clone(), 0));
+            slot.1 += 1;
+        }
+    }
+
+    let mut new_backlog: Vec<OrderMsg> = Vec::new();
+    if let Some(mc) = max_committed {
+        new_backlog.push(mc.clone());
+    }
+    let mut expected = max_o.next();
+    for (o, candidates) in by_seq {
+        if o != expected {
+            // A gap means no correct process acked the gap sequence
+            // (acks are in-sequence), so nothing beyond it can have been
+            // acked by a correct process either; stop.
+            break;
+        }
+        let chosen = choose(&candidates, f_plus_1);
+        new_backlog.push(chosen);
+        expected = o.next();
+    }
+    let last = new_backlog
+        .last()
+        .map_or(SeqNo(0), |o| o.payload().o)
+        .0
+        .max(max_o.0);
+    (new_backlog, SeqNo(last + 1))
+}
+
+/// Picks the right order among conflicting candidates for one sequence
+/// number.
+fn choose(candidates: &BTreeMap<Digest, (OrderMsg, usize)>, f_plus_1: usize) -> OrderMsg {
+    // Any digest with f+1 support may have been committed somewhere.
+    for (_, (order, count)) in candidates.iter() {
+        if *count >= f_plus_1 {
+            return order.clone();
+        }
+    }
+    // No digest can have been committed: deterministic pick (the
+    // BTreeMap's smallest digest).
+    candidates
+        .values()
+        .next()
+        .expect("choose called with at least one candidate")
+        .0
+        .clone()
+}
+
+/// The endorser's check of a proposed NewBackLog (§4.2's conflicting-order
+/// verification): for every chosen order, if some digest at the same
+/// sequence number has `f+1`-backlog support in the endorser's own view,
+/// the chosen digest must be one of those supported.
+pub fn verify_choice(
+    chosen: &[OrderMsg],
+    own_backlogs: &[&BackLogPayload],
+    f_plus_1: usize,
+) -> bool {
+    for order in chosen {
+        let o = order.payload().o;
+        let d = &order.payload().batch.digest;
+        // Count support per digest at this sequence number.
+        let mut counts: BTreeMap<&Digest, usize> = BTreeMap::new();
+        for b in own_backlogs {
+            let mut seen: Vec<&Digest> = Vec::new();
+            for u in b
+                .uncommitted
+                .iter()
+                .chain(b.max_committed.iter().map(|(om, _)| om))
+            {
+                if u.payload().o == o {
+                    let ud = &u.payload().batch.digest;
+                    if !seen.contains(&ud) {
+                        seen.push(ud);
+                        *counts.entry(ud).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let committed_possible: Vec<&&Digest> =
+            counts.iter().filter(|(_, n)| **n >= f_plus_1).map(|(d, _)| d).collect();
+        if !committed_possible.is_empty() && !committed_possible.iter().any(|cd| **cd == d) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofb_crypto::provider::{Dealer, SimProvider};
+    use sofb_crypto::scheme::SchemeId;
+    use sofb_proto::ids::{ClientId, Rank};
+    use sofb_proto::request::{BatchRef, RequestId};
+    use sofb_proto::signed::{DoublySigned, Signed};
+
+    use crate::messages::{CommitProof, FailSignalPayload, OrderPayload};
+
+    fn providers() -> Vec<SimProvider> {
+        Dealer::sim(SchemeId::Md5Rsa1024, 8, 3)
+    }
+
+    fn order(provs: &mut [SimProvider], o: u64, digest: u8) -> OrderMsg {
+        let payload = OrderPayload {
+            c: Rank(1),
+            o: SeqNo(o),
+            batch: BatchRef {
+                requests: vec![RequestId { client: ClientId(1), seq: o }],
+                digest: Digest(vec![digest]),
+            },
+            formed_at_ns: 0,
+        };
+        let s = Signed::sign(payload, &mut provs[0]);
+        OrderMsg::Endorsed(DoublySigned::endorse(s, &mut provs[5]))
+    }
+
+    fn fs(provs: &mut [SimProvider]) -> crate::messages::FailSignalMsg {
+        let inner = Signed::sign(FailSignalPayload { pair: Rank(1) }, &mut provs[5]);
+        DoublySigned::endorse(inner, &mut provs[0])
+    }
+
+    fn backlog(
+        provs: &mut [SimProvider],
+        max_committed: Option<OrderMsg>,
+        uncommitted: Vec<OrderMsg>,
+    ) -> BackLogPayload {
+        BackLogPayload {
+            new_c: Rank(2),
+            fail_signal: fs(provs),
+            max_committed: max_committed.map(|o| (o, CommitProof::default())),
+            uncommitted,
+            pad: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_backlogs_yield_start_at_one() {
+        let mut provs = providers();
+        let b1 = backlog(&mut provs, None, vec![]);
+        let b2 = backlog(&mut provs, None, vec![]);
+        let (nb, start_o) = compute_new_backlog(&[&b1, &b2], 3);
+        assert!(nb.is_empty());
+        assert_eq!(start_o, SeqNo(1));
+    }
+
+    #[test]
+    fn carries_max_committed_and_uncommitted() {
+        let mut provs = providers();
+        let committed = order(&mut provs, 3, 3);
+        let u4 = order(&mut provs, 4, 4);
+        let u5 = order(&mut provs, 5, 5);
+        let b1 = backlog(&mut provs, Some(committed.clone()), vec![u4.clone()]);
+        let b2 = backlog(&mut provs, None, vec![u4.clone(), u5.clone()]);
+        let (nb, start_o) = compute_new_backlog(&[&b1, &b2], 3);
+        let seqs: Vec<u64> = nb.iter().map(|o| o.payload().o.0).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(start_o, SeqNo(6));
+    }
+
+    #[test]
+    fn ignores_uncommitted_below_max_committed() {
+        let mut provs = providers();
+        let committed = order(&mut provs, 5, 5);
+        let stale = order(&mut provs, 4, 4);
+        let b1 = backlog(&mut provs, Some(committed), vec![stale]);
+        let (nb, start_o) = compute_new_backlog(&[&b1], 2);
+        assert_eq!(nb.len(), 1);
+        assert_eq!(nb[0].payload().o, SeqNo(5));
+        assert_eq!(start_o, SeqNo(6));
+    }
+
+    #[test]
+    fn conflicting_orders_resolved_by_f_plus_1_support() {
+        let mut provs = providers();
+        let good = order(&mut provs, 1, 0xaa);
+        let bad = order(&mut provs, 1, 0xbb);
+        // `good` appears in 3 backlogs (f+1 = 3), `bad` in 1.
+        let b1 = backlog(&mut provs, None, vec![good.clone()]);
+        let b2 = backlog(&mut provs, None, vec![good.clone()]);
+        let b3 = backlog(&mut provs, None, vec![good.clone()]);
+        let b4 = backlog(&mut provs, None, vec![bad.clone()]);
+        let (nb, _) = compute_new_backlog(&[&b1, &b2, &b3, &b4], 3);
+        assert_eq!(nb.len(), 1);
+        assert_eq!(nb[0].payload().batch.digest, Digest(vec![0xaa]));
+    }
+
+    #[test]
+    fn conflict_without_quorum_resolved_deterministically() {
+        let mut provs = providers();
+        let a = order(&mut provs, 1, 0x0a);
+        let b = order(&mut provs, 1, 0x0b);
+        let b1 = backlog(&mut provs, None, vec![a.clone()]);
+        let b2 = backlog(&mut provs, None, vec![b.clone()]);
+        let (nb1, _) = compute_new_backlog(&[&b1, &b2], 3);
+        let (nb2, _) = compute_new_backlog(&[&b2, &b1], 3);
+        // Deterministic regardless of backlog order: smallest digest.
+        assert_eq!(nb1[0].payload().batch.digest, Digest(vec![0x0a]));
+        assert_eq!(nb2[0].payload().batch.digest, Digest(vec![0x0a]));
+    }
+
+    #[test]
+    fn gap_truncates_carryover() {
+        let mut provs = providers();
+        let u2 = order(&mut provs, 2, 2);
+        // Sequence 1 is missing entirely: nothing can be carried.
+        let b1 = backlog(&mut provs, None, vec![u2]);
+        let (nb, start_o) = compute_new_backlog(&[&b1], 2);
+        assert!(nb.is_empty());
+        assert_eq!(start_o, SeqNo(1));
+    }
+
+    #[test]
+    fn verify_choice_accepts_honest_and_rejects_dishonest() {
+        let mut provs = providers();
+        let good = order(&mut provs, 1, 0xaa);
+        let bad = order(&mut provs, 1, 0xbb);
+        let b1 = backlog(&mut provs, None, vec![good.clone()]);
+        let b2 = backlog(&mut provs, None, vec![good.clone()]);
+        let b3 = backlog(&mut provs, None, vec![good.clone()]);
+        let b4 = backlog(&mut provs, None, vec![bad.clone()]);
+        let own: Vec<&BackLogPayload> = vec![&b1, &b2, &b3, &b4];
+        assert!(verify_choice(&[good.clone()], &own, 3));
+        // Choosing `bad` when `good` has f+1 support must be rejected.
+        assert!(!verify_choice(&[bad.clone()], &own, 3));
+        // With no quorum on either, any choice passes.
+        let own_small: Vec<&BackLogPayload> = vec![&b1, &b4];
+        assert!(verify_choice(&[bad], &own_small, 3));
+    }
+
+    #[test]
+    fn verify_choice_counts_max_committed_as_support() {
+        let mut provs = providers();
+        let good = order(&mut provs, 1, 0xaa);
+        let b1 = backlog(&mut provs, Some(good.clone()), vec![]);
+        let b2 = backlog(&mut provs, Some(good.clone()), vec![]);
+        let own: Vec<&BackLogPayload> = vec![&b1, &b2];
+        assert!(verify_choice(&[good], &own, 2));
+    }
+}

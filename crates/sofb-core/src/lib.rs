@@ -1,0 +1,53 @@
+//! # sofb-core — the Streets-of-Byzantium order protocols
+//!
+//! Implements the paper's contribution: total-order protocols built on the
+//! **signal-on-crash** process abstraction (a pair of Byzantine-prone
+//! processes that mutually check each other and fail-signal on detection).
+//!
+//! * [`process`] — the SC protocol (normal part §4.1 + install part §4.2 +
+//!   the §4.3 optimizations) and its SCR extension (§4.4);
+//! * [`messages`] — the wire protocol;
+//! * [`order_log`] — N1–N3 bookkeeping and commitment proofs;
+//! * [`install`] — `NewBackLog` computation and verification;
+//! * [`sim`] — deployment assembly inside the discrete-event simulator;
+//! * [`analysis`] — the §5 measurements and safety checkers.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofb_core::sim::{ClientSpec, ScWorldBuilder};
+//! use sofb_core::analysis;
+//! use sofb_crypto::scheme::SchemeId;
+//! use sofb_proto::topology::Variant;
+//! use sofb_sim::time::SimTime;
+//!
+//! let mut deployment = ScWorldBuilder::new(1, Variant::Sc, SchemeId::Md5Rsa1024)
+//!     .client(ClientSpec {
+//!         rate_per_sec: 50.0,
+//!         request_size: 100,
+//!         stop_at: SimTime::from_secs(1),
+//!     })
+//!     .build();
+//! deployment.start();
+//! deployment.run_until(SimTime::from_secs(3));
+//! let events = deployment.world.drain_events();
+//! analysis::check_total_order(&events).expect("no divergent commits");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod checkpoint;
+pub mod config;
+pub mod events;
+pub mod install;
+pub mod messages;
+pub mod order_log;
+pub mod process;
+pub mod sim;
+
+pub use config::{Fault, ScConfig};
+pub use events::ScEvent;
+pub use messages::ScMsg;
+pub use process::{PairStatus, ScProcess};

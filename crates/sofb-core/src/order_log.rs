@@ -1,0 +1,354 @@
+//! The per-process order log: orders seen, acks gathered, commits made.
+//!
+//! Implements the bookkeeping behind the normal part N1–N3 (§4.1): an
+//! order may be committed once `ack`s or `order`s from `n−f` distinct
+//! eligible processes support the same `(o, D(m))` binding, and the
+//! supporting messages are retained as the *proof of commitment* that
+//! later travels in BackLogs.
+
+use std::collections::BTreeMap;
+
+use sofb_proto::ids::{ProcessId, SeqNo};
+use sofb_proto::request::Digest;
+use sofb_proto::signed::Signed;
+
+use crate::messages::{AckPayload, CommitProof, OrderMsg};
+
+/// State tracked for one sequence number.
+#[derive(Clone, Debug, Default)]
+pub struct OrderRecord {
+    /// The authenticated order, once received.
+    pub order: Option<OrderMsg>,
+    /// Acks by signer (each with the digest it vouched for).
+    pub acks: BTreeMap<ProcessId, Signed<AckPayload>>,
+    /// Whether this process has multicast its own ack (N1 done).
+    pub acked: bool,
+    /// Whether this sequence number is committed (N3 done).
+    pub committed: bool,
+    /// The retained proof of commitment.
+    pub proof: Option<CommitProof>,
+}
+
+/// The order log of one process.
+#[derive(Clone, Debug)]
+pub struct OrderLog {
+    records: BTreeMap<SeqNo, OrderRecord>,
+    /// The first sequence number (orders below it predate this process's
+    /// participation; 1 in normal deployments).
+    first: SeqNo,
+    max_committed: Option<SeqNo>,
+}
+
+impl Default for OrderLog {
+    fn default() -> Self {
+        Self::new(SeqNo(1))
+    }
+}
+
+impl OrderLog {
+    /// Creates a log whose first expected sequence number is `first`.
+    pub fn new(first: SeqNo) -> Self {
+        OrderLog {
+            records: BTreeMap::new(),
+            first,
+            max_committed: None,
+        }
+    }
+
+    /// The record for `o`, creating it if absent.
+    pub fn record_mut(&mut self, o: SeqNo) -> &mut OrderRecord {
+        self.records.entry(o).or_default()
+    }
+
+    /// The record for `o`, if any.
+    pub fn record(&self, o: SeqNo) -> Option<&OrderRecord> {
+        self.records.get(&o)
+    }
+
+    /// Stores an authenticated order; returns `false` if an order was
+    /// already present for this sequence number (duplicates are normal:
+    /// both pair members multicast).
+    pub fn store_order(&mut self, order: OrderMsg) -> bool {
+        let o = order.payload().o;
+        let rec = self.record_mut(o);
+        if rec.order.is_some() {
+            return false;
+        }
+        rec.order = Some(order);
+        true
+    }
+
+    /// Stores an authenticated ack (idempotent per signer).
+    pub fn store_ack(&mut self, ack: Signed<AckPayload>) {
+        let o = ack.payload.o();
+        let rec = self.record_mut(o);
+        rec.acks.entry(ack.signer).or_insert(ack);
+    }
+
+    /// Counts distinct eligible processes supporting `(o, digest)`:
+    /// ack signers whose ack vouches for `digest`, plus the signatories of
+    /// the stored order itself (an `order` counts like an `ack` in N2).
+    pub fn evidence(&self, o: SeqNo, digest: &Digest, eligible: impl Fn(ProcessId) -> bool) -> usize {
+        let Some(rec) = self.records.get(&o) else {
+            return 0;
+        };
+        let mut voters: Vec<ProcessId> = Vec::new();
+        for (signer, ack) in &rec.acks {
+            if ack.payload.digest() == digest && eligible(*signer) {
+                voters.push(*signer);
+            }
+        }
+        if let Some(order) = &rec.order {
+            if &order.payload().batch.digest == digest {
+                for s in order.signatories() {
+                    if eligible(s) && !voters.contains(&s) {
+                        voters.push(s);
+                    }
+                }
+            }
+        }
+        voters.len()
+    }
+
+    /// Attempts to commit `o`: requires a stored order and `quorum`
+    /// eligible supporters of its digest. Returns the proof on the
+    /// *transition* to committed (None if already committed or not ready).
+    pub fn try_commit(
+        &mut self,
+        o: SeqNo,
+        quorum: usize,
+        eligible: impl Fn(ProcessId) -> bool,
+    ) -> Option<CommitProof> {
+        let rec = self.records.get(&o)?;
+        if rec.committed {
+            return None;
+        }
+        let order = rec.order.clone()?;
+        let digest = order.payload().batch.digest.clone();
+        if self.evidence(o, &digest, &eligible) < quorum {
+            return None;
+        }
+        let rec = self.records.get_mut(&o).expect("checked above");
+        let proof = CommitProof {
+            acks: rec
+                .acks
+                .values()
+                .filter(|a| a.payload.digest() == &digest)
+                .cloned()
+                .collect(),
+        };
+        rec.committed = true;
+        rec.proof = Some(proof.clone());
+        if self.max_committed.map_or(true, |m| o > m) {
+            self.max_committed = Some(o);
+        }
+        Some(proof)
+    }
+
+    /// Directly marks `o` committed with the given order (used when a
+    /// commitment is adopted from an install's NewBackLog or a state
+    /// transfer, where the proof travelled with the message).
+    pub fn force_commit(&mut self, order: OrderMsg, proof: CommitProof) {
+        let o = order.payload().o;
+        let rec = self.record_mut(o);
+        rec.order.get_or_insert(order);
+        rec.committed = true;
+        rec.proof.get_or_insert(proof);
+        if self.max_committed.map_or(true, |m| o > m) {
+            self.max_committed = Some(o);
+        }
+    }
+
+    /// Largest committed sequence number.
+    pub fn max_committed(&self) -> Option<SeqNo> {
+        self.max_committed
+    }
+
+    /// The committed order with the largest sequence number, with proof.
+    pub fn max_committed_entry(&self) -> Option<(OrderMsg, CommitProof)> {
+        let o = self.max_committed?;
+        let rec = self.records.get(&o)?;
+        Some((rec.order.clone()?, rec.proof.clone().unwrap_or_default()))
+    }
+
+    /// True if `o` is committed.
+    pub fn is_committed(&self, o: SeqNo) -> bool {
+        self.records.get(&o).is_some_and(|r| r.committed)
+    }
+
+    /// All acked-but-uncommitted orders (BackLog item (c), §4.2 IN1).
+    pub fn acked_uncommitted(&self) -> Vec<OrderMsg> {
+        self.records
+            .values()
+            .filter(|r| r.acked && !r.committed)
+            .filter_map(|r| r.order.clone())
+            .collect()
+    }
+
+    /// Committed orders with sequence number ≥ `from` (state transfer).
+    pub fn committed_from(&self, from: SeqNo) -> Vec<OrderMsg> {
+        self.records
+            .range(from..)
+            .filter(|(_, r)| r.committed)
+            .filter_map(|(_, r)| r.order.clone())
+            .collect()
+    }
+
+    /// First sequence number of this log.
+    pub fn first(&self) -> SeqNo {
+        self.first
+    }
+
+    /// Discards every record strictly below `floor` (log truncation at a
+    /// stable checkpoint). The commit cursor state is unaffected — only
+    /// retained history shrinks.
+    pub fn truncate_below(&mut self, floor: SeqNo) {
+        self.records = self.records.split_off(&floor);
+        if self.first < floor {
+            self.first = floor;
+        }
+    }
+
+    /// Number of retained records (tests assert GC keeps this bounded).
+    pub fn retained(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Sequence numbers with a stored order but no commit yet.
+    pub fn pending(&self) -> Vec<SeqNo> {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.order.is_some() && !r.committed)
+            .map(|(o, _)| *o)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofb_crypto::provider::{Dealer, SimProvider};
+    use sofb_crypto::scheme::SchemeId;
+    use sofb_proto::ids::{ClientId, Rank};
+    use sofb_proto::request::{BatchRef, RequestId};
+    use sofb_proto::signed::DoublySigned;
+
+    use crate::messages::OrderPayload;
+
+    fn providers(n: usize) -> Vec<SimProvider> {
+        Dealer::sim(SchemeId::Md5Rsa1024, n, 5)
+    }
+
+    fn order(provs: &mut [SimProvider], o: u64, digest: Vec<u8>) -> OrderMsg {
+        let payload = OrderPayload {
+            c: Rank(1),
+            o: SeqNo(o),
+            batch: BatchRef {
+                requests: vec![RequestId { client: ClientId(1), seq: o }],
+                digest: Digest(digest),
+            },
+            formed_at_ns: 0,
+        };
+        let signed = Signed::sign(payload, &mut provs[0]);
+        // Shadow is the last provider in these tests.
+        let n = provs.len();
+        OrderMsg::Endorsed(DoublySigned::endorse(signed, &mut provs[n - 1]))
+    }
+
+    fn ack(provs: &mut [SimProvider], i: usize, order: &OrderMsg) -> Signed<AckPayload> {
+        Signed::sign(AckPayload { order: order.clone() }, &mut provs[i])
+    }
+
+    #[test]
+    fn store_order_dedupes() {
+        let mut provs = providers(4);
+        let mut log = OrderLog::default();
+        let om = order(&mut provs, 1, vec![1]);
+        assert!(log.store_order(om.clone()));
+        assert!(!log.store_order(om));
+    }
+
+    #[test]
+    fn commit_requires_order_and_quorum() {
+        let mut provs = providers(5);
+        let mut log = OrderLog::default();
+        let om = order(&mut provs, 1, vec![1]);
+        // Acks alone (no stored order) never commit.
+        log.store_ack(ack(&mut provs, 1, &om));
+        log.store_ack(ack(&mut provs, 2, &om));
+        assert!(log.try_commit(SeqNo(1), 3, |_| true).is_none());
+        // Storing the order adds its two signatories as evidence.
+        log.store_order(om.clone());
+        // Evidence: acks {p1, p2} + signatories {p0, p4} = 4.
+        assert_eq!(log.evidence(SeqNo(1), &om.payload().batch.digest, |_| true), 4);
+        let proof = log.try_commit(SeqNo(1), 4, |_| true).unwrap();
+        assert_eq!(proof.acks.len(), 2);
+        assert!(log.is_committed(SeqNo(1)));
+        assert_eq!(log.max_committed(), Some(SeqNo(1)));
+        // Second commit attempt is a no-op.
+        assert!(log.try_commit(SeqNo(1), 1, |_| true).is_none());
+    }
+
+    #[test]
+    fn evidence_respects_eligibility() {
+        let mut provs = providers(5);
+        let mut log = OrderLog::default();
+        let om = order(&mut provs, 1, vec![1]);
+        log.store_order(om.clone());
+        log.store_ack(ack(&mut provs, 1, &om));
+        let d = &om.payload().batch.digest.clone();
+        assert_eq!(log.evidence(SeqNo(1), d, |_| true), 3);
+        // Exclude the order signatories (p0 and p4): only p1's ack counts.
+        assert_eq!(
+            log.evidence(SeqNo(1), d, |p| p != ProcessId(0) && p != ProcessId(4)),
+            1
+        );
+    }
+
+    #[test]
+    fn evidence_distinguishes_digests() {
+        let mut provs = providers(5);
+        let mut log = OrderLog::default();
+        let om_a = order(&mut provs, 1, vec![0xa]);
+        let om_b = order(&mut provs, 1, vec![0xb]);
+        log.store_order(om_a.clone());
+        log.store_ack(ack(&mut provs, 1, &om_b));
+        // The conflicting ack does not support digest a.
+        assert_eq!(log.evidence(SeqNo(1), &Digest(vec![0xa]), |_| true), 2);
+        assert_eq!(log.evidence(SeqNo(1), &Digest(vec![0xb]), |_| true), 1);
+    }
+
+    #[test]
+    fn acked_uncommitted_listing() {
+        let mut provs = providers(4);
+        let mut log = OrderLog::default();
+        let om = order(&mut provs, 3, vec![3]);
+        log.store_order(om.clone());
+        log.record_mut(SeqNo(3)).acked = true;
+        assert_eq!(log.acked_uncommitted().len(), 1);
+        log.force_commit(om, CommitProof::default());
+        assert!(log.acked_uncommitted().is_empty());
+    }
+
+    #[test]
+    fn force_commit_and_state_transfer() {
+        let mut provs = providers(4);
+        let mut log = OrderLog::default();
+        for o in [1u64, 2, 3] {
+            let om = order(&mut provs, o, vec![o as u8]);
+            log.force_commit(om, CommitProof::default());
+        }
+        assert_eq!(log.max_committed(), Some(SeqNo(3)));
+        assert_eq!(log.committed_from(SeqNo(2)).len(), 2);
+        let (om, _) = log.max_committed_entry().unwrap();
+        assert_eq!(om.payload().o, SeqNo(3));
+    }
+
+    #[test]
+    fn pending_lists_uncommitted_with_orders() {
+        let mut provs = providers(4);
+        let mut log = OrderLog::default();
+        log.store_order(order(&mut provs, 2, vec![2]));
+        assert_eq!(log.pending(), vec![SeqNo(2)]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Harness: assemble an SC/SCR deployment inside the discrete-event
+//! simulator.
+//!
+//! Mirrors the paper's testbed shape: order processes connected by a
+//! LAN-class asynchronous network, each pair additionally joined by a fast
+//! dedicated link (§2), plus clients that multicast requests to every
+//! process (§3).
+
+use sofb_crypto::provider::{CryptoProvider, Dealer};
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::ids::{ClientId, ProcessId, Rank};
+use sofb_proto::request::Request;
+use sofb_proto::signed::Signed;
+use sofb_proto::topology::{Candidate, Topology, Variant};
+use sofb_sim::cpu::CpuModel;
+use sofb_sim::delay::{LinkModel, NetworkModel};
+use sofb_sim::engine::{Actor, Ctx, World};
+use sofb_sim::time::{SimDuration, SimTime};
+
+use crate::config::{Fault, ScConfig};
+use crate::events::ScEvent;
+use crate::messages::{FailSignalPayload, ScMsg};
+use crate::process::ScProcess;
+
+/// Timer tag used by the client actor.
+const TIMER_CLIENT: u64 = 100;
+
+/// A synthetic client: multicasts fixed-size requests to every order
+/// process at a constant rate until `stop_at`.
+#[derive(Debug)]
+pub struct ClientActor {
+    id: ClientId,
+    n_processes: usize,
+    request_size: usize,
+    interval: SimDuration,
+    stop_at: SimTime,
+    next_seq: u64,
+}
+
+impl ClientActor {
+    /// Creates a client issuing `rate_per_sec` requests of
+    /// `request_size` bytes until `stop_at`.
+    pub fn new(
+        id: ClientId,
+        n_processes: usize,
+        request_size: usize,
+        rate_per_sec: f64,
+        stop_at: SimTime,
+    ) -> Self {
+        assert!(rate_per_sec > 0.0, "client rate must be positive");
+        let interval = SimDuration((1e9 / rate_per_sec) as u64);
+        ClientActor {
+            id,
+            n_processes,
+            request_size,
+            interval,
+            stop_at,
+            next_seq: 0,
+        }
+    }
+}
+
+impl Actor for ClientActor {
+    type Msg = ScMsg;
+    type Event = ScEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ScMsg, ScEvent>) {
+        ctx.set_timer(self.interval, TIMER_CLIENT);
+    }
+
+    fn on_message(&mut self, _from: usize, _msg: ScMsg, _ctx: &mut Ctx<'_, ScMsg, ScEvent>) {
+        // Clients ignore replies in this harness; commitment is observed
+        // through the processes' events.
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ScMsg, ScEvent>) {
+        if tag != TIMER_CLIENT || ctx.now() >= self.stop_at {
+            return;
+        }
+        self.next_seq += 1;
+        let payload = vec![0xabu8; self.request_size];
+        let req = Request::new(self.id, self.next_seq, payload);
+        for p in 0..self.n_processes {
+            ctx.send(p, ScMsg::Request(req.clone()));
+        }
+        ctx.set_timer(self.interval, TIMER_CLIENT);
+    }
+}
+
+/// Specification of one synthetic client.
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    /// Requests per second.
+    pub rate_per_sec: f64,
+    /// Payload size in bytes.
+    pub request_size: usize,
+    /// Stop issuing at this virtual time.
+    pub stop_at: SimTime,
+}
+
+/// Builder for a complete simulated SC/SCR deployment.
+#[derive(Debug)]
+pub struct ScWorldBuilder {
+    f: u32,
+    variant: Variant,
+    scheme: SchemeId,
+    seed: u64,
+    batching_interval: SimDuration,
+    order_timeout: SimDuration,
+    backlog_pad: usize,
+    checkpoint_interval: u64,
+    time_checks: bool,
+    cpu: CpuModel,
+    faults: Vec<(ProcessId, Fault)>,
+    clients: Vec<ClientSpec>,
+    pair_link: LinkModel,
+    lan_link: LinkModel,
+}
+
+impl ScWorldBuilder {
+    /// Starts a builder for resilience `f` under the given variant and
+    /// crypto scheme.
+    pub fn new(f: u32, variant: Variant, scheme: SchemeId) -> Self {
+        ScWorldBuilder {
+            f,
+            variant,
+            scheme,
+            seed: 42,
+            batching_interval: SimDuration::from_ms(100),
+            order_timeout: SimDuration::from_ms(1_000),
+            backlog_pad: 0,
+            checkpoint_interval: 64,
+            time_checks: true,
+            cpu: CpuModel::default(),
+            faults: Vec::new(),
+            clients: Vec::new(),
+            pair_link: LinkModel::pair_link(),
+            lan_link: LinkModel::lan_100mbit(),
+        }
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the batching interval (the paper sweeps 40–500 ms).
+    pub fn batching_interval(mut self, d: SimDuration) -> Self {
+        self.batching_interval = d;
+        self
+    }
+
+    /// Sets the shadow's proposal-timeliness estimate.
+    pub fn order_timeout(mut self, d: SimDuration) -> Self {
+        self.order_timeout = d;
+        self
+    }
+
+    /// Pads BackLogs (Figure 6's size sweep).
+    pub fn backlog_pad(mut self, pad: usize) -> Self {
+        self.backlog_pad = pad;
+        self
+    }
+
+    /// Sets the checkpoint interval (0 disables log truncation).
+    pub fn checkpoint_interval(mut self, every: u64) -> Self {
+        self.checkpoint_interval = every;
+        self
+    }
+
+    /// Enables/disables time-domain detection (see `ScConfig`).
+    pub fn time_checks(mut self, on: bool) -> Self {
+        self.time_checks = on;
+        self
+    }
+
+    /// Overrides the CPU model of every process node.
+    pub fn cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Installs a fault plan on one process.
+    pub fn fault(mut self, p: ProcessId, fault: Fault) -> Self {
+        self.faults.push((p, fault));
+        self
+    }
+
+    /// Adds a client.
+    pub fn client(mut self, spec: ClientSpec) -> Self {
+        self.clients.push(spec);
+        self
+    }
+
+    /// Overrides the asynchronous-network link model (e.g. partial
+    /// synchrony for SCR experiments).
+    pub fn lan_link(mut self, link: LinkModel) -> Self {
+        self.lan_link = link;
+        self
+    }
+
+    /// Overrides the intra-pair link model.
+    pub fn pair_link(mut self, link: LinkModel) -> Self {
+        self.pair_link = link;
+        self
+    }
+
+    /// Assembles the world.
+    pub fn build(self) -> ScWorld {
+        let topology = Topology::new(self.f, self.variant);
+        let n = topology.n();
+
+        // Network: LAN everywhere, fast dedicated links within pairs.
+        let mut net = NetworkModel::uniform(self.lan_link.clone());
+        for c in 1..=topology.candidate_count() {
+            if let Candidate::Pair { replica, shadow } = topology.candidate(Rank(c)) {
+                net = net.with_bidi_link(
+                    replica.0 as usize,
+                    shadow.0 as usize,
+                    self.pair_link.clone(),
+                );
+            }
+        }
+
+        let mut world: World<ScMsg, ScEvent> = World::new(net, self.seed);
+
+        // The trusted dealer hands out providers; counterparts pre-sign
+        // each other's fail-signals (§3.2).
+        let mut providers = Dealer::sim(self.scheme, n, self.seed ^ 0x5107);
+        let mut presigned: Vec<Option<Signed<FailSignalPayload>>> = vec![None; n];
+        for c in 1..=topology.candidate_count() {
+            if let Candidate::Pair { replica, shadow } = topology.candidate(Rank(c)) {
+                let payload = FailSignalPayload { pair: Rank(c) };
+                presigned[replica.0 as usize] = Some(Signed::sign(
+                    payload.clone(),
+                    &mut providers[shadow.0 as usize],
+                ));
+                presigned[shadow.0 as usize] = Some(Signed::sign(
+                    payload,
+                    &mut providers[replica.0 as usize],
+                ));
+                // Pre-signing must not bill the simulation clock.
+                providers[replica.0 as usize].take_cost_ns();
+                providers[shadow.0 as usize].take_cost_ns();
+            }
+        }
+
+        for (i, provider) in providers.into_iter().enumerate() {
+            let me = ProcessId(i as u32);
+            let fault = self
+                .faults
+                .iter()
+                .find(|(p, _)| *p == me)
+                .map(|(_, f)| f.clone())
+                .unwrap_or_default();
+            let cfg = ScConfig {
+                topology,
+                me,
+                scheme: self.scheme,
+                batching_interval: self.batching_interval,
+                batch_max_bytes: 1024,
+                order_timeout: self.order_timeout,
+                heartbeat_period: SimDuration::from_ms(50),
+                heartbeat_misses: 4,
+                recovery_beats: 3,
+                checkpoint_interval: self.checkpoint_interval,
+                backlog_pad: self.backlog_pad,
+                time_checks: self.time_checks,
+                fault,
+            };
+            let process = ScProcess::new(cfg, Box::new(provider), presigned[i].take());
+            world.add_node(Box::new(process), self.cpu);
+        }
+
+        let mut client_nodes = Vec::new();
+        for (k, spec) in self.clients.iter().enumerate() {
+            let client = ClientActor::new(
+                ClientId(k as u32),
+                n,
+                spec.request_size,
+                spec.rate_per_sec,
+                spec.stop_at,
+            );
+            let idx = world.add_node(Box::new(client), CpuModel::zero());
+            client_nodes.push(idx);
+        }
+
+        ScWorld {
+            world,
+            topology,
+            client_nodes,
+        }
+    }
+}
+
+/// A built deployment.
+pub struct ScWorld {
+    /// The simulator world (drive with `start`/`run_until`).
+    pub world: World<ScMsg, ScEvent>,
+    /// The deployment layout.
+    pub topology: Topology,
+    /// Node indices of the synthetic clients.
+    pub client_nodes: Vec<usize>,
+}
+
+impl ScWorld {
+    /// Starts all nodes.
+    pub fn start(&mut self) {
+        self.world.start();
+    }
+
+    /// Runs until the given virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+}

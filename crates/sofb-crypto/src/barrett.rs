@@ -1,0 +1,137 @@
+//! Barrett reduction (HAC algorithm 14.42): fast repeated reduction
+//! modulo a fixed modulus.
+//!
+//! Modular exponentiation performs thousands of reductions against the
+//! same modulus; Barrett replaces each full division with two truncated
+//! multiplications against a precomputed reciprocal `µ = ⌊b^{2k}/m⌋`
+//! (here `b = 2^64`, `k` = limb count of `m`). [`BigUint::mod_pow`] uses
+//! it automatically for multi-limb moduli, which is what makes the real
+//! RSA/DSA implementations usable at 1024+ bits.
+
+use crate::bignum::BigUint;
+
+/// Precomputed context for reducing values modulo a fixed `m`.
+#[derive(Clone, Debug)]
+pub struct Barrett {
+    m: BigUint,
+    mu: BigUint,
+    /// Limb count of `m`.
+    k: usize,
+}
+
+impl Barrett {
+    /// Precomputes the reciprocal for `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn new(m: &BigUint) -> Self {
+        assert!(!m.is_zero(), "zero modulus");
+        let k = m.limb_len();
+        // mu = floor(b^(2k) / m)
+        let b2k = BigUint::one().shl(2 * k * 64);
+        let mu = b2k.div_rem(m).0;
+        Barrett {
+            m: m.clone(),
+            mu,
+            k,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.m
+    }
+
+    /// Computes `x mod m`. Requires `x < m²` (always true for products of
+    /// two reduced operands); falls back to plain division otherwise.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        if x < &self.m {
+            return x.clone();
+        }
+        if x.limb_len() > 2 * self.k {
+            // Out of Barrett's input range; rare (callers reduce products
+            // of already-reduced operands).
+            return x.rem(&self.m);
+        }
+        let k = self.k;
+        // q1 = floor(x / b^(k-1)); q2 = q1 * mu; q3 = floor(q2 / b^(k+1))
+        let q1 = x.shr((k - 1) * 64);
+        let q2 = q1.mul(&self.mu);
+        let q3 = q2.shr((k + 1) * 64);
+        // r = (x mod b^(k+1)) - (q3 * m mod b^(k+1))
+        let r1 = x.low_limbs(k + 1);
+        let r2 = q3.mul(&self.m).low_limbs(k + 1);
+        let mut r = if r1 >= r2 {
+            r1.sub(&r2)
+        } else {
+            // r1 - r2 + b^(k+1)
+            r1.add(&BigUint::one().shl((k + 1) * 64)).sub(&r2)
+        };
+        // At most two correction subtractions (HAC 14.43).
+        while r >= self.m {
+            r = r.sub(&self.m);
+        }
+        r
+    }
+
+    /// `a * b mod m` with both operands already reduced.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(&a.mul(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let m = BigUint::from_u64(1_000_000_007);
+        let b = Barrett::new(&m);
+        for v in [0u64, 1, 999_999_999, 1_000_000_007, u64::MAX] {
+            let x = BigUint::from_u64(v);
+            assert_eq!(b.reduce(&x), x.rem(&m), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_rem_random_multi_limb() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..50 {
+            let m = BigUint::random_bits(&mut rng, 192).add(&BigUint::one());
+            let b = Barrett::new(&m);
+            // Products of two reduced operands (the mod_pow use case).
+            let x = BigUint::random_below(&mut rng, &m);
+            let y = BigUint::random_below(&mut rng, &m);
+            let prod = x.mul(&y);
+            assert_eq!(b.reduce(&prod), prod.rem(&m), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_agrees_with_naive() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = BigUint::gen_prime(&mut rng, 128);
+        let b = Barrett::new(&m);
+        let x = BigUint::random_below(&mut rng, &m);
+        let y = BigUint::random_below(&mut rng, &m);
+        assert_eq!(b.mul_mod(&x, &y), x.mul_mod(&y, &m));
+    }
+
+    #[test]
+    fn oversized_input_falls_back() {
+        let m = BigUint::from_u64(97);
+        let b = Barrett::new(&m);
+        let huge = BigUint::one().shl(900);
+        assert_eq!(b.reduce(&huge), huge.rem(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn zero_modulus_rejected() {
+        Barrett::new(&BigUint::zero());
+    }
+}

@@ -1,0 +1,926 @@
+//! Arbitrary-precision unsigned integers on `u64` limbs.
+//!
+//! This module provides exactly the arithmetic needed by the RSA and DSA
+//! implementations in this crate: comparison, addition, subtraction,
+//! multiplication, division with remainder (Knuth Algorithm D), modular
+//! exponentiation, modular inverse, and Miller–Rabin primality testing.
+//!
+//! Limbs are stored little-endian (least significant limb first) and every
+//! value is kept *normalized*: no trailing zero limbs, and zero is the empty
+//! limb vector.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofb_crypto::bignum::BigUint;
+//!
+//! let a = BigUint::from_u64(1 << 40);
+//! let b = BigUint::from_u64(12345);
+//! let c = a.mul(&b).add(&b);
+//! assert_eq!(c.rem(&a), b);
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_start = bytes.len();
+        while chunk_start > 0 {
+            let lo = chunk_start.saturating_sub(8);
+            let mut limb: u64 = 0;
+            for &b in &bytes[lo..chunk_start] {
+                limb = (limb << 8) | u64::from(b);
+            }
+            limbs.push(limb);
+            chunk_start = lo;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Hex string (no leading zeros, lowercase; "0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Parses a (lowercase or uppercase) hex string.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim_start_matches("0x");
+        if s.is_empty() || !s.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        // Convert to bytes, big-endian.
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let chars: Vec<u8> = s.bytes().collect();
+        let mut i = 0;
+        if chars.len() % 2 == 1 {
+            bytes.push(hex_val(chars[0])?);
+            i = 1;
+        }
+        while i < chars.len() {
+            bytes.push(hex_val(chars[i])? << 4 | hex_val(chars[i + 1])?);
+            i += 2;
+        }
+        Some(Self::from_bytes_be(&bytes))
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True if the low bit is clear (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of limbs (u64 words) in the normalized representation.
+    pub fn limb_len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// The value truncated to its low `n` limbs (i.e. `self mod 2^(64n)`).
+    pub fn low_limbs(&self, n: usize) -> Self {
+        let mut r = BigUint {
+            limbs: self.limbs.iter().take(n).copied().collect(),
+        };
+        r.normalize();
+        r
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (false beyond the most significant bit).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Interprets the low 64 bits as a `u64` (the whole value must fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds `u64::MAX`.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.limbs.len() <= 1, "value exceeds u64");
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Sum of `self` and `other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "bignum subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Product of `self` and `other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u128::from(out[k]) + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> Self {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = n % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Quotient and remainder of `self / divisor` (Knuth Algorithm D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem: u128 = 0;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 64) | u128::from(l);
+                q.push((cur / u128::from(d)) as u64);
+                rem = cur % u128::from(d);
+            }
+            q.reverse();
+            let mut quo = BigUint { limbs: q };
+            quo.normalize();
+            return (quo, BigUint::from_u64(rem as u64));
+        }
+
+        // Normalize so the top limb of the divisor has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        // Working copy of the dividend with one extra high limb.
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let v_hi = vn[n - 1];
+        let v_lo = vn[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate the quotient digit from the top two/three limbs.
+            let num = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+            let mut qhat = num / u128::from(v_hi);
+            let mut rhat = num % u128::from(v_hi);
+            while qhat >> 64 != 0
+                || qhat * u128::from(v_lo) > ((rhat << 64) | u128::from(un[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += u128::from(v_hi);
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let p = qhat * u128::from(vn[i]) + carry;
+                carry = p >> 64;
+                let sub = i128::from(un[j + i]) - i128::from(p as u64 as u64) + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = i128::from(un[j + n]) - i128::from(carry as u64) + borrow;
+            un[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            let mut qdigit = qhat as u64;
+            if borrow != 0 {
+                // Estimate was one too large; add the divisor back.
+                qdigit -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = un[j + i].overflowing_add(vn[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    un[j + i] = s2;
+                    carry = u64::from(c1) + u64::from(c2);
+                }
+                un[j + n] = un[j + n].wrapping_add(carry);
+            }
+            q[j] = qdigit;
+        }
+
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quo, rem.shr(shift))
+    }
+
+    /// Remainder of `self / divisor`.
+    pub fn rem(&self, divisor: &Self) -> Self {
+        self.div_rem(divisor).1
+    }
+
+    /// `self * other mod m`.
+    pub fn mul_mod(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `self ^ exp mod m` via left-to-right square-and-multiply, with
+    /// Barrett reduction for multi-limb moduli (see
+    /// [`crate::barrett::Barrett`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return Self::zero();
+        }
+        let base = self.rem(m);
+        if exp.is_zero() {
+            return Self::one();
+        }
+        if m.limb_len() >= 3 {
+            let ctx = crate::barrett::Barrett::new(m);
+            let mut acc = Self::one();
+            for i in (0..exp.bit_len()).rev() {
+                acc = ctx.mul_mod(&acc, &acc);
+                if exp.bit(i) {
+                    acc = ctx.mul_mod(&acc, &base);
+                }
+            }
+            return acc;
+        }
+        let mut acc = Self::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.mul_mod(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mul_mod(&base, m);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (binary-free Euclid).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` mod `m`, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm with signed cofactors.
+    pub fn mod_inv(&self, m: &Self) -> Option<Self> {
+        if m.is_zero() {
+            return None;
+        }
+        // Maintain r pairs and the x cofactor as (magnitude, negative?) pairs.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        let mut x0 = (Self::zero(), false);
+        let mut x1 = (Self::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // x2 = x0 - q * x1 in signed arithmetic.
+            let qx1 = q.mul(&x1.0);
+            let x2 = signed_sub(&x0, &(qx1, x1.1));
+            r0 = r1;
+            r1 = r2;
+            x0 = x1;
+            x1 = x2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        // x0 is the inverse, possibly negative.
+        let inv = if x0.1 {
+            m.sub(&x0.0.rem(m))
+        } else {
+            x0.0.rem(m)
+        };
+        Some(inv.rem(m))
+    }
+
+    /// Uniform random value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        loop {
+            let candidate = Self::random_bits(rng, bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random value with at most `bits` bits.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        let n_limbs = bits.div_ceil(64);
+        let mut limbs: Vec<u64> = (0..n_limbs).map(|_| rng.gen()).collect();
+        let extra = n_limbs * 64 - bits;
+        if extra > 0 {
+            if let Some(top) = limbs.last_mut() {
+                *top >>= extra;
+            }
+        }
+        let mut r = BigUint { limbs };
+        r.normalize();
+        r
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        if self.is_zero() || self.is_one() {
+            return false;
+        }
+        // Trial division by small primes.
+        for &p in SMALL_PRIMES {
+            let pb = Self::from_u64(p);
+            if self == &pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        // Write self - 1 = d * 2^s.
+        let one = Self::one();
+        let two = Self::from_u64(2);
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+        'witness: for _ in 0..rounds {
+            let a = Self::random_below(rng, &n_minus_1.sub(&two)).add(&two);
+            let mut x = a.mod_pow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.mul_mod(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 8, "prime too small");
+        loop {
+            let mut candidate = Self::random_bits(rng, bits);
+            // Force the top and bottom bits.
+            let top = Self::one().shl(bits - 1);
+            candidate = candidate.add(&top).rem(&Self::one().shl(bits));
+            if candidate.bit_len() < bits {
+                candidate = candidate.add(&top);
+            }
+            if candidate.is_even() {
+                candidate = candidate.add(&Self::one());
+            }
+            if candidate.is_probable_prime(rng, 20) {
+                return candidate;
+            }
+        }
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Signed subtraction on (magnitude, negative?) pairs: `a - b`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both nonnegative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint {
+            limbs: {
+                let mut l = vec![v as u64, (v >> 64) as u64];
+                while l.last() == Some(&0) {
+                    l.pop();
+                }
+                l
+            },
+        }
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let v = BigUint::from_hex("0123456789abcdef0011223344556677").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        // Leading zeros in input are dropped.
+        let mut padded = vec![0u8, 0u8];
+        padded.extend_from_slice(&bytes);
+        assert_eq!(BigUint::from_bytes_be(&padded), v);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = BigUint::from_u64(0xabcd);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0xab, 0xcd]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small() {
+        BigUint::from_u64(0xabcdef).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = big(u128::MAX - 5);
+        let b = big(123456789);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = big(u128::MAX);
+        let s = a.add(&BigUint::one());
+        assert_eq!(s.bit_len(), 129);
+        assert_eq!(s.sub(&BigUint::one()), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        BigUint::from_u64(1).sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0x1234_5678_9abc_def0u64;
+        let b = 0xfedc_ba98_7654_3210u64;
+        let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        assert_eq!(prod, big(u128::from(a) * u128::from(b)));
+    }
+
+    #[test]
+    fn mul_zero() {
+        let a = big(u128::MAX);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        assert!(BigUint::zero().mul(&a).is_zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let v = BigUint::from_u64(1);
+        assert_eq!(v.shl(130).shr(130), v);
+        assert_eq!(v.shl(64).bit_len(), 65);
+        assert!(v.shr(1).is_zero());
+        let w = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(w.shl(3).shr(3), w);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let a = big(1_000_000_007 * 97 + 13);
+        let (q, r) = a.div_rem(&BigUint::from_u64(1_000_000_007));
+        assert_eq!(q.to_u64(), 97);
+        assert_eq!(r.to_u64(), 13);
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef0").unwrap();
+        let b = BigUint::from_hex("fedcba9876543210fedcba98").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn div_rem_exact() {
+        let b = BigUint::from_hex("deadbeefcafebabe1234").unwrap();
+        let q = BigUint::from_hex("1122334455667788").unwrap();
+        let a = b.mul(&q);
+        let (q2, r2) = a.div_rem(&b);
+        assert_eq!(q2, q);
+        assert!(r2.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        // 4^13 mod 497 = 445
+        let r = BigUint::from_u64(4).mod_pow(&BigUint::from_u64(13), &BigUint::from_u64(497));
+        assert_eq!(r.to_u64(), 445);
+    }
+
+    #[test]
+    fn mod_pow_fermat() {
+        // a^(p-1) = 1 mod p for prime p.
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(123_456_789);
+        let r = a.mod_pow(&p.sub(&BigUint::one()), &p);
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn mod_pow_modulus_one() {
+        let r = BigUint::from_u64(5).mod_pow(&BigUint::from_u64(5), &BigUint::one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        let a = BigUint::from_u64(48);
+        let b = BigUint::from_u64(36);
+        assert_eq!(a.gcd(&b).to_u64(), 12);
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+    }
+
+    #[test]
+    fn mod_inv_small() {
+        let a = BigUint::from_u64(3);
+        let m = BigUint::from_u64(11);
+        let inv = a.mod_inv(&m).unwrap();
+        assert_eq!(a.mul(&inv).rem(&m).to_u64(), 1);
+    }
+
+    #[test]
+    fn mod_inv_nonexistent() {
+        let a = BigUint::from_u64(6);
+        let m = BigUint::from_u64(9);
+        assert!(a.mod_inv(&m).is_none());
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = BigUint::gen_prime(&mut rng, 128);
+        let a = BigUint::random_below(&mut rng, &m);
+        if a.is_zero() {
+            return;
+        }
+        let inv = a.mod_inv(&m).unwrap();
+        assert!(a.mul(&inv).rem(&m).is_one());
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(BigUint::from_u64(2).is_probable_prime(&mut rng, 10));
+        assert!(BigUint::from_u64(97).is_probable_prime(&mut rng, 10));
+        assert!(BigUint::from_u64(1_000_000_007).is_probable_prime(&mut rng, 10));
+        assert!(!BigUint::from_u64(1).is_probable_prime(&mut rng, 10));
+        assert!(!BigUint::from_u64(561).is_probable_prime(&mut rng, 10)); // Carmichael
+        assert!(!BigUint::from_u64(1_000_000_006).is_probable_prime(&mut rng, 10));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = BigUint::gen_prime(&mut rng, 96);
+        assert_eq!(p.bit_len(), 96);
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u64(7);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        let c = a.shl(64);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let cases = ["1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"];
+        for c in cases {
+            let v = BigUint::from_hex(c).unwrap();
+            assert_eq!(v.to_hex(), c, "case {c}");
+        }
+        assert_eq!(BigUint::from_hex("0").unwrap().to_hex(), "0");
+        assert_eq!(BigUint::from_hex("00ff").unwrap().to_hex(), "ff");
+    }
+
+    #[test]
+    fn hex_invalid() {
+        assert!(BigUint::from_hex("").is_none());
+        assert!(BigUint::from_hex("xyz").is_none());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Unified digest interface over the crate's hash implementations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::md5::Md5;
+use crate::sha1::Sha1;
+use crate::sha256::Sha256;
+
+/// A digest algorithm selector.
+///
+/// The paper's evaluation pairs MD5 with RSA and SHA-1 with DSA; SHA-256 is
+/// offered as a modern extension point.
+///
+/// # Examples
+///
+/// ```
+/// use sofb_crypto::digest::DigestAlg;
+///
+/// let d = DigestAlg::Sha1.digest(b"hello");
+/// assert_eq!(d.len(), 20);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DigestAlg {
+    /// MD5 (16-byte output). Broken; present only for paper fidelity.
+    Md5,
+    /// SHA-1 (20-byte output). Deprecated; present only for paper fidelity.
+    Sha1,
+    /// SHA-256 (32-byte output).
+    Sha256,
+}
+
+impl DigestAlg {
+    /// Output length in bytes.
+    pub fn output_len(self) -> usize {
+        match self {
+            DigestAlg::Md5 => Md5::OUTPUT_LEN,
+            DigestAlg::Sha1 => Sha1::OUTPUT_LEN,
+            DigestAlg::Sha256 => Sha256::OUTPUT_LEN,
+        }
+    }
+
+    /// Internal block length in bytes (all three are 64).
+    pub fn block_len(self) -> usize {
+        64
+    }
+
+    /// Computes the digest of `data`.
+    pub fn digest(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            DigestAlg::Md5 => Md5::digest(data).to_vec(),
+            DigestAlg::Sha1 => Sha1::digest(data).to_vec(),
+            DigestAlg::Sha256 => Sha256::digest(data).to_vec(),
+        }
+    }
+
+    /// A short, stable, DER-free DigestInfo prefix tag used by the RSA
+    /// signature padding to bind the digest algorithm into the signature.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DigestAlg::Md5 => 0x05,
+            DigestAlg::Sha1 => 0x01,
+            DigestAlg::Sha256 => 0x02,
+        }
+    }
+}
+
+impl std::fmt::Display for DigestAlg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DigestAlg::Md5 => write!(f, "MD5"),
+            DigestAlg::Sha1 => write!(f, "SHA1"),
+            DigestAlg::Sha256 => write!(f, "SHA256"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_lengths() {
+        assert_eq!(DigestAlg::Md5.output_len(), 16);
+        assert_eq!(DigestAlg::Sha1.output_len(), 20);
+        assert_eq!(DigestAlg::Sha256.output_len(), 32);
+        for alg in [DigestAlg::Md5, DigestAlg::Sha1, DigestAlg::Sha256] {
+            assert_eq!(alg.digest(b"x").len(), alg.output_len());
+        }
+    }
+
+    #[test]
+    fn digests_differ_by_algorithm() {
+        let m = b"same input";
+        let a = DigestAlg::Md5.digest(m);
+        let b = DigestAlg::Sha1.digest(m);
+        let c = DigestAlg::Sha256.digest(m);
+        assert_ne!(a, b[..16].to_vec());
+        assert_ne!(b, c[..20].to_vec());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DigestAlg::Md5.to_string(), "MD5");
+        assert_eq!(DigestAlg::Sha1.to_string(), "SHA1");
+        assert_eq!(DigestAlg::Sha256.to_string(), "SHA256");
+    }
+}

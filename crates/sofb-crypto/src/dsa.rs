@@ -1,0 +1,321 @@
+//! DSA signatures (FIPS 186 style).
+//!
+//! The paper's third crypto combination is "SHA1 with DSA for the key size
+//! of 1024". DSA verification requires two modular exponentiations versus
+//! RSA's single small-exponent one — the asymmetry the paper identifies as
+//! the reason "DSA is generally not suited for Byzantine order protocols".
+//!
+//! Domain parameter generation follows the classic construction: pick a
+//! `q_bits`-bit prime `q`, then search for `p = q·k + 1` prime, and take
+//! `g = h^((p-1)/q) mod p > 1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sofb_crypto::digest::DigestAlg;
+//! use sofb_crypto::dsa::{DsaParams, DsaKeyPair};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let params = DsaParams::generate(&mut rng, 256, 160);
+//! let kp = DsaKeyPair::generate(&mut rng, params);
+//! let sig = kp.sign(&mut rng, DigestAlg::Sha1, b"attack at dawn");
+//! assert!(kp.public().verify(DigestAlg::Sha1, b"attack at dawn", &sig));
+//! ```
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+use crate::digest::DigestAlg;
+
+/// DSA domain parameters `(p, q, g)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsaParams {
+    p: BigUint,
+    q: BigUint,
+    g: BigUint,
+}
+
+/// A DSA public key: domain parameters plus `y = g^x mod p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsaPublicKey {
+    params: DsaParams,
+    y: BigUint,
+}
+
+/// A DSA key pair.
+#[derive(Clone, Debug)]
+pub struct DsaKeyPair {
+    public: DsaPublicKey,
+    x: BigUint,
+}
+
+/// A DSA signature `(r, s)`, serialized as two length-prefixed big-endian
+/// integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsaSignature {
+    r: BigUint,
+    s: BigUint,
+}
+
+impl DsaSignature {
+    /// Serializes as `len(r) || r || len(s) || s` with 2-byte lengths.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let r = self.r.to_bytes_be();
+        let s = self.s.to_bytes_be();
+        let mut out = Vec::with_capacity(4 + r.len() + s.len());
+        out.extend_from_slice(&(r.len() as u16).to_be_bytes());
+        out.extend_from_slice(&r);
+        out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+        out.extend_from_slice(&s);
+        out
+    }
+
+    /// Parses the serialization produced by [`DsaSignature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let r_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        if bytes.len() < 2 + r_len + 2 {
+            return None;
+        }
+        let r = BigUint::from_bytes_be(&bytes[2..2 + r_len]);
+        let s_off = 2 + r_len;
+        let s_len = u16::from_be_bytes([bytes[s_off], bytes[s_off + 1]]) as usize;
+        if bytes.len() != s_off + 2 + s_len {
+            return None;
+        }
+        let s = BigUint::from_bytes_be(&bytes[s_off + 2..]);
+        Some(DsaSignature { r, s })
+    }
+}
+
+impl DsaParams {
+    /// Generates parameters with a `p_bits`-bit modulus and `q_bits`-bit
+    /// subgroup order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_bits + 16 > p_bits` or `q_bits < 32`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, p_bits: usize, q_bits: usize) -> Self {
+        assert!(q_bits >= 32, "subgroup too small");
+        assert!(q_bits + 16 <= p_bits, "p must be substantially larger than q");
+        let one = BigUint::one();
+        let q = BigUint::gen_prime(rng, q_bits);
+        // Search p = q*k + 1 with the right bit length.
+        let k_bits = p_bits - q_bits;
+        loop {
+            let mut k = BigUint::random_bits(rng, k_bits);
+            // Force top bit so p lands at p_bits, and make k even so p is odd.
+            k = k.add(&one.shl(k_bits - 1));
+            if !k.is_even() {
+                k = k.add(&one);
+            }
+            let p = q.mul(&k).add(&one);
+            if p.bit_len() != p_bits {
+                continue;
+            }
+            if !p.is_probable_prime(rng, 20) {
+                continue;
+            }
+            // g = h^((p-1)/q) mod p for the first h that gives g > 1.
+            let exp = p.sub(&one).div_rem(&q).0;
+            let mut h = BigUint::from_u64(2);
+            loop {
+                let g = h.mod_pow(&exp, &p);
+                if !g.is_one() && !g.is_zero() {
+                    return DsaParams { p, q, g };
+                }
+                h = h.add(&one);
+            }
+        }
+    }
+
+    /// The subgroup order `q`.
+    pub fn q(&self) -> &BigUint {
+        &self.q
+    }
+
+    /// The modulus `p`.
+    pub fn p(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// Reduces a digest to an exponent modulo `q` (leftmost-bits rule).
+    fn hash_to_int(&self, alg: DigestAlg, message: &[u8]) -> BigUint {
+        let digest = alg.digest(message);
+        let z = BigUint::from_bytes_be(&digest);
+        let excess = (digest.len() * 8).saturating_sub(self.q.bit_len());
+        z.shr(excess).rem(&self.q)
+    }
+}
+
+impl DsaPublicKey {
+    /// The domain parameters.
+    pub fn params(&self) -> &DsaParams {
+        &self.params
+    }
+
+    /// Verifies `sig_bytes` over `message` digested with `alg`.
+    ///
+    /// Returns `false` for malformed signatures; never panics on
+    /// attacker-controlled input.
+    pub fn verify(&self, alg: DigestAlg, message: &[u8], sig_bytes: &[u8]) -> bool {
+        let Some(sig) = DsaSignature::from_bytes(sig_bytes) else {
+            return false;
+        };
+        let q = &self.params.q;
+        let p = &self.params.p;
+        if sig.r.is_zero() || sig.s.is_zero() || &sig.r >= q || &sig.s >= q {
+            return false;
+        }
+        let Some(w) = sig.s.mod_inv(q) else {
+            return false;
+        };
+        let z = self.params.hash_to_int(alg, message);
+        let u1 = z.mul_mod(&w, q);
+        let u2 = sig.r.mul_mod(&w, q);
+        let v = self
+            .params
+            .g
+            .mod_pow(&u1, p)
+            .mul_mod(&self.y.mod_pow(&u2, p), p)
+            .rem(q);
+        v == sig.r
+    }
+}
+
+impl DsaKeyPair {
+    /// Generates a key pair under `params`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, params: DsaParams) -> Self {
+        let one = BigUint::one();
+        let x = BigUint::random_below(rng, &params.q.sub(&one)).add(&one);
+        let y = params.g.mod_pow(&x, &params.p);
+        DsaKeyPair {
+            public: DsaPublicKey { params, y },
+            x,
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &DsaPublicKey {
+        &self.public
+    }
+
+    /// Signs `message` (digested with `alg`), returning the serialized
+    /// `(r, s)` pair. DSA signing is randomized and needs `rng`.
+    pub fn sign<R: Rng + ?Sized>(&self, rng: &mut R, alg: DigestAlg, message: &[u8]) -> Vec<u8> {
+        let params = &self.public.params;
+        let q = &params.q;
+        let p = &params.p;
+        let one = BigUint::one();
+        let z = params.hash_to_int(alg, message);
+        loop {
+            let k = BigUint::random_below(rng, &q.sub(&one)).add(&one);
+            let r = params.g.mod_pow(&k, p).rem(q);
+            if r.is_zero() {
+                continue;
+            }
+            let Some(k_inv) = k.mod_inv(q) else { continue };
+            let s = k_inv.mul_mod(&z.add(&self.x.mul_mod(&r, q)), q);
+            if s.is_zero() {
+                continue;
+            }
+            return DsaSignature { r, s }.to_bytes();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> (DsaKeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let params = DsaParams::generate(&mut rng, 256, 160);
+        let kp = DsaKeyPair::generate(&mut rng, params);
+        (kp, rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (kp, mut rng) = keypair();
+        let sig = kp.sign(&mut rng, DigestAlg::Sha1, b"hello");
+        assert!(kp.public().verify(DigestAlg::Sha1, b"hello", &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (kp, mut rng) = keypair();
+        let sig = kp.sign(&mut rng, DigestAlg::Sha1, b"hello");
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"hellp", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (kp, mut rng) = keypair();
+        let mut sig = kp.sign(&mut rng, DigestAlg::Sha1, b"hello");
+        let n = sig.len();
+        sig[n - 1] ^= 1;
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (kp1, mut rng) = keypair();
+        let params = kp1.public().params().clone();
+        let kp2 = DsaKeyPair::generate(&mut rng, params);
+        let sig = kp1.sign(&mut rng, DigestAlg::Sha1, b"hello");
+        assert!(!kp2.public().verify(DigestAlg::Sha1, b"hello", &sig));
+    }
+
+    #[test]
+    fn malformed_signature_rejected() {
+        let (kp, _) = keypair();
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"hello", &[]));
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"hello", &[0, 1]));
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"hello", &[0xff; 64]));
+    }
+
+    #[test]
+    fn randomized_signatures_both_verify() {
+        let (kp, mut rng) = keypair();
+        let s1 = kp.sign(&mut rng, DigestAlg::Sha1, b"m");
+        let s2 = kp.sign(&mut rng, DigestAlg::Sha1, b"m");
+        // Randomized k makes equal signatures vanishingly unlikely.
+        assert_ne!(s1, s2);
+        assert!(kp.public().verify(DigestAlg::Sha1, b"m", &s1));
+        assert!(kp.public().verify(DigestAlg::Sha1, b"m", &s2));
+    }
+
+    #[test]
+    fn signature_serialization_roundtrip() {
+        let (kp, mut rng) = keypair();
+        let bytes = kp.sign(&mut rng, DigestAlg::Sha1, b"x");
+        let sig = DsaSignature::from_bytes(&bytes).unwrap();
+        assert_eq!(sig.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn params_have_requested_sizes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = DsaParams::generate(&mut rng, 256, 64);
+        assert_eq!(params.p().bit_len(), 256);
+        assert_eq!(params.q().bit_len(), 64);
+        // q divides p - 1.
+        let rem = params.p().sub(&BigUint::one()).rem(params.q());
+        assert!(rem.is_zero());
+    }
+
+    #[test]
+    fn works_with_other_digests() {
+        let (kp, mut rng) = keypair();
+        for alg in [DigestAlg::Md5, DigestAlg::Sha256] {
+            let sig = kp.sign(&mut rng, alg, b"m");
+            assert!(kp.public().verify(alg, b"m", &sig), "{alg}");
+        }
+    }
+}

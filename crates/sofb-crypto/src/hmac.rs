@@ -1,0 +1,122 @@
+//! HMAC keyed message authentication (RFC 2104) over any [`DigestAlg`].
+//!
+//! The simulated crypto provider authenticates messages with HMAC tags while
+//! charging virtual time according to the configured public-key scheme; HMAC
+//! is also used for the paper's "message authentication codes" assumption
+//! (Assumption 2 cites Tsudik's one-way-hash MACs).
+//!
+//! # Examples
+//!
+//! ```
+//! use sofb_crypto::digest::DigestAlg;
+//! use sofb_crypto::hmac::hmac;
+//!
+//! let tag = hmac(DigestAlg::Sha256, b"key", b"message");
+//! assert_eq!(tag.len(), 32);
+//! ```
+
+use crate::digest::DigestAlg;
+
+/// Computes `HMAC(key, message)` with the given digest algorithm.
+pub fn hmac(alg: DigestAlg, key: &[u8], message: &[u8]) -> Vec<u8> {
+    let block = alg.block_len();
+    // Keys longer than a block are hashed first.
+    let mut k = if key.len() > block {
+        alg.digest(key)
+    } else {
+        key.to_vec()
+    };
+    k.resize(block, 0);
+
+    let mut inner = Vec::with_capacity(block + message.len());
+    inner.extend(k.iter().map(|b| b ^ 0x36));
+    inner.extend_from_slice(message);
+    let inner_digest = alg.digest(&inner);
+
+    let mut outer = Vec::with_capacity(block + inner_digest.len());
+    outer.extend(k.iter().map(|b| b ^ 0x5c));
+    outer.extend_from_slice(&inner_digest);
+    alg.digest(&outer)
+}
+
+/// Constant-time-ish comparison of two byte strings.
+///
+/// Returns `false` for length mismatches without early exit inside the body.
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 test cases for HMAC-MD5 and HMAC-SHA1, RFC 4231 for SHA-256.
+    #[test]
+    fn rfc2202_md5_case1() {
+        let key = [0x0b; 16];
+        let tag = hmac(DigestAlg::Md5, &key, b"Hi There");
+        assert_eq!(hex(&tag), "9294727a3638bb1c13f48ef8158bfc9d");
+    }
+
+    #[test]
+    fn rfc2202_md5_case2() {
+        let tag = hmac(DigestAlg::Md5, b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&tag), "750c783e6ab0b503eaa86e310a5db738");
+    }
+
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0b; 20];
+        let tag = hmac(DigestAlg::Sha1, &key, b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_sha1_long_key() {
+        // Case 6: 80-byte key exercises the key-hashing path.
+        let key = [0xaa; 80];
+        let tag = hmac(
+            DigestAlg::Sha1,
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn rfc4231_sha256_case2() {
+        let tag = hmac(DigestAlg::Sha256, b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn verify_tag_behaviour() {
+        let t = hmac(DigestAlg::Sha256, b"k", b"m");
+        assert!(verify_tag(&t, &t));
+        let mut bad = t.clone();
+        bad[0] ^= 1;
+        assert!(!verify_tag(&t, &bad));
+        assert!(!verify_tag(&t, &t[..31]));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let a = hmac(DigestAlg::Sha1, b"key-a", b"m");
+        let b = hmac(DigestAlg::Sha1, b"key-b", b"m");
+        assert_ne!(a, b);
+    }
+}

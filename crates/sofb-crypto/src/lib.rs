@@ -1,0 +1,53 @@
+//! # sofb-crypto — cryptographic substrate for the Streets of Byzantium
+//!
+//! From-scratch implementations of every cryptographic primitive the
+//! paper's evaluation depends on:
+//!
+//! * [`bignum`] — arbitrary-precision arithmetic (Knuth division, modular
+//!   exponentiation, Miller–Rabin primality) with [`barrett`] reduction;
+//! * [`md5`], [`sha1`], [`sha256`] — the digest functions of the paper's
+//!   three crypto combinations (plus a modern extension);
+//! * [`hmac`] — keyed message authentication (Assumption 2 cites MACs);
+//! * [`rsa`], [`dsa`] — the signature schemes of the evaluation matrix;
+//! * [`scheme`] — the `MD5+RSA-1024`, `MD5+RSA-1536`, `SHA1+DSA-1024`
+//!   combinations from §5;
+//! * [`timing`] — a calibrated virtual-time cost table so the simulator can
+//!   charge 2006-era P4/JDK-1.5 costs without executing them;
+//! * [`provider`] — the [`provider::CryptoProvider`]
+//!   abstraction (trusted-dealer key distribution, real and simulated
+//!   providers).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sofb_crypto::provider::{CryptoProvider, Dealer};
+//! use sofb_crypto::scheme::SchemeId;
+//!
+//! // A trusted dealer initializes three processes with real RSA keys.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut provs = Dealer::real(&mut rng, SchemeId::Md5Rsa1024, 3, Some(512));
+//! let sig = provs[0].sign(b"order<1, 42, D(m)>");
+//! assert!(provs[2].verify(0, b"order<1, 42, D(m)>", &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrett;
+pub mod bignum;
+pub mod digest;
+pub mod dsa;
+pub mod hmac;
+pub mod md5;
+pub mod provider;
+pub mod rsa;
+pub mod scheme;
+pub mod sha1;
+pub mod sha256;
+pub mod timing;
+
+pub use digest::DigestAlg;
+pub use provider::{CryptoProvider, Dealer, RealProvider, SimProvider};
+pub use scheme::{SchemeId, SigAlg};
+pub use timing::SchemeTiming;

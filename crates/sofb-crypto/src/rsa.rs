@@ -1,0 +1,238 @@
+//! RSA signatures with EMSA-PKCS1-v1_5-style padding.
+//!
+//! Key generation uses Miller–Rabin probable primes with public exponent
+//! 65537. Signing pads the message digest (`00 01 FF…FF 00 tag || digest`)
+//! and applies the private exponent; verification applies the public
+//! exponent and compares the re-padded digest.
+//!
+//! The paper evaluates RSA with 1024- and 1536-bit moduli. Those sizes work
+//! here but are slow in debug builds; tests use 512-bit keys, and the
+//! simulator charges virtual time from the calibrated
+//! [`timing`](crate::timing) model instead of wall-clock signing cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sofb_crypto::digest::DigestAlg;
+//! use sofb_crypto::rsa::RsaKeyPair;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let kp = RsaKeyPair::generate(&mut rng, 512);
+//! let sig = kp.sign(DigestAlg::Md5, b"attack at dawn");
+//! assert!(kp.public().verify(DigestAlg::Md5, b"attack at dawn", &sig));
+//! assert!(!kp.public().verify(DigestAlg::Md5, b"attack at dusk", &sig));
+//! ```
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+use crate::digest::DigestAlg;
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    /// Modulus size in bytes; signatures are exactly this long.
+    k: usize,
+}
+
+/// An RSA key pair.
+#[derive(Clone, Debug)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+}
+
+impl RsaPublicKey {
+    /// Modulus length in bytes (= signature length).
+    pub fn signature_len(&self) -> usize {
+        self.k
+    }
+
+    /// Modulus bit length.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Verifies `sig` over `message` digested with `alg`.
+    ///
+    /// Returns `false` for any malformed or forged signature; never panics
+    /// on attacker-controlled input.
+    pub fn verify(&self, alg: DigestAlg, message: &[u8], sig: &[u8]) -> bool {
+        if sig.len() != self.k {
+            return false;
+        }
+        let s = BigUint::from_bytes_be(sig);
+        if s >= self.n {
+            return false;
+        }
+        let m = s.mod_pow(&self.e, &self.n);
+        let em = m.to_bytes_be_padded(self.k);
+        let expected = emsa_pad(alg, message, self.k);
+        match expected {
+            Some(exp) => exp == em,
+            None => false,
+        }
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 128` (the padding needs room for the digest).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 128, "modulus too small for digest padding");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = BigUint::gen_prime(rng, bits / 2);
+            let q = BigUint::gen_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.mod_inv(&phi) else {
+                continue;
+            };
+            let k = bits.div_ceil(8);
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e, k },
+                d,
+            };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Signs `message` (digested with `alg`); output length is the modulus
+    /// length in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digest does not fit the modulus (prevented by the
+    /// minimum size enforced in [`RsaKeyPair::generate`]).
+    pub fn sign(&self, alg: DigestAlg, message: &[u8]) -> Vec<u8> {
+        let em = emsa_pad(alg, message, self.public.k).expect("digest too large for modulus");
+        let m = BigUint::from_bytes_be(&em);
+        let s = m.mod_pow(&self.d, &self.public.n);
+        s.to_bytes_be_padded(self.public.k)
+    }
+}
+
+/// EMSA-PKCS1-v1_5-style encoding: `00 01 FF…FF 00 tag || digest`.
+///
+/// Returns `None` when the digest cannot fit (needs ≥ 12 bytes overhead).
+fn emsa_pad(alg: DigestAlg, message: &[u8], k: usize) -> Option<Vec<u8>> {
+    let digest = alg.digest(message);
+    let t_len = digest.len() + 1; // tag byte + digest
+    if k < t_len + 11 {
+        return None;
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.push(alg.tag());
+    em.extend_from_slice(&digest);
+    debug_assert_eq!(em.len(), k);
+    Some(em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(0xdead);
+        RsaKeyPair::generate(&mut rng, 512)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair();
+        for alg in [DigestAlg::Md5, DigestAlg::Sha1, DigestAlg::Sha256] {
+            let sig = kp.sign(alg, b"hello world");
+            assert_eq!(sig.len(), kp.public().signature_len());
+            assert!(kp.public().verify(alg, b"hello world", &sig), "{alg}");
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = keypair();
+        let sig = kp.sign(DigestAlg::Sha1, b"original");
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"0riginal", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = keypair();
+        let mut sig = kp.sign(DigestAlg::Sha1, b"original");
+        sig[10] ^= 0x40;
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"original", &sig));
+    }
+
+    #[test]
+    fn wrong_algorithm_rejected() {
+        let kp = keypair();
+        let sig = kp.sign(DigestAlg::Md5, b"msg");
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = keypair();
+        let mut rng = StdRng::seed_from_u64(0xbeef);
+        let kp2 = RsaKeyPair::generate(&mut rng, 512);
+        let sig = kp1.sign(DigestAlg::Sha1, b"msg");
+        assert!(!kp2.public().verify(DigestAlg::Sha1, b"msg", &sig));
+    }
+
+    #[test]
+    fn malformed_signature_lengths() {
+        let kp = keypair();
+        let sig = kp.sign(DigestAlg::Sha1, b"msg");
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &sig[..sig.len() - 1]));
+        let mut long = sig.clone();
+        long.push(0);
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &long));
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &[]));
+    }
+
+    #[test]
+    fn oversized_signature_value_rejected() {
+        let kp = keypair();
+        // All-FF value is >= n for any normalized modulus.
+        let sig = vec![0xff; kp.public().signature_len()];
+        assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &sig));
+    }
+
+    #[test]
+    fn signatures_deterministic() {
+        let kp = keypair();
+        let a = kp.sign(DigestAlg::Md5, b"same");
+        let b = kp.sign(DigestAlg::Md5, b"same");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modulus_bits_reported() {
+        let kp = keypair();
+        assert_eq!(kp.public().modulus_bits(), 512);
+        assert_eq!(kp.public().signature_len(), 64);
+    }
+}

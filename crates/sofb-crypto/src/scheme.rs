@@ -1,0 +1,133 @@
+//! The digest/signature scheme combinations evaluated by the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::digest::DigestAlg;
+
+/// Signature algorithm family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SigAlg {
+    /// RSA with EMSA-PKCS1-v1_5-style padding.
+    Rsa,
+    /// DSA over a prime-order subgroup.
+    Dsa,
+    /// No public-key signatures (the CT baseline uses none).
+    None,
+}
+
+/// One of the crypto-technique combinations from the paper's §5, plus two
+/// extensions (`NoCrypto` for the CT baseline, `Sha256Rsa2048` as a modern
+/// point for the extended sweeps).
+///
+/// # Examples
+///
+/// ```
+/// use sofb_crypto::scheme::SchemeId;
+///
+/// assert_eq!(SchemeId::Md5Rsa1024.key_bits(), 1024);
+/// assert_eq!(SchemeId::PAPER.len(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeId {
+    /// MD5 digests, RSA-1024 signatures (Figure 4a/5a).
+    Md5Rsa1024,
+    /// MD5 digests, RSA-1536 signatures (Figure 4b/5b).
+    Md5Rsa1536,
+    /// SHA-1 digests, DSA-1024 signatures (Figure 4c/5c).
+    Sha1Dsa1024,
+    /// SHA-256 digests, RSA-2048 signatures (extension).
+    Sha256Rsa2048,
+    /// No digests or signatures (the crash-tolerant baseline).
+    NoCrypto,
+}
+
+impl SchemeId {
+    /// The three combinations measured in the paper, in figure order.
+    pub const PAPER: [SchemeId; 3] = [
+        SchemeId::Md5Rsa1024,
+        SchemeId::Md5Rsa1536,
+        SchemeId::Sha1Dsa1024,
+    ];
+
+    /// The digest algorithm of the combination.
+    pub fn digest_alg(self) -> DigestAlg {
+        match self {
+            SchemeId::Md5Rsa1024 | SchemeId::Md5Rsa1536 => DigestAlg::Md5,
+            SchemeId::Sha1Dsa1024 => DigestAlg::Sha1,
+            SchemeId::Sha256Rsa2048 | SchemeId::NoCrypto => DigestAlg::Sha256,
+        }
+    }
+
+    /// The signature algorithm of the combination.
+    pub fn sig_alg(self) -> SigAlg {
+        match self {
+            SchemeId::Md5Rsa1024 | SchemeId::Md5Rsa1536 | SchemeId::Sha256Rsa2048 => SigAlg::Rsa,
+            SchemeId::Sha1Dsa1024 => SigAlg::Dsa,
+            SchemeId::NoCrypto => SigAlg::None,
+        }
+    }
+
+    /// Nominal public-key size in bits.
+    pub fn key_bits(self) -> usize {
+        match self {
+            SchemeId::Md5Rsa1024 | SchemeId::Sha1Dsa1024 => 1024,
+            SchemeId::Md5Rsa1536 => 1536,
+            SchemeId::Sha256Rsa2048 => 2048,
+            SchemeId::NoCrypto => 0,
+        }
+    }
+
+    /// Byte length of signatures produced under this combination (used by
+    /// the simulated provider so that message sizes stay realistic).
+    pub fn signature_len(self) -> usize {
+        match self {
+            SchemeId::Md5Rsa1024 => 128,
+            SchemeId::Md5Rsa1536 => 192,
+            // DSA(1024, 160): two 20-byte integers with 2-byte lengths.
+            SchemeId::Sha1Dsa1024 => 44,
+            SchemeId::Sha256Rsa2048 => 256,
+            SchemeId::NoCrypto => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeId::Md5Rsa1024 => write!(f, "MD5+RSA-1024"),
+            SchemeId::Md5Rsa1536 => write!(f, "MD5+RSA-1536"),
+            SchemeId::Sha1Dsa1024 => write!(f, "SHA1+DSA-1024"),
+            SchemeId::Sha256Rsa2048 => write!(f, "SHA256+RSA-2048"),
+            SchemeId::NoCrypto => write!(f, "no-crypto"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schemes_match_figures() {
+        assert_eq!(SchemeId::PAPER[0].digest_alg(), DigestAlg::Md5);
+        assert_eq!(SchemeId::PAPER[0].sig_alg(), SigAlg::Rsa);
+        assert_eq!(SchemeId::PAPER[1].key_bits(), 1536);
+        assert_eq!(SchemeId::PAPER[2].digest_alg(), DigestAlg::Sha1);
+        assert_eq!(SchemeId::PAPER[2].sig_alg(), SigAlg::Dsa);
+    }
+
+    #[test]
+    fn signature_lengths_positive_except_nocrypto() {
+        for s in SchemeId::PAPER {
+            assert!(s.signature_len() > 0);
+        }
+        assert_eq!(SchemeId::NoCrypto.signature_len(), 0);
+        assert_eq!(SchemeId::NoCrypto.sig_alg(), SigAlg::None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(SchemeId::Md5Rsa1024.to_string(), "MD5+RSA-1024");
+        assert_eq!(SchemeId::Sha1Dsa1024.to_string(), "SHA1+DSA-1024");
+    }
+}

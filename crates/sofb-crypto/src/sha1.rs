@@ -1,0 +1,181 @@
+//! SHA-1 message digest (RFC 3174).
+//!
+//! SHA-1 is deprecated for new designs; it is implemented here because the
+//! paper's evaluation uses "SHA1 with DSA" as one of its three
+//! digest/signature combinations.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofb_crypto::sha1::Sha1;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(digest[0], 0xa9);
+//! ```
+
+/// Streaming SHA-1 hasher.
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Digest size in bytes.
+    pub const OUTPUT_LEN: usize = 20;
+    /// Internal block size in bytes.
+    pub const BLOCK_LEN: usize = 64;
+
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Completes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0]);
+        }
+        self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a827999),
+                1 => (b ^ c ^ d, 0x6ed9eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 3174 §7.3 and FIPS 180 vectors.
+    #[test]
+    fn known_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(&Sha1::digest(input)), *want);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha1::digest(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i * 7 % 256) as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        for split in [0usize, 1, 63, 64, 65, 500, 777] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split {split}");
+        }
+    }
+}

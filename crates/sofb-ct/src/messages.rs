@@ -1,0 +1,114 @@
+//! Wire messages of the CT baseline (unsigned — "no cryptographic
+//! techniques used").
+
+use sofb_proto::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use sofb_proto::ids::SeqNo;
+use sofb_proto::request::{BatchRef, Request};
+use sofb_sim::engine::WireSize;
+
+/// The coordinator's order decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CtOrder {
+    /// Assigned sequence number.
+    pub o: SeqNo,
+    /// The ordered batch.
+    pub batch: BatchRef,
+    /// Batch-formation time (latency measurement origin).
+    pub formed_at_ns: u64,
+}
+
+impl Encode for CtOrder {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(b'O');
+        self.o.encode(enc);
+        self.batch.encode(enc);
+        enc.put_u64(self.formed_at_ns);
+    }
+}
+
+impl Decode for CtOrder {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let t = dec.get_u8()?;
+        if t != b'O' {
+            return Err(CodecError::BadDiscriminant(t));
+        }
+        Ok(CtOrder {
+            o: SeqNo::decode(dec)?,
+            batch: BatchRef::decode(dec)?,
+            formed_at_ns: dec.get_u64()?,
+        })
+    }
+}
+
+/// The CT message set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtMsg {
+    /// A client request.
+    Request(Request),
+    /// Coordinator → all (1→n).
+    Order(CtOrder),
+    /// Ack, carrying the order (n→n; an ack can stand in for the order).
+    Ack(CtOrder),
+}
+
+impl Encode for CtMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            CtMsg::Request(r) => {
+                enc.put_u8(0);
+                r.encode(enc);
+            }
+            CtMsg::Order(o) => {
+                enc.put_u8(1);
+                o.encode(enc);
+            }
+            CtMsg::Ack(o) => {
+                enc.put_u8(2);
+                o.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for CtMsg {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.get_u8()? {
+            0 => CtMsg::Request(Request::decode(dec)?),
+            1 => CtMsg::Order(CtOrder::decode(dec)?),
+            2 => CtMsg::Ack(CtOrder::decode(dec)?),
+            d => return Err(CodecError::BadDiscriminant(d)),
+        })
+    }
+}
+
+impl WireSize for CtMsg {
+    fn wire_len(&self) -> usize {
+        self.encoded_len() + 28
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofb_proto::ids::ClientId;
+    use sofb_proto::request::{Digest, RequestId};
+
+    #[test]
+    fn roundtrip() {
+        let order = CtOrder {
+            o: SeqNo(4),
+            batch: BatchRef {
+                requests: vec![RequestId { client: ClientId(1), seq: 2 }],
+                digest: Digest(vec![1, 2]),
+            },
+            formed_at_ns: 77,
+        };
+        for m in [
+            CtMsg::Request(Request::new(ClientId(1), 2, &b"x"[..])),
+            CtMsg::Order(order.clone()),
+            CtMsg::Ack(order),
+        ] {
+            assert_eq!(CtMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+}

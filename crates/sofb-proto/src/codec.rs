@@ -1,0 +1,325 @@
+//! Canonical binary encoding.
+//!
+//! Every payload that gets signed must have exactly one byte representation
+//! on every process, so signatures verify identically everywhere. This
+//! module provides a small deterministic writer/reader pair and the
+//! [`Encode`]/[`Decode`] traits the protocol payloads implement.
+//!
+//! The format is little-endian, length-prefixed, with no padding or
+//! alignment — deliberately trivial so that the encoded length doubles as
+//! the simulated wire size.
+
+use bytes::Bytes;
+
+/// Serialize into the canonical byte form.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: the canonical encoding as a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Encoded length in bytes.
+    fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// Deserialize from the canonical byte form.
+pub trait Decode: Sized {
+    /// Reads one value; errors on malformed or truncated input.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: decodes a full buffer, requiring all bytes consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        if !dec.is_empty() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(v)
+    }
+}
+
+/// Decoding failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded sane bounds.
+    LengthOverflow,
+    /// An enum discriminant was not recognized.
+    BadDiscriminant(u8),
+    /// Input had bytes left over after a full decode.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::LengthOverflow => write!(f, "length prefix too large"),
+            CodecError::BadDiscriminant(d) => write!(f, "unrecognized discriminant {d}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maximum single field length (16 MiB) — rejects absurd length prefixes
+/// before allocation.
+const MAX_FIELD: usize = 16 << 20;
+
+/// The canonical writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed sequence.
+    pub fn put_seq<T: Encode>(&mut self, items: &[T]) {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            item.encode(self);
+        }
+    }
+}
+
+/// The canonical reader.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    /// True when all input is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD {
+            return Err(CodecError::LengthOverflow);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a bool.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed sequence.
+    pub fn get_seq<T: Decode>(&mut self) -> Result<Vec<T>, CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(self)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_u64()
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_bytes()
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Bytes::from(dec.get_bytes()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u16(1234);
+        e.put_u32(567_890);
+        e.put_u64(u64::MAX);
+        e.put_bool(true);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u16().unwrap(), 1234);
+        assert_eq!(d.get_u32().unwrap(), 567_890);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert!(d.get_bool().unwrap());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"hello");
+        e.put_bytes(b"");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_bytes().unwrap(), b"hello");
+        assert_eq!(d.get_bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert_eq!(d.get_u32(), Err(CodecError::UnexpectedEnd));
+        let mut d = Decoder::new(&[255, 255, 255, 255]);
+        assert_eq!(d.get_bytes(), Err(CodecError::LengthOverflow));
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let mut e = Encoder::new();
+        e.put_seq(&v);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_seq::<u64>().unwrap(), v);
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing() {
+        let mut e = Encoder::new();
+        e.put_u64(9);
+        let mut bytes = e.into_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let v: Vec<u8> = vec![1, 2, 3, 4];
+        assert_eq!(v.encoded_len(), 8);
+    }
+}

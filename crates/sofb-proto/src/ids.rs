@@ -1,0 +1,126 @@
+//! Strongly-typed identifiers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+
+/// Index of an order process within a deployment (0-based; covers both
+/// replicas and shadows — see [`Topology`](crate::topology::Topology)).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u32);
+
+/// A client identifier (clients live outside the order process set).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+/// 1-based rank of a coordinator candidate (`C_c` in the paper, §4).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Rank(pub u32);
+
+/// Sequence number assigned to a batch by a coordinator (`o` in the paper).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SeqNo(pub u64);
+
+/// SCR view number (`v` in §4.4).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ViewId(pub u64);
+
+impl SeqNo {
+    /// The next sequence number.
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+
+    /// The previous sequence number (saturating at 0).
+    pub fn prev(self) -> SeqNo {
+        SeqNo(self.0.saturating_sub(1))
+    }
+}
+
+impl Rank {
+    /// The first coordinator candidate.
+    pub const FIRST: Rank = Rank(1);
+
+    /// The next-ranked candidate.
+    pub fn next(self) -> Rank {
+        Rank(self.0 + 1)
+    }
+}
+
+impl ViewId {
+    /// The next view.
+    pub fn next(self) -> ViewId {
+        ViewId(self.0 + 1)
+    }
+}
+
+macro_rules! impl_display_codec {
+    ($ty:ident, $prefix:literal, $inner:ty, $get:ident, $put:ident) => {
+        impl std::fmt::Display for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl Encode for $ty {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.$put(self.0);
+            }
+        }
+
+        impl Decode for $ty {
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                Ok($ty(dec.$get()?))
+            }
+        }
+    };
+}
+
+impl_display_codec!(ProcessId, "p", u32, get_u32, put_u32);
+impl_display_codec!(ClientId, "cl", u32, get_u32, put_u32);
+impl_display_codec!(Rank, "C", u32, get_u32, put_u32);
+impl_display_codec!(SeqNo, "o", u64, get_u64, put_u64);
+impl_display_codec!(ViewId, "v", u64, get_u64, put_u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(Rank(1).to_string(), "C1");
+        assert_eq!(SeqNo(42).to_string(), "o42");
+        assert_eq!(ViewId(7).to_string(), "v7");
+        assert_eq!(ClientId(0).to_string(), "cl0");
+    }
+
+    #[test]
+    fn successor_helpers() {
+        assert_eq!(SeqNo(1).next(), SeqNo(2));
+        assert_eq!(SeqNo(0).prev(), SeqNo(0));
+        assert_eq!(Rank::FIRST.next(), Rank(2));
+        assert_eq!(ViewId(0).next(), ViewId(1));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut e = Encoder::new();
+        ProcessId(5).encode(&mut e);
+        SeqNo(99).encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(ProcessId::decode(&mut d).unwrap(), ProcessId(5));
+        assert_eq!(SeqNo::decode(&mut d).unwrap(), SeqNo(99));
+    }
+}

@@ -1,0 +1,42 @@
+//! # sofb-proto — shared protocol types
+//!
+//! Types common to the SC/SCR protocols ([`sofb-core`]), the BFT baseline,
+//! the CT baseline and the application layer:
+//!
+//! * [`ids`] — typed identifiers (`ProcessId`, `Rank`, `SeqNo`, `ViewId`);
+//! * [`topology`] — the §2 process layout: replicas, shadows, pairs,
+//!   coordinator candidates, effective quorums under the dumb-process
+//!   optimization;
+//! * [`request`] — client requests, request ids, batches and digests;
+//! * [`codec`] — the canonical binary encoding signatures are computed
+//!   over;
+//! * [`signed`] — singly- and doubly-signed envelopes (§3's endorsement
+//!   format).
+//!
+//! [`sofb-core`]: ../sofb_core/index.html
+//!
+//! # Examples
+//!
+//! ```
+//! use sofb_proto::topology::{Topology, Variant};
+//! use sofb_proto::ids::Rank;
+//!
+//! let t = Topology::new(2, Variant::Sc);
+//! let c1 = t.candidate(Rank::FIRST);
+//! assert!(c1.endorser().is_some(), "first candidate is a pair");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod ids;
+pub mod request;
+pub mod signed;
+pub mod topology;
+
+pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
+pub use ids::{ClientId, ProcessId, Rank, SeqNo, ViewId};
+pub use request::{BatchRef, Digest, Request, RequestId};
+pub use signed::{DoublySigned, Signed};
+pub use topology::{Candidate, Topology, Variant};

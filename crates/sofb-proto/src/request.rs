@@ -1,0 +1,226 @@
+//! Client requests, batches and digests.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use crate::ids::ClientId;
+
+/// A message digest (algorithm chosen by the deployment's scheme).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub Vec<u8>);
+
+impl Digest {
+    /// An empty digest (placeholder before computation).
+    pub fn empty() -> Self {
+        Digest(Vec::new())
+    }
+
+    /// Short hex rendering for logs.
+    pub fn short_hex(&self) -> String {
+        self.0.iter().take(6).map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl Encode for Digest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(&self.0);
+    }
+}
+
+impl Decode for Digest {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Digest(dec.get_bytes()?))
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "D({})", self.short_hex())
+    }
+}
+
+/// A unique request identifier: issuing client plus client-local sequence.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RequestId {
+    /// The issuing client.
+    pub client: ClientId,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+impl Encode for RequestId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.client.0);
+        enc.put_u64(self.seq);
+    }
+}
+
+impl Decode for RequestId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let client = ClientId(dec.get_u32()?);
+        let seq = dec.get_u64()?;
+        Ok(RequestId { client, seq })
+    }
+}
+
+/// A client request (`m` in the paper). Clients "direct their requests to
+/// all nodes" (§3), so the order messages carry only `D(m)` and request
+/// ids, never the payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// Operation payload (opaque to the ordering layer).
+    #[serde(with = "serde_bytes_compat")]
+    pub payload: Bytes,
+}
+
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v: Vec<u8> = Vec::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(client: ClientId, seq: u64, payload: impl Into<Bytes>) -> Self {
+        Request {
+            id: RequestId { client, seq },
+            payload: payload.into(),
+        }
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.put_bytes(&self.payload);
+    }
+}
+
+impl Decode for Request {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let id = RequestId::decode(dec)?;
+        let payload = Bytes::from(dec.get_bytes()?);
+        Ok(Request { id, payload })
+    }
+}
+
+/// An ordered batch reference: the request ids a coordinator grouped into
+/// one sequence number, plus the digest binding their contents.
+///
+/// The digest is computed over the concatenated canonical encodings of the
+/// member requests, in id order as listed.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchRef {
+    /// Member request ids, in coordinator order.
+    pub requests: Vec<RequestId>,
+    /// Digest over the members' canonical encodings.
+    pub digest: Digest,
+}
+
+impl BatchRef {
+    /// Builds the byte string the batch digest is computed over.
+    pub fn digest_input(requests: &[&Request]) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(requests.len() as u32);
+        for r in requests {
+            r.encode(&mut enc);
+        }
+        enc.into_bytes()
+    }
+
+    /// Number of member requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the batch has no members.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+impl Encode for BatchRef {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.requests);
+        self.digest.encode(enc);
+    }
+}
+
+impl Decode for BatchRef {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let requests = dec.get_seq()?;
+        let digest = Digest::decode(dec)?;
+        Ok(BatchRef { requests, digest })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request::new(ClientId(3), 17, &b"set x=1"[..]);
+        let bytes = r.to_bytes();
+        assert_eq!(Request::from_bytes(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn request_id_ordering() {
+        let a = RequestId { client: ClientId(1), seq: 5 };
+        let b = RequestId { client: ClientId(1), seq: 6 };
+        let c = RequestId { client: ClientId(2), seq: 0 };
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "cl1#5");
+    }
+
+    #[test]
+    fn batch_digest_input_is_canonical() {
+        let r1 = Request::new(ClientId(1), 1, &b"a"[..]);
+        let r2 = Request::new(ClientId(1), 2, &b"b"[..]);
+        let fwd = BatchRef::digest_input(&[&r1, &r2]);
+        let rev = BatchRef::digest_input(&[&r2, &r1]);
+        assert_ne!(fwd, rev, "order must be significant");
+        assert_eq!(fwd, BatchRef::digest_input(&[&r1, &r2]));
+    }
+
+    #[test]
+    fn batch_ref_roundtrip() {
+        let b = BatchRef {
+            requests: vec![
+                RequestId { client: ClientId(1), seq: 1 },
+                RequestId { client: ClientId(2), seq: 9 },
+            ],
+            digest: Digest(vec![1, 2, 3]),
+        };
+        assert_eq!(BatchRef::from_bytes(&b.to_bytes()).unwrap(), b);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn digest_display() {
+        let d = Digest(vec![0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03]);
+        assert_eq!(d.to_string(), "D(deadbeef0102)");
+        assert_eq!(Digest::empty().to_string(), "D()");
+    }
+}

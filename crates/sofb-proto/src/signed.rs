@@ -1,0 +1,212 @@
+//! Signed and doubly-signed message envelopes.
+//!
+//! The paper's §3 reserves the term *doubly-signed* for a message signed by
+//! two processes in sequence, where "the second process considers the
+//! signature of the first as a part of the contents it signs for". Property
+//! SC1 rests on this: an authentic doubly-signed message is uniquely
+//! attributable to its source pair and carries content both members
+//! computed or checked.
+
+use serde::{Deserialize, Serialize};
+
+use sofb_crypto::provider::CryptoProvider;
+
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use crate::ids::ProcessId;
+
+/// A payload with one signature.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signed<T> {
+    /// The signed content.
+    pub payload: T,
+    /// Who signed.
+    pub signer: ProcessId,
+    /// Signature over the payload's canonical encoding.
+    pub sig: Vec<u8>,
+}
+
+impl<T: Encode> Signed<T> {
+    /// Signs `payload` as the provider's own process.
+    pub fn sign(payload: T, provider: &mut dyn CryptoProvider) -> Self {
+        let bytes = payload.to_bytes();
+        let sig = provider.sign(&bytes);
+        Signed {
+            payload,
+            signer: ProcessId(provider.my_id()),
+            sig,
+        }
+    }
+
+    /// Verifies the signature against the claimed signer.
+    pub fn verify(&self, provider: &mut dyn CryptoProvider) -> bool {
+        provider.verify(self.signer.0, &self.payload.to_bytes(), &self.sig)
+    }
+}
+
+impl<T: Encode> Encode for Signed<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        self.payload.encode(enc);
+        self.signer.encode(enc);
+        enc.put_bytes(&self.sig);
+    }
+}
+
+impl<T: Decode> Decode for Signed<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let payload = T::decode(dec)?;
+        let signer = ProcessId::decode(dec)?;
+        let sig = dec.get_bytes()?;
+        Ok(Signed { payload, signer, sig })
+    }
+}
+
+/// A payload signed by two processes in sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoublySigned<T> {
+    /// The signed content.
+    pub payload: T,
+    /// First signatory (computed the content).
+    pub first: ProcessId,
+    /// First signature, over the payload encoding.
+    pub first_sig: Vec<u8>,
+    /// Second signatory (endorsed the content).
+    pub second: ProcessId,
+    /// Second signature, over payload encoding ‖ first signature.
+    pub second_sig: Vec<u8>,
+}
+
+impl<T: Encode> DoublySigned<T> {
+    /// Endorses a singly-signed message, producing the doubly-signed form.
+    ///
+    /// The caller must already have validated the payload in the value
+    /// domain; this only attaches the second signature.
+    pub fn endorse(signed: Signed<T>, provider: &mut dyn CryptoProvider) -> Self {
+        let mut content = signed.payload.to_bytes();
+        content.extend_from_slice(&signed.sig);
+        let second_sig = provider.sign(&content);
+        DoublySigned {
+            payload: signed.payload,
+            first: signed.signer,
+            first_sig: signed.sig,
+            second: ProcessId(provider.my_id()),
+            second_sig,
+        }
+    }
+
+    /// Verifies both signatures.
+    pub fn verify(&self, provider: &mut dyn CryptoProvider) -> bool {
+        let payload_bytes = self.payload.to_bytes();
+        if !provider.verify(self.first.0, &payload_bytes, &self.first_sig) {
+            return false;
+        }
+        let mut content = payload_bytes;
+        content.extend_from_slice(&self.first_sig);
+        provider.verify(self.second.0, &content, &self.second_sig)
+    }
+
+    /// True if the two signatories are exactly `{a, b}` in either order.
+    pub fn signed_by_pair(&self, a: ProcessId, b: ProcessId) -> bool {
+        (self.first == a && self.second == b) || (self.first == b && self.second == a)
+    }
+}
+
+impl<T: Encode> Encode for DoublySigned<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        self.payload.encode(enc);
+        self.first.encode(enc);
+        enc.put_bytes(&self.first_sig);
+        self.second.encode(enc);
+        enc.put_bytes(&self.second_sig);
+    }
+}
+
+impl<T: Decode> Decode for DoublySigned<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let payload = T::decode(dec)?;
+        let first = ProcessId::decode(dec)?;
+        let first_sig = dec.get_bytes()?;
+        let second = ProcessId::decode(dec)?;
+        let second_sig = dec.get_bytes()?;
+        Ok(DoublySigned {
+            payload,
+            first,
+            first_sig,
+            second,
+            second_sig,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofb_crypto::provider::Dealer;
+    use sofb_crypto::scheme::SchemeId;
+
+    fn providers(n: usize) -> Vec<sofb_crypto::provider::SimProvider> {
+        Dealer::sim(SchemeId::Md5Rsa1024, n, 1234)
+    }
+
+    #[test]
+    fn signed_roundtrip_and_verify() {
+        let mut provs = providers(3);
+        let s = Signed::sign(42u64, &mut provs[0]);
+        assert_eq!(s.signer, ProcessId(0));
+        assert!(s.verify(&mut provs[1]));
+        let decoded = Signed::<u64>::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(decoded, s);
+        assert!(decoded.verify(&mut provs[2]));
+    }
+
+    #[test]
+    fn signed_tamper_detected() {
+        let mut provs = providers(2);
+        let mut s = Signed::sign(42u64, &mut provs[0]);
+        s.payload = 43;
+        assert!(!s.verify(&mut provs[1]));
+    }
+
+    #[test]
+    fn signed_wrong_claimed_signer_detected() {
+        let mut provs = providers(3);
+        let mut s = Signed::sign(42u64, &mut provs[0]);
+        s.signer = ProcessId(2);
+        assert!(!s.verify(&mut provs[1]));
+    }
+
+    #[test]
+    fn doubly_signed_endorse_verify() {
+        let mut provs = providers(3);
+        let s = Signed::sign(7u64, &mut provs[0]);
+        let d = DoublySigned::endorse(s, &mut provs[1]);
+        assert_eq!(d.first, ProcessId(0));
+        assert_eq!(d.second, ProcessId(1));
+        assert!(d.verify(&mut provs[2]));
+        assert!(d.signed_by_pair(ProcessId(0), ProcessId(1)));
+        assert!(d.signed_by_pair(ProcessId(1), ProcessId(0)));
+        assert!(!d.signed_by_pair(ProcessId(0), ProcessId(2)));
+    }
+
+    #[test]
+    fn doubly_signed_first_sig_is_bound() {
+        // Swapping in a different first signature invalidates the second.
+        let mut provs = providers(3);
+        let s1 = Signed::sign(7u64, &mut provs[0]);
+        let d = DoublySigned::endorse(s1, &mut provs[1]);
+        let mut tampered = d.clone();
+        // Replace the first signature with process 2's valid signature
+        // over the same payload — the second signature no longer matches.
+        let s2 = Signed::sign(7u64, &mut provs[2]);
+        tampered.first = ProcessId(2);
+        tampered.first_sig = s2.sig;
+        assert!(!tampered.verify(&mut provs[0]));
+    }
+
+    #[test]
+    fn doubly_signed_codec_roundtrip() {
+        let mut provs = providers(2);
+        let d = DoublySigned::endorse(Signed::sign(99u64, &mut provs[0]), &mut provs[1]);
+        let decoded = DoublySigned::<u64>::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(decoded, d);
+    }
+}

@@ -1,0 +1,359 @@
+//! Deployment topology: replicas, shadows, pairs, coordinator candidates.
+//!
+//! Mirrors the paper's §2 system model and §4 candidate structure:
+//!
+//! * **SC** (signal-on-crash, assumptions 3(a)): `2f+1` replica processes
+//!   `p_1..p_{2f+1}` of which the first `f` are paired with shadows
+//!   `p'_1..p'_f`; total `n = 3f+1`. Candidates are the `f` pairs ranked
+//!   first, then one unpaired process `p_{f+1}`.
+//! * **SCR** (signal-on-crash-and-recovery, assumptions 3(b)): the first
+//!   `f+1` replicas are paired, total `n = 3f+2`; only pairs coordinate
+//!   (§4.4: "pf+1 is paired with p'f+1, bringing n = 3f+2").
+//!
+//! Process indices: replicas are `0..2f+1`; shadows follow, so the shadow
+//! of replica `i` is process `2f+1 + i`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ProcessId, Rank, ViewId};
+
+/// Which assumption set (and thus process layout) a deployment uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// `{1_after_1, Sync}` — signal-on-crash, `n = 3f+1`.
+    Sc,
+    /// `{never_2_Fail, PSync}` — signal-on-crash-and-recovery, `n = 3f+2`.
+    Scr,
+}
+
+/// A coordinator candidate: a pair or (in SC only) the final unpaired
+/// process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Candidate {
+    /// A replica/shadow pair implementing the signal-on-crash process.
+    Pair {
+        /// The replica member (`p_c`).
+        replica: ProcessId,
+        /// The shadow member (`p'_c`).
+        shadow: ProcessId,
+    },
+    /// The unpaired `(f+1)`-th candidate of the SC set-up, trusted
+    /// unconditionally once all pairs have fail-signalled (SC2).
+    Unpaired(ProcessId),
+}
+
+impl Candidate {
+    /// The process that proposes orders for this candidate.
+    pub fn proposer(&self) -> ProcessId {
+        match self {
+            Candidate::Pair { replica, .. } => *replica,
+            Candidate::Unpaired(p) => *p,
+        }
+    }
+
+    /// The endorsing shadow, if this candidate is a pair.
+    pub fn endorser(&self) -> Option<ProcessId> {
+        match self {
+            Candidate::Pair { shadow, .. } => Some(*shadow),
+            Candidate::Unpaired(_) => None,
+        }
+    }
+
+    /// True if `p` is a member of this candidate.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        match self {
+            Candidate::Pair { replica, shadow } => *replica == p || *shadow == p,
+            Candidate::Unpaired(q) => *q == p,
+        }
+    }
+}
+
+/// The static process layout of one deployment.
+///
+/// # Examples
+///
+/// ```
+/// use sofb_proto::topology::{Topology, Variant};
+/// use sofb_proto::ids::ProcessId;
+///
+/// let t = Topology::new(2, Variant::Sc);
+/// assert_eq!(t.n(), 7);                       // 3f+1
+/// assert_eq!(t.replica_count(), 5);           // 2f+1
+/// assert_eq!(t.shadow_count(), 2);            // f
+/// assert_eq!(t.counterpart(ProcessId(0)), Some(ProcessId(5)));
+/// assert_eq!(t.commit_quorum(), 5);           // n - f
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    f: u32,
+    variant: Variant,
+}
+
+impl Topology {
+    /// Builds a topology for resilience `f ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    pub fn new(f: u32, variant: Variant) -> Self {
+        assert!(f >= 1, "f must be at least 1");
+        Topology { f, variant }
+    }
+
+    /// The resilience parameter.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// The variant (SC or SCR).
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Total process count: `3f+1` (SC) or `3f+2` (SCR).
+    pub fn n(&self) -> usize {
+        match self.variant {
+            Variant::Sc => 3 * self.f as usize + 1,
+            Variant::Scr => 3 * self.f as usize + 2,
+        }
+    }
+
+    /// Number of service replicas (`2f+1`).
+    pub fn replica_count(&self) -> usize {
+        2 * self.f as usize + 1
+    }
+
+    /// Number of shadow processes (`f` for SC, `f+1` for SCR).
+    pub fn shadow_count(&self) -> usize {
+        match self.variant {
+            Variant::Sc => self.f as usize,
+            Variant::Scr => self.f as usize + 1,
+        }
+    }
+
+    /// Number of coordinator candidates (`f+1`).
+    pub fn candidate_count(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// True if `p` hosts a service replica.
+    pub fn is_replica(&self, p: ProcessId) -> bool {
+        (p.0 as usize) < self.replica_count()
+    }
+
+    /// True if `p` is a shadow.
+    pub fn is_shadow(&self, p: ProcessId) -> bool {
+        let i = p.0 as usize;
+        i >= self.replica_count() && i < self.n()
+    }
+
+    /// The shadow of replica `r`, if `r` is paired.
+    pub fn shadow_of(&self, r: ProcessId) -> Option<ProcessId> {
+        if !self.is_replica(r) || (r.0 as usize) >= self.shadow_count() {
+            return None;
+        }
+        Some(ProcessId(self.replica_count() as u32 + r.0))
+    }
+
+    /// The replica a shadow checks, if `s` is a shadow.
+    pub fn replica_of(&self, s: ProcessId) -> Option<ProcessId> {
+        if !self.is_shadow(s) {
+            return None;
+        }
+        Some(ProcessId(s.0 - self.replica_count() as u32))
+    }
+
+    /// The paired counterpart of `p` (replica ↔ shadow), if any.
+    pub fn counterpart(&self, p: ProcessId) -> Option<ProcessId> {
+        if self.is_shadow(p) {
+            self.replica_of(p)
+        } else {
+            self.shadow_of(p)
+        }
+    }
+
+    /// True if `p` belongs to some pair.
+    pub fn is_paired(&self, p: ProcessId) -> bool {
+        self.counterpart(p).is_some()
+    }
+
+    /// The candidate with 1-based rank `c` (`1 ≤ c ≤ f+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn candidate(&self, c: Rank) -> Candidate {
+        assert!(c.0 >= 1 && c.0 <= self.candidate_count(), "rank out of range");
+        let idx = c.0 - 1; // replica index of the candidate
+        let replica = ProcessId(idx);
+        match self.shadow_of(replica) {
+            Some(shadow) => Candidate::Pair { replica, shadow },
+            None => {
+                debug_assert_eq!(self.variant, Variant::Sc);
+                Candidate::Unpaired(replica)
+            }
+        }
+    }
+
+    /// The pair rank `p` belongs to as a *candidate member*, if any.
+    pub fn candidate_rank_of(&self, p: ProcessId) -> Option<Rank> {
+        for c in 1..=self.candidate_count() {
+            if self.candidate(Rank(c)).contains(p) {
+                return Some(Rank(c));
+            }
+        }
+        None
+    }
+
+    /// SCR view-to-candidate mapping (§4.4): `c = v mod (f+1)`, with 0
+    /// mapping to `f+1`.
+    pub fn view_candidate(&self, v: ViewId) -> Rank {
+        let m = (v.0 % u64::from(self.candidate_count())) as u32;
+        if m == 0 {
+            Rank(self.candidate_count())
+        } else {
+            Rank(m)
+        }
+    }
+
+    /// Commit quorum `n − f` over the *initial* process set.
+    pub fn commit_quorum(&self) -> usize {
+        self.n() - self.f as usize
+    }
+
+    /// All process ids.
+    pub fn all(&self) -> impl Iterator<Item = ProcessId> {
+        (0..self.n() as u32).map(ProcessId)
+    }
+
+    /// All processes except `me` (the usual multicast target set).
+    pub fn others(&self, me: ProcessId) -> impl Iterator<Item = ProcessId> {
+        (0..self.n() as u32).map(ProcessId).filter(move |p| *p != me)
+    }
+
+    /// Effective system size after `k` pairs have been retired as dumb
+    /// (§4.3 optimization one: "n ... is reduced by 2 ... and f by 1").
+    pub fn effective_n(&self, retired_pairs: u32) -> usize {
+        self.n() - 2 * retired_pairs as usize
+    }
+
+    /// Effective resilience after `k` pairs have been retired.
+    pub fn effective_f(&self, retired_pairs: u32) -> usize {
+        (self.f as usize).saturating_sub(retired_pairs as usize)
+    }
+
+    /// Commit quorum among non-dumb processes after `k` retired pairs.
+    pub fn effective_quorum(&self, retired_pairs: u32) -> usize {
+        self.effective_n(retired_pairs) - self.effective_f(retired_pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_layout_f2() {
+        let t = Topology::new(2, Variant::Sc);
+        assert_eq!(t.n(), 7);
+        assert_eq!(t.replica_count(), 5);
+        assert_eq!(t.shadow_count(), 2);
+        assert_eq!(t.candidate_count(), 3);
+        // p0 and p1 are paired with p5 and p6.
+        assert_eq!(t.shadow_of(ProcessId(0)), Some(ProcessId(5)));
+        assert_eq!(t.shadow_of(ProcessId(1)), Some(ProcessId(6)));
+        assert_eq!(t.shadow_of(ProcessId(2)), None);
+        assert_eq!(t.replica_of(ProcessId(5)), Some(ProcessId(0)));
+        assert_eq!(t.replica_of(ProcessId(2)), None);
+        assert!(t.is_replica(ProcessId(4)));
+        assert!(t.is_shadow(ProcessId(6)));
+        assert!(!t.is_shadow(ProcessId(4)));
+    }
+
+    #[test]
+    fn scr_layout_f2() {
+        let t = Topology::new(2, Variant::Scr);
+        assert_eq!(t.n(), 8);
+        assert_eq!(t.shadow_count(), 3);
+        // All three candidates are pairs in SCR.
+        for c in 1..=3 {
+            assert!(matches!(t.candidate(Rank(c)), Candidate::Pair { .. }));
+        }
+        assert_eq!(t.shadow_of(ProcessId(2)), Some(ProcessId(7)));
+    }
+
+    #[test]
+    fn sc_candidates_ranked_pairs_then_unpaired() {
+        let t = Topology::new(2, Variant::Sc);
+        assert_eq!(
+            t.candidate(Rank(1)),
+            Candidate::Pair { replica: ProcessId(0), shadow: ProcessId(5) }
+        );
+        assert_eq!(
+            t.candidate(Rank(2)),
+            Candidate::Pair { replica: ProcessId(1), shadow: ProcessId(6) }
+        );
+        assert_eq!(t.candidate(Rank(3)), Candidate::Unpaired(ProcessId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn candidate_rank_validated() {
+        Topology::new(1, Variant::Sc).candidate(Rank(3));
+    }
+
+    #[test]
+    fn counterpart_is_symmetric() {
+        for variant in [Variant::Sc, Variant::Scr] {
+            let t = Topology::new(3, variant);
+            for p in t.all() {
+                if let Some(q) = t.counterpart(p) {
+                    assert_eq!(t.counterpart(q), Some(p), "{p} <-> {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_candidate_mapping() {
+        let t = Topology::new(2, Variant::Scr); // f+1 = 3 candidates
+        assert_eq!(t.view_candidate(ViewId(1)), Rank(1));
+        assert_eq!(t.view_candidate(ViewId(2)), Rank(2));
+        assert_eq!(t.view_candidate(ViewId(3)), Rank(3)); // 3 mod 3 = 0 -> f+1
+        assert_eq!(t.view_candidate(ViewId(4)), Rank(1));
+    }
+
+    #[test]
+    fn quorums() {
+        let t = Topology::new(2, Variant::Sc);
+        assert_eq!(t.commit_quorum(), 5);
+        assert_eq!(t.effective_n(1), 5);
+        assert_eq!(t.effective_f(1), 1);
+        assert_eq!(t.effective_quorum(1), 4);
+        assert_eq!(t.effective_quorum(2), 3);
+    }
+
+    #[test]
+    fn candidate_rank_of_members() {
+        let t = Topology::new(2, Variant::Sc);
+        assert_eq!(t.candidate_rank_of(ProcessId(0)), Some(Rank(1)));
+        assert_eq!(t.candidate_rank_of(ProcessId(5)), Some(Rank(1)));
+        assert_eq!(t.candidate_rank_of(ProcessId(2)), Some(Rank(3)));
+        assert_eq!(t.candidate_rank_of(ProcessId(3)), None);
+        assert_eq!(t.candidate_rank_of(ProcessId(4)), None);
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        let t = Topology::new(1, Variant::Sc);
+        let others: Vec<ProcessId> = t.others(ProcessId(1)).collect();
+        assert_eq!(others.len(), t.n() - 1);
+        assert!(!others.contains(&ProcessId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "f must be at least 1")]
+    fn zero_f_rejected() {
+        Topology::new(0, Variant::Sc);
+    }
+}

@@ -1,0 +1,826 @@
+//! The discrete-event engine: actors, virtual network, per-node CPU queues.
+//!
+//! Every node hosts one [`Actor`] (a sans-io protocol state machine). The
+//! engine delivers three kinds of stimuli — start, message, timer — and the
+//! actor responds by queueing sends, arming timers and emitting
+//! observations through the [`Ctx`] handle. Nodes process stimuli serially:
+//! each callback's service time (dispatch + marshalling + accrued crypto
+//! cost) advances the node's CPU clock, so queueing delay and saturation
+//! emerge naturally.
+//!
+//! Execution is deterministic for a given seed: the event heap breaks time
+//! ties by insertion sequence number.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cpu::CpuModel;
+use crate::delay::NetworkModel;
+use crate::time::{SimDuration, SimTime};
+
+/// Messages must report their wire size so the engine can charge
+/// serialization and marshalling costs.
+pub trait WireSize {
+    /// Serialized length in bytes.
+    fn wire_len(&self) -> usize;
+}
+
+/// A protocol state machine hosted on one simulated node.
+pub trait Actor {
+    /// The message type exchanged between nodes of this world.
+    type Msg: Clone + WireSize + fmt::Debug;
+    /// Observations surfaced to the experiment harness.
+    type Event: fmt::Debug;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Event>);
+
+    /// Called when a message from `from` is dequeued for processing.
+    fn on_message(&mut self, from: usize, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Event>);
+
+    /// Called when an armed timer with `tag` fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg, Self::Event>);
+
+    /// Drains virtual CPU nanoseconds accrued during the last callback
+    /// (protocols forward their `CryptoProvider::take_cost_ns` here).
+    fn take_cost_ns(&mut self) -> u64 {
+        0
+    }
+}
+
+/// An observation with its emission time and source node.
+#[derive(Debug, Clone)]
+pub struct TimedEvent<E> {
+    /// Virtual time at which the observation was emitted.
+    pub time: SimTime,
+    /// Node that emitted it.
+    pub node: usize,
+    /// The observation itself.
+    pub event: E,
+}
+
+/// Handle through which an actor interacts with the world during a
+/// callback.
+pub struct Ctx<'a, M, E> {
+    now: SimTime,
+    fired: Option<SimTime>,
+    me: usize,
+    rng: &'a mut StdRng,
+    sends: Vec<(usize, M)>,
+    timer_ops: Vec<TimerOp>,
+    events: &'a mut Vec<TimedEvent<E>>,
+}
+
+/// A timer mutation, applied in call order when the callback completes.
+#[derive(Debug)]
+enum TimerOp {
+    Set(SimDuration, u64),
+    Cancel(u64),
+}
+
+impl<M, E> Ctx<'_, M, E> {
+    /// Current virtual time (start of this callback's service).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// For timer callbacks: the instant the timer *fired* (entered this
+    /// node's queue). `now() - fired_at()` is the queueing delay the
+    /// firing spent waiting behind other work — measurements that start
+    /// "at the tick" (like the paper's batch-formation instant) should
+    /// use this. `None` for message and start callbacks.
+    pub fn fired_at(&self) -> Option<SimTime> {
+        self.fired
+    }
+
+    /// The hosting node's index.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Queues a message to `to` (transmitted when the callback's service
+    /// completes). Sending to self is allowed and near-instant.
+    pub fn send(&mut self, to: usize, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Queues `msg` to every node in `targets` (cloning per target).
+    pub fn multicast<I: IntoIterator<Item = usize>>(&mut self, targets: I, msg: M)
+    where
+        M: Clone,
+    {
+        for t in targets {
+            self.sends.push((t, msg.clone()));
+        }
+    }
+
+    /// Arms (or re-arms) the timer `tag` to fire `delay` after this
+    /// callback completes. Re-arming supersedes any earlier arming.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timer_ops.push(TimerOp::Set(delay, tag));
+    }
+
+    /// Disarms timer `tag`.
+    pub fn cancel_timer(&mut self, tag: u64) {
+        self.timer_ops.push(TimerOp::Cancel(tag));
+    }
+
+    /// Emits an observation for the harness.
+    pub fn emit(&mut self, event: E) {
+        self.events.push(TimedEvent {
+            time: self.now,
+            node: self.me,
+            event,
+        });
+    }
+
+    /// Deterministic randomness (seeded per world).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Outputs collected from a standalone callback invocation (used by hosts
+/// other than the simulator, e.g. the threaded real-time runtime).
+#[derive(Debug)]
+pub struct CtxOutputs<M> {
+    /// Messages to transmit, in call order.
+    pub sends: Vec<(usize, M)>,
+    /// Timer mutations, in call order.
+    pub timers: Vec<TimerRequest>,
+}
+
+/// A timer mutation requested by an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerRequest {
+    /// Arm (or re-arm) `tag` to fire after the delay.
+    Set(SimDuration, u64),
+    /// Disarm `tag`.
+    Cancel(u64),
+}
+
+impl<'a, M, E> Ctx<'a, M, E> {
+    /// Builds a context for driving an [`Actor`] outside the simulator.
+    ///
+    /// The caller supplies the current time, node identity, an RNG and an
+    /// event sink, invokes the actor callback, then collects the requested
+    /// sends/timer changes with [`Ctx::into_outputs`].
+    pub fn standalone(
+        now: SimTime,
+        me: usize,
+        rng: &'a mut StdRng,
+        events: &'a mut Vec<TimedEvent<E>>,
+    ) -> Self {
+        Ctx {
+            now,
+            fired: None,
+            me,
+            rng,
+            sends: Vec::new(),
+            timer_ops: Vec::new(),
+            events,
+        }
+    }
+
+    /// Extracts the actions the actor requested during the callback.
+    pub fn into_outputs(self) -> CtxOutputs<M> {
+        CtxOutputs {
+            sends: self.sends,
+            timers: self
+                .timer_ops
+                .into_iter()
+                .map(|op| match op {
+                    TimerOp::Set(d, t) => TimerRequest::Set(d, t),
+                    TimerOp::Cancel(t) => TimerRequest::Cancel(t),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A stimulus waiting in a node's input queue.
+#[derive(Debug)]
+enum Incoming<M> {
+    Message { from: usize, msg: M },
+    Timer { tag: u64, token: u64, fired: SimTime },
+}
+
+/// Heap entry kinds.
+#[derive(Debug)]
+enum EngineEventKind<M> {
+    Deliver { to: usize, from: usize, msg: M },
+    TimerFire { node: usize, tag: u64, token: u64 },
+    ProcessNext { node: usize },
+}
+
+struct EngineEvent<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EngineEventKind<M>,
+}
+
+impl<M> PartialEq for EngineEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for EngineEvent<M> {}
+impl<M> PartialOrd for EngineEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for EngineEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeState<M, E> {
+    actor: Box<dyn Actor<Msg = M, Event = E>>,
+    inbox: VecDeque<Incoming<M>>,
+    busy: bool,
+    busy_until: SimTime,
+    timer_tokens: HashMap<u64, u64>,
+    next_token: u64,
+    crashed: bool,
+    cpu: CpuModel,
+    stats: NodeStats,
+}
+
+/// Per-node utilization counters (harness/introspection).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Callbacks processed.
+    pub callbacks: u64,
+    /// Total virtual service nanoseconds consumed.
+    pub busy_ns: u64,
+    /// Largest input-queue depth observed.
+    pub max_queue: usize,
+}
+
+impl NodeStats {
+    /// Fraction of `[0, now]` this node's CPU was busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.as_ns() == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / now.as_ns() as f64
+    }
+}
+
+/// The simulated world: nodes, network, event heap, observation log.
+pub struct World<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> {
+    nodes: Vec<NodeState<M, E>>,
+    heap: BinaryHeap<Reverse<EngineEvent<M>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    net: NetworkModel,
+    events: Vec<TimedEvent<E>>,
+    processed: u64,
+    messages_sent: u64,
+    bytes_sent: u64,
+}
+
+impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
+    /// Creates a world over `net` with deterministic randomness from
+    /// `seed`. Add nodes with [`World::add_node`], then call
+    /// [`World::start`].
+    pub fn new(net: NetworkModel, seed: u64) -> Self {
+        World {
+            nodes: Vec::new(),
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            net,
+            events: Vec::new(),
+            processed: 0,
+            messages_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Adds a node hosting `actor` with the given CPU model; returns its
+    /// index.
+    pub fn add_node(&mut self, actor: Box<dyn Actor<Msg = M, Event = E>>, cpu: CpuModel) -> usize {
+        self.nodes.push(NodeState {
+            actor,
+            inbox: VecDeque::new(),
+            busy: false,
+            busy_until: SimTime::ZERO,
+            timer_tokens: HashMap::new(),
+            next_token: 0,
+            crashed: false,
+            cpu,
+            stats: NodeStats::default(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Utilization counters for `node`.
+    pub fn node_stats(&self, node: usize) -> NodeStats {
+        self.nodes[node].stats
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total callbacks processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Total messages handed to the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total bytes handed to the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Marks a node crashed: its queue is discarded and it receives no
+    /// further callbacks. (Byzantine behaviours live in the actors; crash
+    /// is the only failure the engine itself models.)
+    pub fn crash(&mut self, node: usize) {
+        self.nodes[node].crashed = true;
+        self.nodes[node].inbox.clear();
+    }
+
+    /// True if `node` has been crashed.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.nodes[node].crashed
+    }
+
+    /// Invokes `on_start` on every node (in index order, at time zero).
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.run_callback(i, None);
+        }
+    }
+
+    /// Mutable access to a node's actor (for harness inspection between
+    /// steps; prefer observations where possible).
+    pub fn actor_mut(&mut self, node: usize) -> &mut dyn Actor<Msg = M, Event = E> {
+        &mut *self.nodes[node].actor
+    }
+
+    /// Drains all observations emitted so far.
+    pub fn drain_events(&mut self) -> Vec<TimedEvent<E>> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Observations emitted so far (without draining).
+    pub fn events(&self) -> &[TimedEvent<E>] {
+        &self.events
+    }
+
+    fn push(&mut self, time: SimTime, kind: EngineEventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(EngineEvent { time, seq, kind }));
+    }
+
+    /// Processes a single engine event. Returns `false` when the heap is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EngineEventKind::Deliver { to, from, msg } => {
+                let node = &mut self.nodes[to];
+                if node.crashed {
+                    return true;
+                }
+                node.inbox.push_back(Incoming::Message { from, msg });
+                if !node.busy {
+                    node.busy = true;
+                    self.push(self.now, EngineEventKind::ProcessNext { node: to });
+                }
+            }
+            EngineEventKind::TimerFire { node: idx, tag, token } => {
+                let node = &mut self.nodes[idx];
+                if node.crashed {
+                    return true;
+                }
+                // Only the latest arming of a tag is live.
+                if node.timer_tokens.get(&tag) != Some(&token) {
+                    return true;
+                }
+                let fired = self.now;
+                node.inbox.push_back(Incoming::Timer { tag, token, fired });
+                if !node.busy {
+                    node.busy = true;
+                    self.push(self.now, EngineEventKind::ProcessNext { node: idx });
+                }
+            }
+            EngineEventKind::ProcessNext { node: idx } => {
+                if self.nodes[idx].crashed {
+                    return true;
+                }
+                let item = self.nodes[idx].inbox.pop_front();
+                match item {
+                    None => {
+                        self.nodes[idx].busy = false;
+                    }
+                    Some(incoming) => {
+                        self.run_callback(idx, Some(incoming));
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until virtual time would exceed `deadline` or the heap drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until no events remain (with a safety cap on callback count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_steps` engine events are processed, which
+    /// almost always indicates a livelock in the hosted protocol.
+    pub fn run_until_idle(&mut self, max_steps: u64) {
+        let mut steps = 0u64;
+        while self.step() {
+            steps += 1;
+            assert!(steps <= max_steps, "simulation exceeded {max_steps} steps");
+        }
+    }
+
+    /// Delivers `msg` from a fictitious external source (e.g. a client
+    /// co-located with `to`) at the current time.
+    pub fn inject(&mut self, to: usize, from: usize, msg: M) {
+        self.push(self.now, EngineEventKind::Deliver { to, from, msg });
+    }
+
+    fn run_callback(&mut self, idx: usize, incoming: Option<Incoming<M>>) {
+        // A timer may have been re-armed or cancelled while this firing
+        // was queued behind other work; skip stale firings (one-shot
+        // semantics: a live firing consumes its arming).
+        if let Some(Incoming::Timer { tag, token, .. }) = &incoming {
+            let node = &mut self.nodes[idx];
+            if node.timer_tokens.get(tag) != Some(token) {
+                self.push(self.now, EngineEventKind::ProcessNext { node: idx });
+                return;
+            }
+            node.timer_tokens.remove(tag);
+        }
+        let start = self.now.max(self.nodes[idx].busy_until);
+        let msg_len = match &incoming {
+            Some(Incoming::Message { msg, .. }) => msg.wire_len(),
+            _ => 0,
+        };
+        let queue_len = self.nodes[idx].inbox.len();
+
+        let is_start = incoming.is_none();
+        let fired = match &incoming {
+            Some(Incoming::Timer { fired, .. }) => Some(*fired),
+            _ => None,
+        };
+        let mut events_buf = std::mem::take(&mut self.events);
+        let (sends, timer_ops, cost_ns) = {
+            let node = &mut self.nodes[idx];
+            let mut ctx = Ctx {
+                now: start,
+                fired,
+                me: idx,
+                rng: &mut self.rng,
+                sends: Vec::new(),
+                timer_ops: Vec::new(),
+                events: &mut events_buf,
+            };
+            match incoming {
+                None => node.actor.on_start(&mut ctx),
+                Some(Incoming::Message { from, msg }) => node.actor.on_message(from, msg, &mut ctx),
+                Some(Incoming::Timer { tag, .. }) => node.actor.on_timer(tag, &mut ctx),
+            }
+            let cost = node.actor.take_cost_ns();
+            (ctx.sends, ctx.timer_ops, cost)
+        };
+        self.events = events_buf;
+        self.processed += 1;
+
+        // `on_start` models pre-loaded initial state, not a dispatched
+        // event: charge only explicitly accrued (crypto) cost.
+        let service = if is_start {
+            cost_ns
+        } else {
+            self.nodes[idx].cpu.service_ns(msg_len, cost_ns, queue_len)
+        };
+        let done = start + SimDuration(service);
+        self.nodes[idx].busy_until = done;
+        let stats = &mut self.nodes[idx].stats;
+        stats.callbacks += 1;
+        stats.busy_ns += service;
+        stats.max_queue = stats.max_queue.max(queue_len);
+
+        // Transmit queued sends at completion time.
+        for (to, msg) in sends {
+            let len = msg.wire_len();
+            self.messages_sent += 1;
+            self.bytes_sent += len as u64;
+            let latency = if to == idx {
+                SimDuration::from_us(1)
+            } else {
+                self.net.link(idx, to).latency(&mut self.rng, done, len)
+            };
+            self.push(done + latency, EngineEventKind::Deliver { to, from: idx, msg });
+        }
+
+        // Apply timer mutations at completion time, in call order.
+        for op in timer_ops {
+            match op {
+                TimerOp::Cancel(tag) => {
+                    self.nodes[idx].timer_tokens.remove(&tag);
+                }
+                TimerOp::Set(delay, tag) => {
+                    let node = &mut self.nodes[idx];
+                    node.next_token += 1;
+                    let token = node.next_token;
+                    node.timer_tokens.insert(tag, token);
+                    self.push(
+                        done + delay,
+                        EngineEventKind::TimerFire { node: idx, tag, token },
+                    );
+                }
+            }
+        }
+
+        // Continue draining this node's queue after the service completes.
+        self.push(done, EngineEventKind::ProcessNext { node: idx });
+        self.nodes[idx].busy = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{DelayModel, LinkModel};
+
+    #[derive(Clone, Debug)]
+    struct Ping(usize);
+
+    impl WireSize for Ping {
+        fn wire_len(&self) -> usize {
+            16
+        }
+    }
+
+    #[derive(Debug)]
+    enum Obs {
+        Got(usize),
+        TimerFired(u64),
+    }
+
+    /// Echoes each ping back with an incremented hop count, up to a limit.
+    struct Echo {
+        peer: usize,
+        limit: usize,
+        initiate: bool,
+    }
+
+    impl Actor for Echo {
+        type Msg = Ping;
+        type Event = Obs;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+            if self.initiate {
+                ctx.send(self.peer, Ping(0));
+            }
+        }
+
+        fn on_message(&mut self, _from: usize, msg: Ping, ctx: &mut Ctx<'_, Ping, Obs>) {
+            ctx.emit(Obs::Got(msg.0));
+            if msg.0 < self.limit {
+                ctx.send(self.peer, Ping(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Ping, Obs>) {
+            ctx.emit(Obs::TimerFired(tag));
+        }
+    }
+
+    fn constant_net(us: u64) -> NetworkModel {
+        NetworkModel::uniform(LinkModel {
+            delay: DelayModel::Constant(SimDuration::from_us(us)),
+            per_byte_ns: 0,
+        })
+    }
+
+    #[test]
+    fn ping_pong_delivers_in_order() {
+        let mut w: World<Ping, Obs> = World::new(constant_net(100), 1);
+        w.add_node(
+            Box::new(Echo { peer: 1, limit: 4, initiate: true }),
+            CpuModel::zero(),
+        );
+        w.add_node(
+            Box::new(Echo { peer: 0, limit: 4, initiate: false }),
+            CpuModel::zero(),
+        );
+        w.start();
+        w.run_until_idle(1_000);
+        let hops: Vec<usize> = w
+            .drain_events()
+            .into_iter()
+            .map(|e| match e.event {
+                Obs::Got(h) => h,
+                _ => panic!("unexpected"),
+            })
+            .collect();
+        assert_eq!(hops, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn virtual_time_advances_with_latency() {
+        let mut w: World<Ping, Obs> = World::new(constant_net(250), 1);
+        w.add_node(
+            Box::new(Echo { peer: 1, limit: 0, initiate: true }),
+            CpuModel::zero(),
+        );
+        w.add_node(
+            Box::new(Echo { peer: 0, limit: 0, initiate: false }),
+            CpuModel::zero(),
+        );
+        w.start();
+        w.run_until_idle(100);
+        let ev = &w.events()[0];
+        assert_eq!(ev.time, SimTime::from_us(250));
+    }
+
+    #[test]
+    fn cpu_service_time_queues_messages() {
+        // Node 1 takes 1 ms per event; two near-simultaneous messages are
+        // served back to back.
+        struct Sender;
+        impl Actor for Sender {
+            type Msg = Ping;
+            type Event = Obs;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+                ctx.send(1, Ping(0));
+                ctx.send(1, Ping(1));
+            }
+            fn on_message(&mut self, _f: usize, _m: Ping, _c: &mut Ctx<'_, Ping, Obs>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, Ping, Obs>) {}
+        }
+        let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
+        w.add_node(Box::new(Sender), CpuModel::zero());
+        let cpu = CpuModel {
+            per_event_ns: 1_000_000,
+            per_byte_ns: 0,
+            overload_threshold: usize::MAX,
+            overload_penalty: 0.0,
+        };
+        w.add_node(Box::new(Echo { peer: 0, limit: usize::MAX, initiate: false }), cpu);
+        w.start();
+        w.run_until(SimTime::from_ms(10));
+        let times: Vec<SimTime> = w.events().iter().map(|e| e.time).collect();
+        assert_eq!(times.len(), 2);
+        // First served on arrival, second only after the first's service.
+        assert_eq!(times[0], SimTime::from_us(10));
+        assert_eq!(times[1], SimTime::from_us(10) + SimDuration::from_ms(1));
+    }
+
+    #[test]
+    fn timers_fire_and_rearm_supersedes() {
+        struct TimerActor;
+        impl Actor for TimerActor {
+            type Msg = Ping;
+            type Event = Obs;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+                // Arm tag 7 at 5 ms then immediately re-arm at 1 ms: only
+                // the re-arm fires.
+                ctx.set_timer(SimDuration::from_ms(5), 7);
+                ctx.set_timer(SimDuration::from_ms(1), 7);
+                // Arm and cancel tag 9: never fires.
+                ctx.set_timer(SimDuration::from_ms(2), 9);
+                ctx.cancel_timer(9);
+            }
+            fn on_message(&mut self, _f: usize, _m: Ping, _c: &mut Ctx<'_, Ping, Obs>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Ping, Obs>) {
+                ctx.emit(Obs::TimerFired(tag));
+            }
+        }
+        let mut w: World<Ping, Obs> = World::new(constant_net(1), 1);
+        w.add_node(Box::new(TimerActor), CpuModel::zero());
+        w.start();
+        w.run_until_idle(100);
+        let fired: Vec<u64> = w
+            .drain_events()
+            .into_iter()
+            .map(|e| match e.event {
+                Obs::TimerFired(t) => t,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
+        w.add_node(
+            Box::new(Echo { peer: 1, limit: 10, initiate: true }),
+            CpuModel::zero(),
+        );
+        w.add_node(
+            Box::new(Echo { peer: 0, limit: 10, initiate: false }),
+            CpuModel::zero(),
+        );
+        w.crash(1);
+        w.start();
+        w.run_until_idle(100);
+        assert!(w.events().is_empty());
+        assert!(w.is_crashed(1));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        fn run(seed: u64) -> Vec<(SimTime, usize)> {
+            let mut w: World<Ping, Obs> = World::new(
+                NetworkModel::uniform(LinkModel {
+                    delay: DelayModel::Uniform(SimDuration::from_us(50), SimDuration::from_us(150)),
+                    per_byte_ns: 10,
+                }),
+                seed,
+            );
+            w.add_node(
+                Box::new(Echo { peer: 1, limit: 20, initiate: true }),
+                CpuModel::default(),
+            );
+            w.add_node(
+                Box::new(Echo { peer: 0, limit: 20, initiate: false }),
+                CpuModel::default(),
+            );
+            w.start();
+            w.run_until_idle(10_000);
+            w.drain_events()
+                .into_iter()
+                .map(|e| (e.time, e.node))
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn inject_delivers_external_message() {
+        let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
+        w.add_node(
+            Box::new(Echo { peer: 0, limit: 0, initiate: false }),
+            CpuModel::zero(),
+        );
+        w.start();
+        w.inject(0, 99, Ping(7));
+        w.run_until_idle(100);
+        assert_eq!(w.events().len(), 1);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
+        w.add_node(
+            Box::new(Echo { peer: 1, limit: 2, initiate: true }),
+            CpuModel::zero(),
+        );
+        w.add_node(
+            Box::new(Echo { peer: 0, limit: 2, initiate: false }),
+            CpuModel::zero(),
+        );
+        w.start();
+        w.run_until_idle(100);
+        assert_eq!(w.messages_sent(), 3); // hops 0,1,2
+        assert_eq!(w.bytes_sent(), 48);
+        assert!(w.processed() > 0);
+    }
+}

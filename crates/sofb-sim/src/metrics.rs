@@ -1,0 +1,232 @@
+//! Measurement helpers for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A sample collection with summary statistics.
+///
+/// # Examples
+///
+/// ```
+/// use sofb_sim::metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.percentile(25.0), 2.0);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample (0 for an empty histogram).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample (0 for an empty histogram).
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `p`-th percentile (nearest-rank; 0 for an empty histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// All samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// One (x, y) point of an experiment series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Swept parameter value (e.g. batching interval in ms).
+    pub x: f64,
+    /// Measured value (e.g. mean latency in ms).
+    pub y: f64,
+}
+
+/// A named series of experiment points, printable as a table column.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name (e.g. "SC", "BFT", "CT").
+    pub name: String,
+    /// Measured points, in sweep order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(SeriesPoint { x, y });
+    }
+
+    /// The y value at a given x (exact match), if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y)
+    }
+}
+
+/// Renders aligned columns for a set of series sharing x values.
+///
+/// The output mirrors the paper's figure data: one row per x, one column
+/// per series.
+pub fn render_table(x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# y = {y_label}\n"));
+    out.push_str(&format!("{:>12}", x_label));
+    for s in series {
+        out.push_str(&format!(" {:>14}", s.name));
+    }
+    out.push('\n');
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for x in xs {
+        out.push_str(&format!("{x:>12.1}"));
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => out.push_str(&format!(" {y:>14.3}")),
+                None => out.push_str(&format!(" {:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 30.0);
+        assert_eq!(h.min(), 10.0);
+        assert_eq!(h.max(), 50.0);
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(50.0), 30.0);
+        assert_eq!(h.percentile(100.0), 50.0);
+        assert!((h.std_dev() - 15.811).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validates() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn series_and_table() {
+        let mut a = Series::new("SC");
+        a.push(40.0, 25.0);
+        a.push(100.0, 24.0);
+        let mut b = Series::new("BFT");
+        b.push(40.0, 60.0);
+        b.push(100.0, 46.0);
+        assert_eq!(a.y_at(40.0), Some(25.0));
+        assert_eq!(a.y_at(41.0), None);
+        let table = render_table("interval_ms", "latency_ms", &[a, b]);
+        assert!(table.contains("SC"));
+        assert!(table.contains("BFT"));
+        assert!(table.contains("40.0"));
+        assert!(table.contains("60.000"));
+    }
+}

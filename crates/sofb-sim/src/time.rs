@@ -1,0 +1,184 @@
+//! Virtual time for the discrete-event simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use sofb_sim::time::SimTime;
+///
+/// let t = SimTime::ZERO + SimTime::from_ms(5).as_duration();
+/// assert_eq!(t.as_ms_f64(), 5.0);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future (used as "no deadline").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds a time `ms` milliseconds after start.
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds a time `us` microseconds after start.
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds a time `s` seconds after start.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since start.
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since start, as a float.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Reinterprets this instant as a duration since start.
+    pub fn as_duration(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span of `ms` milliseconds.
+    pub fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a span of `us` microseconds.
+    pub fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Builds a span of `s` seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds in the span.
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in the span, as a float.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the span by an integer factor.
+    pub fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_us(1).as_ns(), 1_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(SimDuration::from_ms(2).as_ms_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10) + SimDuration::from_ms(5);
+        assert_eq!(t, SimTime::from_ms(15));
+        assert_eq!(t - SimTime::from_ms(10), SimDuration::from_ms(5));
+        // Saturating difference never underflows.
+        assert_eq!(SimTime::from_ms(1) - SimTime::from_ms(5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_assign_and_display() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_ms(3);
+        assert_eq!(t.to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_us(1500).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        let t = SimTime::MAX + SimDuration::from_ms(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+}

@@ -1,0 +1,59 @@
+//! # sofbyz — Streets of Byzantium: signal-on-fail total order
+//!
+//! A reproduction of *"A Performance Study on the Signal-On-Fail Approach
+//! to Imposing Total Order in the Streets of Byzantium"* (Inayat &
+//! Ezhilchelvan, CS-TR-967 / DSN 2006): Byzantine fault-tolerant
+//! total-order protocols built on the **signal-on-crash** process
+//! abstraction, with the Castro–Liskov BFT and crash-tolerant baselines
+//! the paper measures against, a deterministic discrete-event testbed,
+//! from-scratch cryptography, and the complete §5 experiment harness.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`crypto`] — bignum, MD5/SHA-1/SHA-256, HMAC, RSA, DSA, the paper's
+//!   scheme matrix and a calibrated virtual-time cost model;
+//! * [`sim`] — the deterministic simulator (network delay models,
+//!   per-node CPU queueing);
+//! * [`proto`] — topology, requests, signed envelopes, canonical codec;
+//! * [`core`] — the SC and SCR protocols (the paper's contribution);
+//! * [`bft`] — the BFT baseline;
+//! * [`ct`] — the crash-tolerant baseline;
+//! * [`app`] — a deterministic replicated KV service and workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sofbyz::core::sim::{ClientSpec, ScWorldBuilder};
+//! use sofbyz::core::analysis;
+//! use sofbyz::crypto::scheme::SchemeId;
+//! use sofbyz::proto::topology::Variant;
+//! use sofbyz::sim::time::SimTime;
+//!
+//! // Seven processes (f = 2): five replicas, two shadows, one client.
+//! let mut deployment = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
+//!     .client(ClientSpec {
+//!         rate_per_sec: 100.0,
+//!         request_size: 100,
+//!         stop_at: SimTime::from_secs(1),
+//!     })
+//!     .build();
+//! deployment.start();
+//! deployment.run_until(SimTime::from_secs(3));
+//! let events = deployment.world.drain_events();
+//! analysis::check_total_order(&events).expect("total order holds");
+//! assert!(!analysis::order_latencies(&events).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runtime;
+pub mod service;
+
+pub use sofb_app as app;
+pub use sofb_bft as bft;
+pub use sofb_core as core;
+pub use sofb_crypto as crypto;
+pub use sofb_ct as ct;
+pub use sofb_proto as proto;
+pub use sofb_sim as sim;

@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: the full stack (crypto → sim → proto →
+//! protocols → app) through the public umbrella API.
+
+use sofbyz::app::kv::{KvOp, KvStore};
+use sofbyz::app::state_machine::{Executor, StateMachine};
+use sofbyz::core::analysis;
+use sofbyz::core::config::Fault;
+use sofbyz::core::events::ScEvent;
+use sofbyz::core::sim::{ClientSpec, ScWorldBuilder};
+use sofbyz::crypto::provider::{CryptoProvider, Dealer};
+use sofbyz::crypto::scheme::SchemeId;
+use sofbyz::proto::codec::Encode;
+use sofbyz::proto::ids::{ClientId, ProcessId, SeqNo};
+use sofbyz::proto::topology::Variant;
+use sofbyz::sim::time::{SimDuration, SimTime};
+
+#[test]
+fn all_three_schemes_order_correctly() {
+    for scheme in SchemeId::PAPER {
+        let mut d = ScWorldBuilder::new(2, Variant::Sc, scheme)
+            .batching_interval(SimDuration::from_ms(100))
+            .client(ClientSpec {
+                rate_per_sec: 50.0,
+                request_size: 100,
+                stop_at: SimTime::from_secs(2),
+            })
+            .seed(77)
+            .build();
+        d.start();
+        d.run_until(SimTime::from_secs(6));
+        let events = d.world.drain_events();
+        analysis::check_total_order(&events).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert!(
+            analysis::order_latencies(&events).len() >= 5,
+            "{scheme}: too few commits"
+        );
+    }
+}
+
+#[test]
+fn sc_with_real_rsa_signatures_outside_simulator() {
+    // The protocol envelope types work with genuine RSA signatures too —
+    // the simulator's keyed tags are a substitution only for speed.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut provs = Dealer::real(&mut rng, SchemeId::Md5Rsa1024, 3, Some(512));
+    use sofbyz::proto::signed::{DoublySigned, Signed};
+    let order = sofbyz::core::messages::OrderPayload {
+        c: sofbyz::proto::ids::Rank(1),
+        o: SeqNo(1),
+        batch: sofbyz::proto::request::BatchRef::default(),
+        formed_at_ns: 0,
+    };
+    let signed = Signed::sign(order, &mut provs[0]);
+    let endorsed = DoublySigned::endorse(signed, &mut provs[1]);
+    assert!(endorsed.verify(&mut provs[2]));
+    let mut forged = endorsed.clone();
+    forged.payload.o = SeqNo(2);
+    assert!(!forged.verify(&mut provs[2]));
+}
+
+#[test]
+fn ordered_kv_replicas_converge_under_failover() {
+    // Order a KV workload while the coordinator misbehaves mid-run; all
+    // replicas must still converge to identical state.
+    let mut d = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
+        .batching_interval(SimDuration::from_ms(60))
+        .fault(ProcessId(0), Fault::CorruptOrderAt(SeqNo(6)))
+        .seed(9)
+        .build();
+    d.start();
+    let n = d.topology.n();
+    // Inject structured KV requests.
+    let ops: Vec<KvOp> = (0..60)
+        .map(|i| KvOp::Put {
+            key: format!("k{}", i % 7).into_bytes(),
+            value: format!("v{i}").into_bytes(),
+        })
+        .collect();
+    for (i, op) in ops.iter().enumerate() {
+        d.run_until(SimTime::from_ms(20 * i as u64));
+        let req = sofbyz::proto::request::Request::new(
+            ClientId(0),
+            i as u64 + 1,
+            op.to_bytes(),
+        );
+        for p in 0..n {
+            d.world
+                .inject(p, 999, sofbyz::core::messages::ScMsg::Request(req.clone()));
+        }
+    }
+    d.run_until(SimTime::from_secs(12));
+    let events = d.world.drain_events();
+    analysis::check_total_order(&events).unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ScEvent::Installed { .. })),
+        "fail-over must have occurred"
+    );
+
+    // Rebuild the committed schedule (identical across nodes by the
+    // safety check) and apply to two executors.
+    use std::collections::BTreeMap;
+    let mut batch_sizes: BTreeMap<SeqNo, usize> = BTreeMap::new();
+    for ev in &events {
+        if let ScEvent::Committed { o, requests, .. } = &ev.event {
+            batch_sizes.entry(*o).or_insert(*requests);
+        }
+    }
+    let mut remaining = ops.iter();
+    let mut a = Executor::new(KvStore::new());
+    let mut b = Executor::new(KvStore::new());
+    for (o, count) in &batch_sizes {
+        let batch: Vec<Vec<u8>> = (0..*count)
+            .filter_map(|_| remaining.next().map(|op| op.to_bytes()))
+            .collect();
+        a.apply_batch(*o, batch.clone()).unwrap();
+        b.apply_batch(*o, batch).unwrap();
+    }
+    assert_eq!(
+        a.machine().state_digest(),
+        b.machine().state_digest(),
+        "replicas diverged"
+    );
+    assert!(a.applied_ops() > 0);
+}
+
+#[test]
+fn scr_recovers_from_transient_partition_of_pair_link() {
+    // SCR under partial synchrony: before GST the pair link is slow
+    // enough to trip the heartbeat estimate (a false, time-domain
+    // suspicion); after GST the pair recovers (3(b)(i): estimates become
+    // accurate eventually).
+    use sofbyz::sim::delay::{DelayModel, LinkModel};
+    use sofbyz::sim::time::SimDuration as D;
+    let slow_then_fast = LinkModel {
+        delay: DelayModel::PartialSync {
+            before: Box::new(DelayModel::Constant(D::from_ms(400))),
+            after: Box::new(DelayModel::Constant(D::from_us(50))),
+            gst: SimTime::from_secs(2),
+        },
+        per_byte_ns: 8,
+    };
+    let mut d = ScWorldBuilder::new(2, Variant::Scr, SchemeId::Md5Rsa1024)
+        .batching_interval(SimDuration::from_ms(100))
+        .pair_link(slow_then_fast)
+        .client(ClientSpec {
+            rate_per_sec: 50.0,
+            request_size: 100,
+            stop_at: SimTime::from_secs(6),
+        })
+        .seed(21)
+        .build();
+    d.start();
+    d.run_until(SimTime::from_secs(10));
+    let events = d.world.drain_events();
+    analysis::check_total_order(&events).unwrap();
+    // False suspicion before GST...
+    assert!(
+        events.iter().any(|e| matches!(
+            e.event,
+            ScEvent::FailSignalIssued { value_domain: false, .. }
+        )),
+        "pre-GST heartbeat misses must trigger a (false) fail-signal"
+    );
+    // ...and recovery afterwards.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ScEvent::PairRecovered { .. })),
+        "pairs must recover after GST"
+    );
+}
+
+#[test]
+fn provider_costs_flow_into_virtual_time() {
+    // A deployment under the expensive RSA-1536 scheme must exhibit
+    // higher order latency than RSA-1024, because the provider charges
+    // more virtual signing time.
+    let run = |scheme| {
+        let mut d = ScWorldBuilder::new(1, Variant::Sc, scheme)
+            .batching_interval(SimDuration::from_ms(200))
+            .client(ClientSpec {
+                rate_per_sec: 50.0,
+                request_size: 100,
+                stop_at: SimTime::from_secs(3),
+            })
+            .seed(33)
+            .build();
+        d.start();
+        d.run_until(SimTime::from_secs(6));
+        let events = d.world.drain_events();
+        analysis::mean_latency_ms(&events, SimTime::from_secs(1)).unwrap()
+    };
+    let cheap = run(SchemeId::Md5Rsa1024);
+    let pricey = run(SchemeId::Md5Rsa1536);
+    assert!(
+        pricey > cheap * 1.5,
+        "RSA-1536 ({pricey:.1} ms) must cost well over RSA-1024 ({cheap:.1} ms)"
+    );
+}
+
+#[test]
+fn umbrella_reexports_compose() {
+    // Spot-check that the façade exposes the substrates coherently.
+    let t = sofbyz::proto::topology::Topology::new(2, Variant::Sc);
+    assert_eq!(t.n(), 7);
+    let mut kv = KvStore::new();
+    let reply = StateMachine::apply(
+        &mut kv,
+        &KvOp::Put { key: b"x".to_vec(), value: b"y".to_vec() }.to_bytes(),
+    );
+    assert_eq!(reply, b"OK");
+    let mut provs = Dealer::sim(SchemeId::Sha1Dsa1024, 2, 3);
+    let sig = provs[0].sign(b"m");
+    assert!(provs[1].verify(0, b"m", &sig));
+}

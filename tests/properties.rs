@@ -1,0 +1,216 @@
+//! Property-based tests (proptest): protocol invariants under randomized
+//! parameters, schedules (seeds) and fault plans, plus algebraic laws of
+//! the crypto substrate.
+
+use proptest::prelude::*;
+
+use sofbyz::core::analysis;
+use sofbyz::core::config::Fault;
+use sofbyz::core::sim::{ClientSpec, ScWorldBuilder};
+use sofbyz::crypto::bignum::BigUint;
+use sofbyz::crypto::provider::{CryptoProvider, Dealer};
+use sofbyz::crypto::scheme::SchemeId;
+use sofbyz::proto::codec::{Decode, Encode};
+use sofbyz::proto::ids::{ClientId, ProcessId, SeqNo};
+use sofbyz::proto::request::Request;
+use sofbyz::proto::topology::Variant;
+use sofbyz::sim::time::{SimDuration, SimTime};
+
+// ---------------------------------------------------------------------
+// Bignum laws (vs u128 reference model)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bignum_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = BigUint::from_u64(a).add(&BigUint::from_u64(b));
+        let expect = u128::from(a) + u128::from(b);
+        prop_assert_eq!(sum.to_bytes_be(), biguint_from_u128(expect).to_bytes_be());
+    }
+
+    #[test]
+    fn bignum_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        let expect = u128::from(a) * u128::from(b);
+        prop_assert_eq!(prod.to_bytes_be(), biguint_from_u128(expect).to_bytes_be());
+    }
+
+    #[test]
+    fn bignum_div_rem_reconstructs(a in any::<u128>(), b in 1u64..) {
+        let dividend = biguint_from_u128(a);
+        let divisor = BigUint::from_u64(b);
+        let (q, r) = dividend.div_rem(&divisor);
+        prop_assert!(r < divisor);
+        prop_assert_eq!(q.mul(&divisor).add(&r), dividend);
+    }
+
+    #[test]
+    fn bignum_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        let back = BigUint::from_bytes_be(&v.to_bytes_be());
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn bignum_mod_pow_mul_law(a in 2u64..1_000, b in 2u64..1_000, m in 3u64..100_000) {
+        // (a*b) mod m == (a mod m * b mod m) mod m via mod_pow exponent 1.
+        let m = BigUint::from_u64(m | 1);
+        let lhs = BigUint::from_u64(a).mul_mod(&BigUint::from_u64(b), &m);
+        let rhs = BigUint::from_u64(a)
+            .mod_pow(&BigUint::from_u64(1), &m)
+            .mul_mod(&BigUint::from_u64(b).mod_pow(&BigUint::from_u64(1), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+fn biguint_from_u128(v: u128) -> BigUint {
+    BigUint::from_bytes_be(&v.to_be_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Codec and signature properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn request_codec_roundtrips(
+        client in any::<u32>(),
+        seq in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let r = Request::new(ClientId(client), seq, payload);
+        let decoded = Request::from_bytes(&r.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn sim_signatures_bind_signer_and_content(
+        msg_a in proptest::collection::vec(any::<u8>(), 1..128),
+        msg_b in proptest::collection::vec(any::<u8>(), 1..128),
+        master in any::<u64>(),
+    ) {
+        let mut provs = Dealer::sim(SchemeId::Md5Rsa1024, 3, master);
+        let sig = provs[0].sign(&msg_a);
+        prop_assert!(provs[1].verify(0, &msg_a, &sig));
+        // Signer binding.
+        prop_assert!(!provs[1].verify(1, &msg_a, &sig));
+        // Content binding.
+        if msg_a != msg_b {
+            prop_assert!(!provs[1].verify(0, &msg_b, &sig));
+        }
+    }
+
+    #[test]
+    fn macs_bind_pair_and_content(
+        msg in proptest::collection::vec(any::<u8>(), 1..128),
+        master in any::<u64>(),
+    ) {
+        let mut provs = Dealer::sim(SchemeId::Sha1Dsa1024, 4, master);
+        let tag = provs[0].mac(1, &msg);
+        prop_assert!(provs[1].verify_mac(0, &msg, &tag));
+        // A different pair's key fails.
+        prop_assert!(!provs[2].verify_mac(3, &msg, &tag));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol invariants under randomized schedules and fault plans
+// ---------------------------------------------------------------------
+
+fn fault_strategy() -> impl Strategy<Value = (ProcessId, Fault)> {
+    prop_oneof![
+        // Faulty coordinator replica (rank 1 or 2), value domain.
+        (1u64..8).prop_map(|s| (ProcessId(0), Fault::CorruptOrderAt(SeqNo(s)))),
+        (1u64..8).prop_map(|s| (ProcessId(1), Fault::CorruptOrderAt(SeqNo(s)))),
+        // Muted coordinator (time domain).
+        (1u64..8).prop_map(|s| (ProcessId(0), Fault::MuteCoordinatorAt(SeqNo(s)))),
+        // Byzantine shadow / silent acker.
+        Just((ProcessId(5), Fault::RubberStamp)),
+        Just((ProcessId(3), Fault::DropAcks)),
+        Just((ProcessId(4), Fault::None)),
+    ]
+}
+
+proptest! {
+    // End-to-end simulations are comparatively expensive; keep the case
+    // count moderate (each case is a full deterministic run).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sc_total_order_safe_under_any_single_fault_and_schedule(
+        seed in any::<u64>(),
+        (who, fault) in fault_strategy(),
+        interval_ms in 40u64..200,
+    ) {
+        let mut d = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
+            .batching_interval(SimDuration::from_ms(interval_ms))
+            .client(ClientSpec {
+                rate_per_sec: 150.0,
+                request_size: 100,
+                stop_at: SimTime::from_secs(2),
+            })
+            .fault(who, fault)
+            .seed(seed)
+            .build();
+        d.start();
+        d.run_until(SimTime::from_secs(6));
+        let events = d.world.drain_events();
+        // SAFETY is unconditional.
+        analysis::check_total_order(&events).map_err(|e| {
+            TestCaseError::fail(format!("seed {seed}: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn scr_total_order_safe_under_any_single_fault_and_schedule(
+        seed in any::<u64>(),
+        (who, fault) in fault_strategy(),
+    ) {
+        let mut d = ScWorldBuilder::new(2, Variant::Scr, SchemeId::Md5Rsa1024)
+            .batching_interval(SimDuration::from_ms(80))
+            .client(ClientSpec {
+                rate_per_sec: 100.0,
+                request_size: 100,
+                stop_at: SimTime::from_secs(2),
+            })
+            .fault(who, fault)
+            .seed(seed)
+            .build();
+        d.start();
+        d.run_until(SimTime::from_secs(6));
+        let events = d.world.drain_events();
+        analysis::check_total_order(&events).map_err(|e| {
+            TestCaseError::fail(format!("seed {seed}: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn sc_liveness_without_faults(seed in any::<u64>()) {
+        let mut d = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
+            .batching_interval(SimDuration::from_ms(100))
+            .client(ClientSpec {
+                rate_per_sec: 80.0,
+                request_size: 100,
+                stop_at: SimTime::from_secs(2),
+            })
+            .seed(seed)
+            .build();
+        d.start();
+        d.run_until(SimTime::from_secs(6));
+        let events = d.world.drain_events();
+        analysis::check_total_order(&events).unwrap();
+        let n = d.topology.n();
+        let nodes: Vec<usize> = (0..n).collect();
+        let prefix = analysis::common_committed_prefix(&events, &nodes);
+        prop_assert!(
+            prefix.is_some_and(|p| p >= SeqNo(5)),
+            "seed {}: committed prefix too short: {:?}",
+            seed,
+            prefix
+        );
+    }
+}
