@@ -69,9 +69,16 @@ impl Encode for KvOp {
 impl Decode for KvOp {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(match dec.get_u8()? {
-            0 => KvOp::Put { key: dec.get_bytes()?, value: dec.get_bytes()? },
-            1 => KvOp::Get { key: dec.get_bytes()? },
-            2 => KvOp::Del { key: dec.get_bytes()? },
+            0 => KvOp::Put {
+                key: dec.get_bytes()?,
+                value: dec.get_bytes()?,
+            },
+            1 => KvOp::Get {
+                key: dec.get_bytes()?,
+            },
+            2 => KvOp::Del {
+                key: dec.get_bytes()?,
+            },
             3 => KvOp::Cas {
                 key: dec.get_bytes()?,
                 expect: dec.get_bytes()?,
@@ -162,7 +169,10 @@ mod tests {
     #[test]
     fn op_roundtrip() {
         let ops = vec![
-            KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
             KvOp::Get { key: b"k".to_vec() },
             KvOp::Del { key: b"k".to_vec() },
             KvOp::Cas {
@@ -179,7 +189,13 @@ mod tests {
     #[test]
     fn put_get_del() {
         let mut kv = KvStore::new();
-        assert_eq!(kv.apply_op(&KvOp::Put { key: b"a".to_vec(), value: b"1".to_vec() }), b"OK");
+        assert_eq!(
+            kv.apply_op(&KvOp::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec()
+            }),
+            b"OK"
+        );
         assert_eq!(kv.apply_op(&KvOp::Get { key: b"a".to_vec() }), b"1");
         assert_eq!(kv.apply_op(&KvOp::Del { key: b"a".to_vec() }), b"1");
         assert_eq!(kv.apply_op(&KvOp::Get { key: b"a".to_vec() }), b"");
@@ -189,7 +205,10 @@ mod tests {
     #[test]
     fn cas_semantics() {
         let mut kv = KvStore::new();
-        kv.apply_op(&KvOp::Put { key: b"x".to_vec(), value: b"1".to_vec() });
+        kv.apply_op(&KvOp::Put {
+            key: b"x".to_vec(),
+            value: b"1".to_vec(),
+        });
         let swapped = kv.apply_op(&KvOp::Cas {
             key: b"x".to_vec(),
             expect: b"1".to_vec(),
@@ -209,7 +228,10 @@ mod tests {
     fn state_digest_tracks_content_and_history() {
         let mut a = KvStore::new();
         let mut b = KvStore::new();
-        let op = KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() };
+        let op = KvOp::Put {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        };
         a.apply_op(&op);
         b.apply_op(&op);
         assert_eq!(a.state_digest(), b.state_digest());

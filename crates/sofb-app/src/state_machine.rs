@@ -136,7 +136,10 @@ mod tests {
         let err = ex.apply_batch(SeqNo(3), [[1u8]]).unwrap_err();
         assert_eq!(
             err,
-            ExecError::OutOfOrder { expected: SeqNo(1), got: SeqNo(3) }
+            ExecError::OutOfOrder {
+                expected: SeqNo(1),
+                got: SeqNo(3)
+            }
         );
         // Nothing applied.
         assert_eq!(ex.applied_ops(), 0);

@@ -124,7 +124,9 @@ mod tests {
     fn workloads_deterministic_by_seed() {
         let collect = |seed| {
             let mut w = KvWorkload::new(ClientId(0), KvMix::default(), seed);
-            (0..10).map(|_| w.next_request().payload).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| w.next_request().payload)
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(5), collect(5));
         assert_ne!(collect(5), collect(6));
@@ -132,7 +134,14 @@ mod tests {
 
     #[test]
     fn kv_requests_decode_to_ops() {
-        let mut w = KvWorkload::new(ClientId(2), KvMix { read_ratio: 0.0, ..KvMix::default() }, 3);
+        let mut w = KvWorkload::new(
+            ClientId(2),
+            KvMix {
+                read_ratio: 0.0,
+                ..KvMix::default()
+            },
+            3,
+        );
         let r = w.next_request();
         let op = KvOp::from_bytes(&r.payload).unwrap();
         assert!(matches!(op, KvOp::Put { .. }), "write-only mix yields puts");
@@ -142,7 +151,10 @@ mod tests {
     fn read_ratio_respected_roughly() {
         let mut w = KvWorkload::new(
             ClientId(0),
-            KvMix { read_ratio: 0.9, ..KvMix::default() },
+            KvMix {
+                read_ratio: 0.9,
+                ..KvMix::default()
+            },
             11,
         );
         let reads = (0..1000)

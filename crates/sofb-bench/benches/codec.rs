@@ -19,7 +19,10 @@ fn sample_msgs() -> Vec<ScMsg> {
         o: SeqNo(9),
         batch: BatchRef {
             requests: (0..10)
-                .map(|i| RequestId { client: ClientId(1), seq: i })
+                .map(|i| RequestId {
+                    client: ClientId(1),
+                    seq: i,
+                })
                 .collect(),
             digest: Digest(vec![7u8; 16]),
         },
@@ -38,9 +41,7 @@ fn sample_msgs() -> Vec<ScMsg> {
 fn bench_encode(c: &mut Criterion) {
     let msgs = sample_msgs();
     c.bench_function("encode-3-msgs", |b| {
-        b.iter(|| {
-            msgs.iter().map(|m| m.to_bytes().len()).sum::<usize>()
-        })
+        b.iter(|| msgs.iter().map(|m| m.to_bytes().len()).sum::<usize>())
     });
     c.bench_function("wire-len-3-msgs", |b| {
         b.iter(|| msgs.iter().map(|m| m.wire_len()).sum::<usize>())
@@ -51,10 +52,12 @@ fn bench_decode(c: &mut Criterion) {
     let encoded: Vec<Vec<u8>> = sample_msgs().iter().map(|m| m.to_bytes()).collect();
     c.bench_function("decode-3-msgs", |b| {
         b.iter(|| {
-            encoded
+            let ok = encoded
                 .iter()
-                .map(|bytes| ScMsg::from_bytes(bytes).expect("valid"))
-                .count()
+                .filter(|bytes| ScMsg::from_bytes(bytes).is_ok())
+                .count();
+            assert_eq!(ok, encoded.len(), "decode regression");
+            ok
         })
     });
 }

@@ -8,7 +8,11 @@ use sofb_bench::experiments::{bft_point, ct_point, sc_point, Window};
 use sofb_crypto::scheme::SchemeId;
 use sofb_proto::topology::Variant;
 
-const FAST: Window = Window { warmup_s: 1, run_s: 3, drain_s: 5 };
+const FAST: Window = Window {
+    warmup_s: 1,
+    run_s: 3,
+    drain_s: 5,
+};
 
 fn bench_protocol_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("end-to-end-3s-virtual");
@@ -22,9 +26,7 @@ fn bench_protocol_runs(c: &mut Criterion) {
     g.bench_function("bft-f1", |b| {
         b.iter(|| bft_point(1, SchemeId::Md5Rsa1024, 100, 5, FAST))
     });
-    g.bench_function("ct-f1", |b| {
-        b.iter(|| ct_point(1, 100, 5, FAST))
-    });
+    g.bench_function("ct-f1", |b| b.iter(|| ct_point(1, 100, 5, FAST)));
     g.finish();
 }
 

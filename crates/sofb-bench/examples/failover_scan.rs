@@ -12,8 +12,14 @@ fn main() {
                         failover_point(variant, scheme, pad_kb * 1024, seed)
                     });
                     match r {
-                        Err(_) => { println!("PANIC: {scheme} {variant:?} pad {pad_kb}KB seed {seed}"); bad += 1; }
-                        Ok(None) => { println!("NONE : {scheme} {variant:?} pad {pad_kb}KB seed {seed}"); bad += 1; }
+                        Err(_) => {
+                            println!("PANIC: {scheme} {variant:?} pad {pad_kb}KB seed {seed}");
+                            bad += 1;
+                        }
+                        Ok(None) => {
+                            println!("NONE : {scheme} {variant:?} pad {pad_kb}KB seed {seed}");
+                            bad += 1;
+                        }
                         Ok(Some(_)) => {}
                     }
                 }

@@ -1,0 +1,99 @@
+//! Machine-readable protocol smoke benchmark: one fixed-seed run per
+//! variant (SC, SCR, BFT, CT) through the unified harness, written to
+//! `BENCH_protocols.json` so successive changes have a perf trajectory to
+//! compare against.
+//!
+//! ```sh
+//! cargo run --release -p sofb-bench --bin bench_protocols [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sofb_bench::experiments::{protocol_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_harness::ProtocolKind;
+
+const F: u32 = 2;
+const INTERVAL_MS: u64 = 100;
+const SEED: u64 = 7;
+const WINDOW: Window = Window {
+    warmup_s: 2,
+    run_s: 10,
+    drain_s: 15,
+};
+
+fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.3}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_protocols.json".to_string());
+    let scheme = SchemeId::Md5Rsa1024;
+
+    let mut body = String::new();
+    writeln!(body, "{{").unwrap();
+    writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v1\",").unwrap();
+    writeln!(body, "  \"f\": {F},").unwrap();
+    writeln!(body, "  \"interval_ms\": {INTERVAL_MS},").unwrap();
+    writeln!(body, "  \"seed\": {SEED},").unwrap();
+    writeln!(body, "  \"scheme\": \"{scheme}\",").unwrap();
+    writeln!(
+        body,
+        "  \"window_s\": {{\"warmup\": {}, \"run\": {}, \"drain\": {}}},",
+        WINDOW.warmup_s, WINDOW.run_s, WINDOW.drain_s
+    )
+    .unwrap();
+    writeln!(body, "  \"variants\": [").unwrap();
+
+    for (i, kind) in ProtocolKind::ALL.iter().enumerate() {
+        let wall = Instant::now();
+        let p = protocol_point(*kind, F, scheme, INTERVAL_MS, SEED, WINDOW);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "{kind}: throughput {:.1} req/proc/s, latency p50 {} / p99 {} ms ({wall_ms:.0} ms wall)",
+            p.throughput,
+            json_num(p.p50_ms),
+            json_num(p.p99_ms),
+        );
+        writeln!(body, "    {{").unwrap();
+        writeln!(body, "      \"name\": \"{kind}\",").unwrap();
+        writeln!(
+            body,
+            "      \"throughput_req_per_proc_s\": {:.3},",
+            p.throughput
+        )
+        .unwrap();
+        writeln!(body, "      \"latency_ms\": {{").unwrap();
+        writeln!(body, "        \"mean\": {},", json_num(p.latency_ms)).unwrap();
+        writeln!(body, "        \"p50\": {},", json_num(p.p50_ms)).unwrap();
+        writeln!(body, "        \"p99\": {}", json_num(p.p99_ms)).unwrap();
+        writeln!(body, "      }},").unwrap();
+        writeln!(body, "      \"msgs_per_batch\": {:.3},", p.msgs_per_batch).unwrap();
+        writeln!(body, "      \"wall_ms\": {wall_ms:.1}").unwrap();
+        writeln!(
+            body,
+            "    }}{}",
+            if i + 1 < ProtocolKind::ALL.len() {
+                ","
+            } else {
+                ""
+            }
+        )
+        .unwrap();
+    }
+
+    writeln!(body, "  ]").unwrap();
+    writeln!(body, "}}").unwrap();
+
+    if let Err(e) = std::fs::write(&out_path, &body) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

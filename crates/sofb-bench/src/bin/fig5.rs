@@ -26,7 +26,10 @@ fn main() {
                 ms as f64,
                 sc_point(f, Variant::Sc, *scheme, ms, seed, window).throughput,
             );
-            bft.push(ms as f64, bft_point(f, *scheme, ms, seed, window).throughput);
+            bft.push(
+                ms as f64,
+                bft_point(f, *scheme, ms, seed, window).throughput,
+            );
             ct.push(ms as f64, ct_point(f, ms, seed, window).throughput);
         }
         println!(

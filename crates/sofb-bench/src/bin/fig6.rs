@@ -21,8 +21,7 @@ fn main() {
         for (variant, label) in [(Variant::Sc, "SC"), (Variant::Scr, "SCR")] {
             let mut s = Series::new(format!("{label}/{scheme}"));
             for &kb in &pads_kb {
-                let ms = failover_avg(variant, scheme, kb * 1024, runs)
-                    .unwrap_or(f64::NAN);
+                let ms = failover_avg(variant, scheme, kb * 1024, runs).unwrap_or(f64::NAN);
                 s.push(kb as f64, ms);
             }
             series.push(s);

@@ -10,7 +10,11 @@ use sofb_crypto::scheme::SchemeId;
 use sofb_proto::topology::Variant;
 
 fn main() {
-    let window = Window { warmup_s: 2, run_s: 10, drain_s: 20 };
+    let window = Window {
+        warmup_s: 2,
+        run_s: 10,
+        drain_s: 20,
+    };
     let interval = 200;
     let scheme = SchemeId::Md5Rsa1024;
     println!("## Messages per committed batch (f = 2, interval {interval} ms, {scheme})\n");
@@ -21,7 +25,12 @@ fn main() {
         let ct = ct_point(f, interval, 7, window);
         println!("# f = {f}");
         println!("{:>10} {:>16.1} {:>10}", "SC", sc.msgs_per_batch, 3 * f + 1);
-        println!("{:>10} {:>16.1} {:>10}", "BFT", bft.msgs_per_batch, 3 * f + 1);
+        println!(
+            "{:>10} {:>16.1} {:>10}",
+            "BFT",
+            bft.msgs_per_batch,
+            3 * f + 1
+        );
         println!("{:>10} {:>16.1} {:>10}", "CT", ct.msgs_per_batch, 2 * f + 1);
     }
     println!("\nExpected ordering: CT < SC < BFT at equal f (BFT's prepare phase\nis an extra n-to-n exchange that SC's 1-to-1 endorsement replaces).");

@@ -1,18 +1,25 @@
 //! Experiment runners for the §5 study.
 //!
-//! Each function runs one measurement point on the simulator and returns
-//! the paper's metric. The figure binaries (`fig4`, `fig5`, `fig6`,
-//! `f3_sweep`, `msg_counts`) sweep these points and print the series.
+//! Every measurement point runs through **one** generic code path,
+//! [`protocol_point`], parameterized by [`ProtocolKind`] — SC, SCR, BFT
+//! and CT are assembled by the same [`sofb_harness::WorldBuilder`], driven
+//! by the same client actor, and measured by the same analysis pass. The
+//! figure binaries (`fig4`, `fig5`, `fig6`, `f3_sweep`, `msg_counts`,
+//! `bench_protocols`) sweep these points and print the series.
 
-use sofb_bft::sim::BftWorldBuilder;
+use sofb_bft::sim::BftProtocol;
 use sofb_core::analysis;
 use sofb_core::config::Fault;
-use sofb_core::sim::{ClientSpec, ScWorldBuilder};
+use sofb_core::sim::ScProtocol;
 use sofb_crypto::scheme::SchemeId;
-use sofb_ct::sim::CtWorldBuilder;
+use sofb_ct::sim::CtProtocol;
+use sofb_harness::{ClientSpec, FaultSpec, Protocol, ProtocolKind, WorldBuilder};
 use sofb_proto::ids::{ProcessId, SeqNo};
 use sofb_proto::topology::Variant;
+use sofb_sim::engine::TimedEvent;
 use sofb_sim::time::{SimDuration, SimTime};
+
+pub use sofb_harness::ProtocolEvent;
 
 /// Measurement window for one sweep point.
 #[derive(Clone, Copy, Debug)]
@@ -29,7 +36,11 @@ pub struct Window {
 
 impl Default for Window {
     fn default() -> Self {
-        Window { warmup_s: 4, run_s: 14, drain_s: 45 }
+        Window {
+            warmup_s: 4,
+            run_s: 14,
+            drain_s: 45,
+        }
     }
 }
 
@@ -38,6 +49,10 @@ impl Default for Window {
 pub struct Point {
     /// Mean order latency (ms), if anything committed in the window.
     pub latency_ms: Option<f64>,
+    /// Median order latency (ms) over the same censored distribution.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile order latency (ms).
+    pub p99_ms: Option<f64>,
     /// Committed requests per process per second.
     pub throughput: f64,
     /// Messages transmitted per committed batch (network cost).
@@ -57,21 +72,24 @@ pub fn standard_clients(stop: SimTime) -> Vec<ClientSpec> {
         .collect()
 }
 
-fn summarize(
-    events: &[sofb_sim::engine::TimedEvent<sofb_core::events::ScEvent>],
-    window: Window,
-    messages_sent: u64,
-) -> Point {
+fn summarize(events: &[TimedEvent<ProtocolEvent>], window: Window, messages_sent: u64) -> Point {
     let warmup = SimTime::from_secs(window.warmup_s);
     let end = SimTime::from_secs(window.run_s);
     let horizon = SimTime::from_secs(window.run_s + window.drain_s);
-    let latency_ms = analysis::mean_latency_censored(events, warmup, end, horizon);
+    let lat = analysis::latency_histogram_censored(events, warmup, end, horizon);
+    let latency_ms = (!lat.is_empty()).then(|| lat.mean());
+    let (p50_ms, p99_ms) = if lat.is_empty() {
+        (None, None)
+    } else {
+        let ps = lat.percentiles(&[50.0, 99.0]);
+        (Some(ps[0]), Some(ps[1]))
+    };
     let throughput = analysis::throughput_per_process(events, warmup, end);
     let batches: usize = {
         use std::collections::HashSet;
         let mut seen: HashSet<SeqNo> = HashSet::new();
         for ev in events {
-            if let sofb_core::events::ScEvent::Committed { o, .. } = &ev.event {
+            if let ProtocolEvent::Committed { o, .. } = &ev.event {
                 seen.insert(*o);
             }
         }
@@ -82,27 +100,29 @@ fn summarize(
     } else {
         messages_sent as f64 / batches as f64
     };
-    Point { latency_ms, throughput, msgs_per_batch }
+    Point {
+        latency_ms,
+        p50_ms,
+        p99_ms,
+        throughput,
+        msgs_per_batch,
+    }
 }
 
-/// One SC (or SCR) sweep point.
-pub fn sc_point(
-    f: u32,
-    variant: Variant,
-    scheme: SchemeId,
+/// The generic sweep-point runner: builds protocol `P` through the
+/// unified harness, applies the standard §5 workload, runs the window and
+/// summarizes — identical measurement code for every variant.
+fn run_point<P: Protocol>(
+    mut builder: WorldBuilder<P>,
     interval_ms: u64,
     seed: u64,
     window: Window,
 ) -> Point {
     let stop = SimTime::from_secs(window.run_s);
     let horizon = SimTime::from_secs(window.run_s + window.drain_s);
-    let mut builder = ScWorldBuilder::new(f, variant, scheme)
+    builder = builder
         .batching_interval(SimDuration::from_ms(interval_ms))
-        .seed(seed)
-        // Best case (§5): "no failures and also no suspicions of
-        // failures" — detection off so saturation cannot masquerade as a
-        // failure (assumption 3(a)(i): estimates are accurate).
-        .time_checks(false);
+        .seed(seed);
     for c in standard_clients(stop) {
         builder = builder.client(c);
     }
@@ -114,40 +134,77 @@ pub fn sc_point(
     summarize(&events, window, d.world.messages_sent())
 }
 
+/// One sweep point for any protocol variant — the single entry point the
+/// figure binaries dispatch through.
+pub fn protocol_point(
+    kind: ProtocolKind,
+    f: u32,
+    scheme: SchemeId,
+    interval_ms: u64,
+    seed: u64,
+    window: Window,
+) -> Point {
+    match kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => {
+            let variant = if kind == ProtocolKind::Sc {
+                Variant::Sc
+            } else {
+                Variant::Scr
+            };
+            let builder = WorldBuilder::<ScProtocol>::new(f)
+                .variant(variant)
+                .scheme(scheme)
+                // Best case (§5): "no failures and also no suspicions of
+                // failures" — detection off so saturation cannot
+                // masquerade as a failure (assumption 3(a)(i): estimates
+                // are accurate).
+                .time_checks(false);
+            run_point(builder, interval_ms, seed, window)
+        }
+        ProtocolKind::Bft => {
+            let builder = WorldBuilder::<BftProtocol>::new(f).scheme(scheme);
+            run_point(builder, interval_ms, seed, window)
+        }
+        ProtocolKind::Ct => {
+            // CT reads no crypto knobs, but forward the scheme anyway so
+            // the unified entry point treats every argument uniformly.
+            let builder = WorldBuilder::<CtProtocol>::new(f).scheme(scheme);
+            run_point(builder, interval_ms, seed, window)
+        }
+    }
+}
+
+/// One SC (or SCR) sweep point.
+pub fn sc_point(
+    f: u32,
+    variant: Variant,
+    scheme: SchemeId,
+    interval_ms: u64,
+    seed: u64,
+    window: Window,
+) -> Point {
+    let kind = match variant {
+        Variant::Sc => ProtocolKind::Sc,
+        Variant::Scr => ProtocolKind::Scr,
+    };
+    protocol_point(kind, f, scheme, interval_ms, seed, window)
+}
+
 /// One BFT sweep point.
 pub fn bft_point(f: u32, scheme: SchemeId, interval_ms: u64, seed: u64, window: Window) -> Point {
-    let stop = SimTime::from_secs(window.run_s);
-    let horizon = SimTime::from_secs(window.run_s + window.drain_s);
-    let mut builder = BftWorldBuilder::new(f, scheme)
-        .batching_interval(SimDuration::from_ms(interval_ms))
-        .seed(seed);
-    for c in standard_clients(stop) {
-        builder = builder.client(c.rate_per_sec, c.request_size, c.stop_at);
-    }
-    let (mut world, _) = builder.build();
-    world.start();
-    world.run_until(horizon);
-    let events = world.drain_events();
-    analysis::check_total_order(&events).expect("safety violated in benchmark run");
-    summarize(&events, window, world.messages_sent())
+    protocol_point(ProtocolKind::Bft, f, scheme, interval_ms, seed, window)
 }
 
 /// One CT sweep point.
 pub fn ct_point(f: u32, interval_ms: u64, seed: u64, window: Window) -> Point {
-    let stop = SimTime::from_secs(window.run_s);
-    let horizon = SimTime::from_secs(window.run_s + window.drain_s);
-    let mut builder = CtWorldBuilder::new(f)
-        .batching_interval(SimDuration::from_ms(interval_ms))
-        .seed(seed);
-    for c in standard_clients(stop) {
-        builder = builder.client(c.rate_per_sec, c.request_size, c.stop_at);
-    }
-    let (mut world, _) = builder.build();
-    world.start();
-    world.run_until(horizon);
-    let events = world.drain_events();
-    analysis::check_total_order(&events).expect("safety violated in benchmark run");
-    summarize(&events, window, world.messages_sent())
+    protocol_point(
+        ProtocolKind::Ct,
+        f,
+        SchemeId::NoCrypto,
+        interval_ms,
+        seed,
+        window,
+    )
 }
 
 /// One fail-over measurement (Figure 6): a single value-domain fault at
@@ -161,18 +218,23 @@ pub fn failover_point(
 ) -> Option<f64> {
     let f = 2;
     let stop = SimTime::from_secs(8);
-    let mut d = ScWorldBuilder::new(f, variant, scheme)
+    let builder = WorldBuilder::<ScProtocol>::new(f)
+        .variant(variant)
+        .scheme(scheme)
         .batching_interval(SimDuration::from_ms(100))
         .order_timeout(SimDuration::from_ms(1_500))
         .backlog_pad(backlog_pad)
         .seed(seed)
-        .fault(ProcessId(0), Fault::CorruptOrderAt(SeqNo(4)))
+        .fault(
+            ProcessId(0),
+            FaultSpec::Byzantine(Fault::CorruptOrderAt(SeqNo(4))),
+        )
         .client(ClientSpec {
             rate_per_sec: 80.0,
             request_size: 100,
             stop_at: stop,
-        })
-        .build();
+        });
+    let mut d = builder.build();
     d.start();
     d.run_until(stop);
     let events = d.world.drain_events();
@@ -203,7 +265,11 @@ pub fn failover_avg(
 mod tests {
     use super::*;
 
-    const FAST: Window = Window { warmup_s: 2, run_s: 6, drain_s: 10 };
+    const FAST: Window = Window {
+        warmup_s: 2,
+        run_s: 6,
+        drain_s: 10,
+    };
 
     #[test]
     fn sc_point_produces_sane_metrics() {
@@ -241,5 +307,13 @@ mod tests {
             large > small,
             "fail-over latency must grow with BackLog size: {small} vs {large}"
         );
+    }
+
+    #[test]
+    fn all_four_kinds_run_through_one_path() {
+        for kind in ProtocolKind::ALL {
+            let p = protocol_point(kind, 1, SchemeId::Md5Rsa1024, 200, 9, FAST);
+            assert!(p.latency_ms.is_some(), "{kind}: nothing committed");
+        }
     }
 }

@@ -32,7 +32,11 @@ fn sc_large_backlog_failover_is_safe() {
 /// steady state and the DSA gap exceeds the RSA gap.
 #[test]
 fn headline_orderings_hold() {
-    let w = Window { warmup_s: 2, run_s: 6, drain_s: 10 };
+    let w = Window {
+        warmup_s: 2,
+        run_s: 6,
+        drain_s: 10,
+    };
     let sc_rsa = sc_point(2, Variant::Sc, SchemeId::Md5Rsa1024, 300, 3, w)
         .latency_ms
         .unwrap();

@@ -287,7 +287,10 @@ mod tests {
                 v: ViewId(1),
                 o: SeqNo(2),
                 batch: BatchRef {
-                    requests: vec![RequestId { client: ClientId(1), seq: 1 }],
+                    requests: vec![RequestId {
+                        client: ClientId(1),
+                        seq: 1,
+                    }],
                     digest: Digest(vec![7]),
                 },
                 formed_at_ns: 5,
@@ -295,7 +298,11 @@ mod tests {
             &mut provs[0],
         );
         let prep = Signed::sign(
-            PreparePayload { v: ViewId(1), o: SeqNo(2), digest: Digest(vec![7]) },
+            PreparePayload {
+                v: ViewId(1),
+                o: SeqNo(2),
+                digest: Digest(vec![7]),
+            },
             &mut provs[1],
         );
         let msgs = vec![
@@ -303,7 +310,11 @@ mod tests {
             BftMsg::PrePrepare(pp.clone()),
             BftMsg::Prepare(prep.clone()),
             BftMsg::Commit(Signed::sign(
-                CommitPayload { v: ViewId(1), o: SeqNo(2), digest: Digest(vec![7]) },
+                CommitPayload {
+                    v: ViewId(1),
+                    o: SeqNo(2),
+                    digest: Digest(vec![7]),
+                },
                 &mut provs[2],
             )),
             BftMsg::ViewChange(Signed::sign(

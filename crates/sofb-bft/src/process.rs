@@ -200,10 +200,17 @@ impl BftProcess {
         let payload = PrePreparePayload {
             v: self.v,
             o,
-            batch: BatchRef { requests: members, digest },
+            batch: BatchRef {
+                requests: members,
+                digest,
+            },
             formed_at_ns,
         };
-        ctx.emit(ScEvent::OrderProposed { o, batch_len: payload.batch.len(), formed_at_ns });
+        ctx.emit(ScEvent::OrderProposed {
+            o,
+            batch_len: payload.batch.len(),
+            formed_at_ns,
+        });
         let signed = Signed::sign(payload, self.provider.as_mut());
         self.multicast(ctx, BftMsg::PrePrepare(signed));
     }
@@ -300,14 +307,18 @@ impl BftProcess {
                 .map(|p| p.signer)
                 .collect();
             votes.insert(pp.signer);
-            if votes.len() >= 2 * f + 1 {
+            if votes.len() > 2 * f {
                 slot.prepared = true;
             }
         }
         if slot.prepared && !slot.commit_sent {
             slot.commit_sent = true;
             let com = Signed::sign(
-                CommitPayload { v: self.v, o, digest: digest.clone() },
+                CommitPayload {
+                    v: self.v,
+                    o,
+                    digest: digest.clone(),
+                },
                 self.provider.as_mut(),
             );
             // Record own commit directly and multicast to the rest.
@@ -376,11 +387,18 @@ impl BftProcess {
             })
             .collect();
         let vc = Signed::sign(
-            ViewChangePayload { v, last_committed: self.last_committed, prepared },
+            ViewChangePayload {
+                v,
+                last_committed: self.last_committed,
+                prepared,
+            },
             self.provider.as_mut(),
         );
         let me = ProcessId(self.cfg.me);
-        self.view_changes.entry(v).or_default().insert(me, vc.clone());
+        self.view_changes
+            .entry(v)
+            .or_default()
+            .insert(me, vc.clone());
         self.multicast(ctx, BftMsg::ViewChange(vc));
         self.maybe_new_view(v, ctx);
     }
@@ -397,7 +415,10 @@ impl BftProcess {
         if !vc.verify(self.provider.as_mut()) {
             return;
         }
-        self.view_changes.entry(v).or_default().insert(vc.signer, vc);
+        self.view_changes
+            .entry(v)
+            .or_default()
+            .insert(vc.signer, vc);
         // Join once f+1 replicas vote (a correct replica is among them).
         if self.view_changes[&v].len() > self.cfg.f as usize {
             self.start_view_change(v, ctx);
@@ -423,7 +444,9 @@ impl BftProcess {
             max_committed = max_committed.max(vc.payload.last_committed);
             for proof in &vc.payload.prepared {
                 let o = proof.pre_prepare.payload.o;
-                carried.entry(o).or_insert_with(|| proof.pre_prepare.clone());
+                carried
+                    .entry(o)
+                    .or_insert_with(|| proof.pre_prepare.clone());
             }
         }
         let mut pre_prepares: Vec<Signed<PrePreparePayload>> = Vec::new();
@@ -442,7 +465,11 @@ impl BftProcess {
             max_o = (*o).max(max_o);
         }
         let nv = Signed::sign(
-            NewViewPayload { v, view_changes, pre_prepares: pre_prepares.clone() },
+            NewViewPayload {
+                v,
+                view_changes,
+                pre_prepares: pre_prepares.clone(),
+            },
             self.provider.as_mut(),
         );
         self.enter_view(v, max_o.next(), ctx);
@@ -464,8 +491,7 @@ impl BftProcess {
         let mut voters = HashSet::new();
         let mut valid = 0usize;
         for vc in &nv.payload.view_changes {
-            if vc.payload.v == v && voters.insert(vc.signer) && vc.verify(self.provider.as_mut())
-            {
+            if vc.payload.v == v && voters.insert(vc.signer) && vc.verify(self.provider.as_mut()) {
                 valid += 1;
             }
         }
@@ -515,11 +541,8 @@ impl Actor for BftProcess {
         if self.i_am_primary() {
             ctx.set_timer(self.cfg.batching_interval, TIMER_BATCH);
         }
-        if self.cfg.request_timeout.is_some() {
-            ctx.set_timer(
-                self.cfg.request_timeout.expect("checked"),
-                TIMER_REQUEST_CHECK,
-            );
+        if let Some(timeout) = self.cfg.request_timeout {
+            ctx.set_timer(timeout, TIMER_REQUEST_CHECK);
         }
     }
 
@@ -591,7 +614,12 @@ mod tests {
     {
         let mut rng = StdRng::seed_from_u64(1);
         let mut events = Vec::new();
-        let mut ctx = Ctx::standalone(SimTime::ZERO, replica.cfg.me as usize, &mut rng, &mut events);
+        let mut ctx = Ctx::standalone(
+            SimTime::ZERO,
+            replica.cfg.me as usize,
+            &mut rng,
+            &mut events,
+        );
         f(replica, &mut ctx);
         let outputs = ctx.into_outputs();
         (outputs.sends, events)
@@ -653,9 +681,7 @@ mod tests {
     fn backup_prepares_on_pre_prepare() {
         let mut replicas = deployment(1);
         drive(&mut replicas[0], |r, ctx| r.on_request(request(1), ctx));
-        let (sends, _) = {
-            drive(&mut replicas[0], |r, ctx| r.propose_batch(ctx))
-        };
+        let (sends, _) = { drive(&mut replicas[0], |r, ctx| r.propose_batch(ctx)) };
         let pp = sends
             .iter()
             .find_map(|(_, m)| match m {
@@ -665,9 +691,7 @@ mod tests {
             .expect("pre-prepare sent");
         // Backup 1 receives it and multicasts a prepare.
         drive(&mut replicas[1], |r, ctx| r.on_request(request(1), ctx));
-        let (sends, _) = drive(&mut replicas[1], |r, ctx| {
-            r.on_pre_prepare(pp.clone(), ctx)
-        });
+        let (sends, _) = drive(&mut replicas[1], |r, ctx| r.on_pre_prepare(pp.clone(), ctx));
         let prepares = sends
             .iter()
             .filter(|(_, m)| matches!(m, BftMsg::Prepare(_)))
@@ -677,9 +701,7 @@ mod tests {
         let (sends, _) = drive(&mut replicas[0], |r, ctx| {
             r.on_pre_prepare(pp, ctx);
         });
-        assert!(sends
-            .iter()
-            .all(|(_, m)| !matches!(m, BftMsg::Prepare(_))));
+        assert!(sends.iter().all(|(_, m)| !matches!(m, BftMsg::Prepare(_))));
     }
 
     #[test]

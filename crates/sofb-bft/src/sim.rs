@@ -1,13 +1,18 @@
-//! Harness: assemble a BFT deployment inside the simulator (same client
-//! and network shape as the SC harness, for apples-to-apples sweeps).
+//! Harness glue: the BFT [`Protocol`] implementation and the historical
+//! [`BftWorldBuilder`] facade.
+//!
+//! The client actor, world assembly and fault plan all come from the
+//! generic harness (`sofb-harness`), so a BFT deployment is exactly an SC
+//! deployment with a different `Protocol` parameter — the
+//! apples-to-apples property the paper's §5 comparisons rely on.
 
 use sofb_crypto::provider::Dealer;
 use sofb_crypto::scheme::SchemeId;
-use sofb_proto::ids::ClientId;
+use sofb_harness::{ClientSpec, Deployment, FaultSpec, Knobs, Protocol, WorldBuilder};
+use sofb_proto::ids::ProcessId;
 use sofb_proto::request::Request;
 use sofb_sim::cpu::CpuModel;
-use sofb_sim::delay::{LinkModel, NetworkModel};
-use sofb_sim::engine::{Actor, Ctx, World};
+use sofb_sim::engine::{Actor, World};
 use sofb_sim::time::{SimDuration, SimTime};
 
 use sofb_core::events::ScEvent;
@@ -15,140 +20,122 @@ use sofb_core::events::ScEvent;
 use crate::messages::BftMsg;
 use crate::process::{BftConfig, BftProcess};
 
-const TIMER_CLIENT: u64 = 100;
+/// Scripted BFT misbehaviours expressible through the uniform
+/// [`FaultSpec`] plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BftByz {
+    /// The replica stops proposing when primary (it still acks and
+    /// commits — the classic view-change trigger).
+    MutePrimary,
+}
 
-/// A synthetic client for the BFT world (multicasts to all replicas).
+/// The Castro–Liskov BFT baseline, as hosted by the generic harness.
 #[derive(Debug)]
-pub struct BftClient {
-    id: ClientId,
-    n: usize,
-    request_size: usize,
-    interval: SimDuration,
-    stop_at: SimTime,
-    next_seq: u64,
-}
+pub struct BftProtocol;
 
-impl BftClient {
-    /// Creates a client issuing `rate_per_sec` requests until `stop_at`.
-    pub fn new(id: ClientId, n: usize, request_size: usize, rate_per_sec: f64, stop_at: SimTime) -> Self {
-        assert!(rate_per_sec > 0.0);
-        BftClient {
-            id,
-            n,
-            request_size,
-            interval: SimDuration((1e9 / rate_per_sec) as u64),
-            stop_at,
-            next_seq: 0,
-        }
-    }
-}
-
-impl Actor for BftClient {
+impl Protocol for BftProtocol {
     type Msg = BftMsg;
-    type Event = ScEvent;
+    type Byz = BftByz;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, BftMsg, ScEvent>) {
-        ctx.set_timer(self.interval, TIMER_CLIENT);
+    const NAME: &'static str = "BFT";
+
+    fn node_count(knobs: &Knobs) -> usize {
+        3 * knobs.f as usize + 1
     }
 
-    fn on_message(&mut self, _f: usize, _m: BftMsg, _c: &mut Ctx<'_, BftMsg, ScEvent>) {}
+    fn build_nodes(
+        knobs: &Knobs,
+        byz: &[(ProcessId, BftByz)],
+    ) -> Vec<Box<dyn Actor<Msg = BftMsg, Event = ScEvent>>> {
+        let n = Self::node_count(knobs);
+        let providers = Dealer::sim(knobs.scheme, n, knobs.seed ^ 0xbf7);
+        providers
+            .into_iter()
+            .enumerate()
+            .map(|(i, provider)| {
+                let mut cfg = BftConfig::new(knobs.f, i as u32, knobs.scheme);
+                cfg.batching_interval = knobs.batching_interval;
+                cfg.batch_max_bytes = knobs.batch_max_bytes;
+                cfg.request_timeout = knobs.request_timeout;
+                cfg.mute_primary = byz
+                    .iter()
+                    .any(|(p, b)| p.0 as usize == i && *b == BftByz::MutePrimary);
+                Box::new(BftProcess::new(cfg, Box::new(provider)))
+                    as Box<dyn Actor<Msg = BftMsg, Event = ScEvent>>
+            })
+            .collect()
+    }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, BftMsg, ScEvent>) {
-        if tag != TIMER_CLIENT || ctx.now() >= self.stop_at {
-            return;
-        }
-        self.next_seq += 1;
-        let req = Request::new(self.id, self.next_seq, vec![0xcdu8; self.request_size]);
-        for p in 0..self.n {
-            ctx.send(p, BftMsg::Request(req.clone()));
-        }
-        ctx.set_timer(self.interval, TIMER_CLIENT);
+    fn request_msg(req: Request) -> BftMsg {
+        BftMsg::Request(req)
     }
 }
 
-/// Builder for a simulated BFT deployment.
+/// Builder for a simulated BFT deployment (thin facade over the generic
+/// [`WorldBuilder`]).
 #[derive(Debug)]
 pub struct BftWorldBuilder {
-    f: u32,
-    scheme: SchemeId,
-    seed: u64,
-    batching_interval: SimDuration,
-    request_timeout: Option<SimDuration>,
-    mute_primary: bool,
-    cpu: CpuModel,
-    clients: Vec<(f64, usize, SimTime)>,
-    lan_link: LinkModel,
+    inner: WorldBuilder<BftProtocol>,
 }
 
 impl BftWorldBuilder {
     /// Starts a builder for resilience `f` under `scheme`.
     pub fn new(f: u32, scheme: SchemeId) -> Self {
         BftWorldBuilder {
-            f,
-            scheme,
-            seed: 42,
-            batching_interval: SimDuration::from_ms(100),
-            request_timeout: None,
-            mute_primary: false,
-            cpu: CpuModel::default(),
-            clients: Vec::new(),
-            lan_link: LinkModel::lan_100mbit(),
+            inner: WorldBuilder::new(f).scheme(scheme),
         }
     }
 
     /// Sets the deterministic seed.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// Sets the batching interval.
     pub fn batching_interval(mut self, d: SimDuration) -> Self {
-        self.batching_interval = d;
+        self.inner = self.inner.batching_interval(d);
         self
     }
 
     /// Enables view changes with the given request timeout.
     pub fn request_timeout(mut self, d: SimDuration) -> Self {
-        self.request_timeout = Some(d);
+        self.inner = self.inner.request_timeout(d);
         self
     }
 
     /// Makes the initial primary mute (view-change tests).
     pub fn mute_primary(mut self) -> Self {
-        self.mute_primary = true;
+        self.inner = self
+            .inner
+            .fault(ProcessId(0), FaultSpec::Byzantine(BftByz::MutePrimary));
         self
     }
 
     /// Overrides the CPU model.
     pub fn cpu(mut self, cpu: CpuModel) -> Self {
-        self.cpu = cpu;
+        self.inner = self.inner.cpu(cpu);
+        self
+    }
+
+    /// Installs a uniform fault (crash / mute / delay / Byzantine) on one
+    /// replica.
+    pub fn fault(mut self, p: ProcessId, spec: FaultSpec<BftByz>) -> Self {
+        self.inner = self.inner.fault(p, spec);
         self
     }
 
     /// Adds a client: (rate/s, request size, stop time).
     pub fn client(mut self, rate_per_sec: f64, request_size: usize, stop_at: SimTime) -> Self {
-        self.clients.push((rate_per_sec, request_size, stop_at));
+        self.inner = self
+            .inner
+            .client(ClientSpec::new(rate_per_sec, request_size, stop_at));
         self
     }
 
     /// Assembles the world; returns it with the replica count.
     pub fn build(self) -> (World<BftMsg, ScEvent>, usize) {
-        let n = 3 * self.f as usize + 1;
-        let net = NetworkModel::uniform(self.lan_link.clone());
-        let mut world: World<BftMsg, ScEvent> = World::new(net, self.seed);
-        let providers = Dealer::sim(self.scheme, n, self.seed ^ 0xbf7);
-        for (i, provider) in providers.into_iter().enumerate() {
-            let mut cfg = BftConfig::new(self.f, i as u32, self.scheme);
-            cfg.batching_interval = self.batching_interval;
-            cfg.request_timeout = self.request_timeout;
-            cfg.mute_primary = self.mute_primary && i == 0;
-            world.add_node(Box::new(BftProcess::new(cfg, Box::new(provider))), self.cpu);
-        }
-        for (k, (rate, size, stop)) in self.clients.iter().enumerate() {
-            let client = BftClient::new(ClientId(k as u32), n, *size, *rate, *stop);
-            world.add_node(Box::new(client), CpuModel::zero());
-        }
-        (world, n)
+        let deployment: Deployment<BftProtocol> = self.inner.build();
+        (deployment.world, deployment.n_processes)
     }
 }

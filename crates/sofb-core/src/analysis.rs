@@ -17,7 +17,13 @@ use crate::events::ScEvent;
 pub fn order_latencies(events: &[TimedEvent<ScEvent>]) -> BTreeMap<SeqNo, f64> {
     let mut first_commit: BTreeMap<SeqNo, (SimTime, u64)> = BTreeMap::new();
     for ev in events {
-        if let ScEvent::Committed { o, formed_at_ns, requests, .. } = &ev.event {
+        if let ScEvent::Committed {
+            o,
+            formed_at_ns,
+            requests,
+            ..
+        } = &ev.event
+        {
             // Install Starts commit as empty batches; they carry no
             // client-visible ordering work and are excluded from latency.
             if *requests == 0 {
@@ -51,7 +57,10 @@ pub fn mean_latency_between(
     let mut h = Histogram::new();
     let mut first_commit: BTreeMap<SeqNo, (SimTime, u64)> = BTreeMap::new();
     for ev in events {
-        if let ScEvent::Committed { o, formed_at_ns, .. } = &ev.event {
+        if let ScEvent::Committed {
+            o, formed_at_ns, ..
+        } = &ev.event
+        {
             first_commit
                 .entry(*o)
                 .and_modify(|(t, _)| {
@@ -82,9 +91,26 @@ pub fn mean_latency_censored(
     to: SimTime,
     horizon: SimTime,
 ) -> Option<f64> {
+    let h = latency_histogram_censored(events, from, to, horizon);
+    (!h.is_empty()).then(|| h.mean())
+}
+
+/// The full censored order-latency distribution (ms) for batches formed
+/// in `[from, to]` — the same censoring rule as
+/// [`mean_latency_censored`], but exposing the whole histogram so
+/// harnesses can report medians and tail percentiles.
+pub fn latency_histogram_censored(
+    events: &[TimedEvent<ScEvent>],
+    from: SimTime,
+    to: SimTime,
+    horizon: SimTime,
+) -> Histogram {
     let mut formed: BTreeMap<SeqNo, u64> = BTreeMap::new();
     for ev in events {
-        if let ScEvent::OrderProposed { o, formed_at_ns, .. } = &ev.event {
+        if let ScEvent::OrderProposed {
+            o, formed_at_ns, ..
+        } = &ev.event
+        {
             formed.entry(*o).or_insert(*formed_at_ns);
         }
     }
@@ -105,7 +131,7 @@ pub fn mean_latency_censored(
         let end = first_commit.get(o).copied().unwrap_or(horizon);
         h.record((end.as_ns().saturating_sub(*f)) as f64 / 1e6);
     }
-    (!h.is_empty()).then(|| h.mean())
+    h
 }
 
 /// Mean order latency (ms) over commits in `[warmup, end]`, excluding the
@@ -114,7 +140,10 @@ pub fn mean_latency_ms(events: &[TimedEvent<ScEvent>], warmup: SimTime) -> Optio
     let mut h = Histogram::new();
     let mut first_commit: BTreeMap<SeqNo, (SimTime, u64)> = BTreeMap::new();
     for ev in events {
-        if let ScEvent::Committed { o, formed_at_ns, .. } = &ev.event {
+        if let ScEvent::Committed {
+            o, formed_at_ns, ..
+        } = &ev.event
+        {
             first_commit
                 .entry(*o)
                 .and_modify(|(t, _)| {
@@ -173,9 +202,9 @@ pub fn throughput_per_process(
 /// Fail-over latency (ms): first fail-signal issuance to the first
 /// Start-with-tuples issuance (§5's definition).
 pub fn failover_latency_ms(events: &[TimedEvent<ScEvent>]) -> Option<f64> {
-    let fs_at = events.iter().find_map(|ev| {
-        matches!(ev.event, ScEvent::FailSignalIssued { .. }).then_some(ev.time)
-    })?;
+    let fs_at = events
+        .iter()
+        .find_map(|ev| matches!(ev.event, ScEvent::FailSignalIssued { .. }).then_some(ev.time))?;
     let cert_at = events.iter().find_map(|ev| match ev.event {
         ScEvent::StartCertIssued { .. } if ev.time >= fs_at => Some(ev.time),
         _ => None,
@@ -222,10 +251,7 @@ pub fn check_total_order(events: &[TimedEvent<ScEvent>]) -> Result<(), String> {
 
 /// The largest sequence number committed by every one of `nodes` (liveness
 /// floor), if all of them committed anything.
-pub fn common_committed_prefix(
-    events: &[TimedEvent<ScEvent>],
-    nodes: &[usize],
-) -> Option<SeqNo> {
+pub fn common_committed_prefix(events: &[TimedEvent<ScEvent>], nodes: &[usize]) -> Option<SeqNo> {
     let mut max_per_node: HashMap<usize, SeqNo> = HashMap::new();
     for ev in events {
         if let ScEvent::Committed { o, .. } = &ev.event {
@@ -235,7 +261,11 @@ pub fn common_committed_prefix(
             }
         }
     }
-    nodes.iter().map(|n| max_per_node.get(n).copied()).min().flatten()
+    nodes
+        .iter()
+        .map(|n| max_per_node.get(n).copied())
+        .min()
+        .flatten()
 }
 
 #[cfg(test)]
@@ -243,7 +273,13 @@ mod tests {
     use super::*;
     use sofb_proto::ids::Rank;
 
-    fn committed(node: usize, t_ms: u64, o: u64, digest: u8, formed_ms: u64) -> TimedEvent<ScEvent> {
+    fn committed(
+        node: usize,
+        t_ms: u64,
+        o: u64,
+        digest: u8,
+        formed_ms: u64,
+    ) -> TimedEvent<ScEvent> {
         TimedEvent {
             time: SimTime::from_ms(t_ms),
             node,
@@ -281,11 +317,7 @@ mod tests {
     fn throughput_counts_requests() {
         let events = vec![committed(0, 500, 1, 1, 400), committed(1, 600, 1, 1, 400)];
         // 2 requests per commit, one commit per node, over 1 s window.
-        let tput = throughput_per_process(
-            &events,
-            SimTime::ZERO,
-            SimTime::from_secs(1),
-        );
+        let tput = throughput_per_process(&events, SimTime::ZERO, SimTime::from_secs(1));
         assert_eq!(tput, 2.0);
     }
 
@@ -303,12 +335,18 @@ mod tests {
             TimedEvent {
                 time: SimTime::from_ms(100),
                 node: 5,
-                event: ScEvent::FailSignalIssued { pair: Rank(1), value_domain: true },
+                event: ScEvent::FailSignalIssued {
+                    pair: Rank(1),
+                    value_domain: true,
+                },
             },
             TimedEvent {
                 time: SimTime::from_ms(130),
                 node: 1,
-                event: ScEvent::StartCertIssued { c: Rank(2), start_o: SeqNo(4) },
+                event: ScEvent::StartCertIssued {
+                    c: Rank(2),
+                    start_o: SeqNo(4),
+                },
             },
         ];
         assert_eq!(failover_latency_ms(&events), Some(30.0));
@@ -317,10 +355,7 @@ mod tests {
 
     #[test]
     fn common_prefix() {
-        let events = vec![
-            committed(0, 10, 3, 1, 5),
-            committed(1, 10, 2, 1, 5),
-        ];
+        let events = vec![committed(0, 10, 3, 1, 5), committed(1, 10, 2, 1, 5)];
         assert_eq!(common_committed_prefix(&events, &[0, 1]), Some(SeqNo(2)));
         assert_eq!(common_committed_prefix(&events, &[0, 1, 2]), None);
     }

@@ -119,7 +119,7 @@ impl CheckpointTracker {
         batch_digest.encode(&mut enc);
         self.running = Digest(provider.digest(&enc.into_bytes()));
         self.chained_up_to = o;
-        if self.enabled() && o.0 % self.interval == 0 && o > self.announced {
+        if self.enabled() && o.0.is_multiple_of(self.interval) && o > self.announced {
             self.announced = o;
             return Some(CheckpointPayload {
                 o,
@@ -143,10 +143,7 @@ impl CheckpointTracker {
         }
         let entry = self.votes.entry(payload.o).or_default();
         entry.insert(voter, payload.digest.clone());
-        let agreeing = entry
-            .values()
-            .filter(|d| **d == payload.digest)
-            .count();
+        let agreeing = entry.values().filter(|d| **d == payload.digest).count();
         if agreeing >= quorum {
             self.stable = Some((payload.o, payload.digest.clone()));
             // Older vote sets are moot.
@@ -180,7 +177,10 @@ mod tests {
         let ca = a.chain_commit(SeqNo(2), &d(2), &mut p).expect("boundary");
         b.chain_commit(SeqNo(1), &d(2), &mut p);
         let cb = b.chain_commit(SeqNo(2), &d(1), &mut p).expect("boundary");
-        assert_ne!(ca.digest, cb.digest, "different prefixes, different digests");
+        assert_ne!(
+            ca.digest, cb.digest,
+            "different prefixes, different digests"
+        );
     }
 
     #[test]
@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn votes_stabilize_at_quorum() {
         let mut t = CheckpointTracker::new(2);
-        let payload = CheckpointPayload { o: SeqNo(4), digest: d(9) };
+        let payload = CheckpointPayload {
+            o: SeqNo(4),
+            digest: d(9),
+        };
         assert!(t.record_vote(ProcessId(0), &payload, 3).is_none());
         assert!(t.record_vote(ProcessId(1), &payload, 3).is_none());
         // Duplicate voter does not advance the count.
@@ -240,8 +243,14 @@ mod tests {
     #[test]
     fn divergent_votes_do_not_stabilize() {
         let mut t = CheckpointTracker::new(2);
-        let good = CheckpointPayload { o: SeqNo(2), digest: d(1) };
-        let bad = CheckpointPayload { o: SeqNo(2), digest: d(2) };
+        let good = CheckpointPayload {
+            o: SeqNo(2),
+            digest: d(1),
+        };
+        let bad = CheckpointPayload {
+            o: SeqNo(2),
+            digest: d(2),
+        };
         assert!(t.record_vote(ProcessId(0), &good, 2).is_none());
         assert!(t.record_vote(ProcessId(1), &bad, 2).is_none());
         // A third vote agreeing with `good` stabilizes it.
@@ -250,7 +259,10 @@ mod tests {
 
     #[test]
     fn payload_codec_roundtrip() {
-        let p = CheckpointPayload { o: SeqNo(64), digest: d(7) };
+        let p = CheckpointPayload {
+            o: SeqNo(64),
+            digest: d(7),
+        };
         assert_eq!(CheckpointPayload::from_bytes(&p.to_bytes()).unwrap(), p);
     }
 
@@ -258,7 +270,10 @@ mod tests {
     fn signed_checkpoint_verifies() {
         use sofb_proto::signed::Signed;
         let mut provs = Dealer::sim(SchemeId::Md5Rsa1024, 2, 5);
-        let p = CheckpointPayload { o: SeqNo(8), digest: d(3) };
+        let p = CheckpointPayload {
+            o: SeqNo(8),
+            digest: d(3),
+        };
         let s = Signed::sign(p, &mut provs[0]);
         assert!(s.verify(&mut provs[1]));
     }

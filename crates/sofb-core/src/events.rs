@@ -1,94 +1,12 @@
 //! Observations the protocol emits for harnesses and tests.
+//!
+//! The event vocabulary now lives in the protocol-agnostic harness layer
+//! ([`sofb_harness::event::ProtocolEvent`]) so that SC/SCR, BFT and CT
+//! all emit the same observations and one analysis module measures every
+//! variant. This module re-exports it under its historical name.
 
-use sofb_proto::ids::{Rank, SeqNo, ViewId};
-use sofb_proto::request::{Digest, RequestId};
+pub use sofb_harness::event::ProtocolEvent;
 
-/// An observable protocol milestone.
-///
-/// The experiment harness derives every §5 measurement from these:
-/// order latency (batch `formed_at_ns` → first [`ScEvent::Committed`]),
-/// throughput (committed requests per process per second), fail-over
-/// latency ([`ScEvent::FailSignalIssued`] → [`ScEvent::StartCertIssued`]).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ScEvent {
-    /// An order was proposed by this coordinator replica.
-    OrderProposed {
-        /// Assigned sequence number.
-        o: SeqNo,
-        /// Number of requests in the batch.
-        batch_len: usize,
-        /// Batch formation instant (the latency origin) — lets the
-        /// harness censor batches that never commit within the horizon.
-        formed_at_ns: u64,
-    },
-    /// This process committed a sequence number (N3).
-    Committed {
-        /// Issuing candidate rank.
-        c: Rank,
-        /// Committed sequence number.
-        o: SeqNo,
-        /// Batch digest.
-        digest: Digest,
-        /// Number of member requests.
-        requests: usize,
-        /// The member request ids, in batch order (what an execution
-        /// layer replays against its state machine).
-        request_ids: Vec<RequestId>,
-        /// Batch formation time (ns) carried in the order.
-        formed_at_ns: u64,
-    },
-    /// This process emitted a doubly-signed fail-signal (§3.2).
-    FailSignalIssued {
-        /// The fail-signalling pair's rank.
-        pair: Rank,
-        /// True if due to a value-domain failure (vs. time-domain).
-        value_domain: bool,
-    },
-    /// A new coordinator candidate issued its Start with the required
-    /// `f+1` identifier-signature tuples (IN4 completion — the fail-over
-    /// latency endpoint of §5).
-    StartCertIssued {
-        /// The installed rank.
-        c: Rank,
-        /// The Start's own sequence number.
-        start_o: SeqNo,
-    },
-    /// This process considers the candidate installed (IN5).
-    Installed {
-        /// The installed rank.
-        c: Rank,
-    },
-    /// SCR: this process moved to a new view.
-    ViewChanged {
-        /// The new view.
-        v: ViewId,
-    },
-    /// SCR: a candidate pair declined a view (status not `up`).
-    UnwillingSent {
-        /// The declined view.
-        v: ViewId,
-    },
-    /// SCR: this pair's operative status recovered to `up`.
-    PairRecovered {
-        /// The recovering pair's rank.
-        pair: Rank,
-    },
-    /// A checkpoint stabilized (`n−f` agreeing votes); the order log was
-    /// truncated below it.
-    CheckpointStable {
-        /// Last sequence number of the stable prefix.
-        o: SeqNo,
-    },
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn events_are_comparable() {
-        let a = ScEvent::Installed { c: Rank(2) };
-        assert_eq!(a, ScEvent::Installed { c: Rank(2) });
-        assert_ne!(a, ScEvent::Installed { c: Rank(3) });
-    }
-}
+/// The SC/SCR protocol's observation type (alias of the uniform
+/// harness-level event; BFT and CT emit the same type).
+pub type ScEvent = ProtocolEvent;

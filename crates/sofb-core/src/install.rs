@@ -128,8 +128,11 @@ pub fn verify_choice(
                 }
             }
         }
-        let committed_possible: Vec<&&Digest> =
-            counts.iter().filter(|(_, n)| **n >= f_plus_1).map(|(d, _)| d).collect();
+        let committed_possible: Vec<&&Digest> = counts
+            .iter()
+            .filter(|(_, n)| **n >= f_plus_1)
+            .map(|(d, _)| d)
+            .collect();
         if !committed_possible.is_empty() && !committed_possible.iter().any(|cd| **cd == d) {
             return false;
         }
@@ -157,7 +160,10 @@ mod tests {
             c: Rank(1),
             o: SeqNo(o),
             batch: BatchRef {
-                requests: vec![RequestId { client: ClientId(1), seq: o }],
+                requests: vec![RequestId {
+                    client: ClientId(1),
+                    seq: o,
+                }],
                 digest: Digest(vec![digest]),
             },
             formed_at_ns: 0,
@@ -271,9 +277,9 @@ mod tests {
         let b3 = backlog(&mut provs, None, vec![good.clone()]);
         let b4 = backlog(&mut provs, None, vec![bad.clone()]);
         let own: Vec<&BackLogPayload> = vec![&b1, &b2, &b3, &b4];
-        assert!(verify_choice(&[good.clone()], &own, 3));
+        assert!(verify_choice(std::slice::from_ref(&good), &own, 3));
         // Choosing `bad` when `good` has f+1 support must be rejected.
-        assert!(!verify_choice(&[bad.clone()], &own, 3));
+        assert!(!verify_choice(std::slice::from_ref(&bad), &own, 3));
         // With no quorum on either, any choice passes.
         let own_small: Vec<&BackLogPayload> = vec![&b1, &b4];
         assert!(verify_choice(&[bad], &own_small, 3));

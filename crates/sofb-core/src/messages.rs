@@ -645,7 +645,10 @@ mod tests {
             c: Rank(1),
             o: SeqNo(5),
             batch: BatchRef {
-                requests: vec![RequestId { client: ClientId(1), seq: 1 }],
+                requests: vec![RequestId {
+                    client: ClientId(1),
+                    seq: 1,
+                }],
                 digest: Digest(vec![1, 2, 3, 4]),
             },
             formed_at_ns: 123_456,
@@ -684,7 +687,12 @@ mod tests {
             ScMsg::Request(Request::new(ClientId(1), 1, &b"x"[..])),
             ScMsg::OrderProposal(signed_order.clone()),
             ScMsg::Order(order.clone()),
-            ScMsg::Ack(Signed::sign(AckPayload { order: order.clone() }, &mut provs[2])),
+            ScMsg::Ack(Signed::sign(
+                AckPayload {
+                    order: order.clone(),
+                },
+                &mut provs[2],
+            )),
             ScMsg::FailSignal(fs.clone()),
             ScMsg::BackLog(Signed::sign(backlog.clone(), &mut provs[2])),
             ScMsg::StartProposal {
@@ -696,20 +704,35 @@ mod tests {
                 &mut provs[0],
             ))),
             ScMsg::StartSig(Signed::sign(
-                StartSigPayload { c: Rank(2), start_digest: Digest(vec![9]) },
+                StartSigPayload {
+                    c: Rank(2),
+                    start_digest: Digest(vec![9]),
+                },
                 &mut provs[3],
             )),
-            ScMsg::StartCert { c: Rank(2), tuples: vec![] },
+            ScMsg::StartCert {
+                c: Rank(2),
+                tuples: vec![],
+            },
             ScMsg::Heartbeat(Signed::sign(
-                HeartbeatPayload { pair: Rank(1), seq: 3 },
+                HeartbeatPayload {
+                    pair: Rank(1),
+                    seq: 3,
+                },
                 &mut provs[0],
             )),
             ScMsg::ViewChange(Signed::sign(
-                ViewChangePayload { v: ViewId(2), backlog: backlog.clone() },
+                ViewChangePayload {
+                    v: ViewId(2),
+                    backlog: backlog.clone(),
+                },
                 &mut provs[2],
             )),
             ScMsg::Unwilling(Signed::sign(
-                UnwillingPayload { v: ViewId(2), fail_signal: fs },
+                UnwillingPayload {
+                    v: ViewId(2),
+                    fail_signal: fs,
+                },
                 &mut provs[1],
             )),
             ScMsg::FetchCommitted { from: SeqNo(3) },
@@ -754,7 +777,10 @@ mod tests {
             uncommitted: vec![],
             pad: vec![],
         };
-        let big = BackLogPayload { pad: vec![0; 4096], ..small.clone() };
+        let big = BackLogPayload {
+            pad: vec![0; 4096],
+            ..small.clone()
+        };
         assert_eq!(big.encoded_len(), small.encoded_len() + 4096);
     }
 

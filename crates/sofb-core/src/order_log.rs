@@ -88,7 +88,12 @@ impl OrderLog {
     /// Counts distinct eligible processes supporting `(o, digest)`:
     /// ack signers whose ack vouches for `digest`, plus the signatories of
     /// the stored order itself (an `order` counts like an `ack` in N2).
-    pub fn evidence(&self, o: SeqNo, digest: &Digest, eligible: impl Fn(ProcessId) -> bool) -> usize {
+    pub fn evidence(
+        &self,
+        o: SeqNo,
+        digest: &Digest,
+        eligible: impl Fn(ProcessId) -> bool,
+    ) -> usize {
         let Some(rec) = self.records.get(&o) else {
             return 0;
         };
@@ -139,7 +144,7 @@ impl OrderLog {
         };
         rec.committed = true;
         rec.proof = Some(proof.clone());
-        if self.max_committed.map_or(true, |m| o > m) {
+        if self.max_committed.is_none_or(|m| o > m) {
             self.max_committed = Some(o);
         }
         Some(proof)
@@ -154,7 +159,7 @@ impl OrderLog {
         rec.order.get_or_insert(order);
         rec.committed = true;
         rec.proof.get_or_insert(proof);
-        if self.max_committed.map_or(true, |m| o > m) {
+        if self.max_committed.is_none_or(|m| o > m) {
             self.max_committed = Some(o);
         }
     }
@@ -244,7 +249,10 @@ mod tests {
             c: Rank(1),
             o: SeqNo(o),
             batch: BatchRef {
-                requests: vec![RequestId { client: ClientId(1), seq: o }],
+                requests: vec![RequestId {
+                    client: ClientId(1),
+                    seq: o,
+                }],
                 digest: Digest(digest),
             },
             formed_at_ns: 0,
@@ -256,7 +264,12 @@ mod tests {
     }
 
     fn ack(provs: &mut [SimProvider], i: usize, order: &OrderMsg) -> Signed<AckPayload> {
-        Signed::sign(AckPayload { order: order.clone() }, &mut provs[i])
+        Signed::sign(
+            AckPayload {
+                order: order.clone(),
+            },
+            &mut provs[i],
+        )
     }
 
     #[test]
@@ -280,7 +293,10 @@ mod tests {
         // Storing the order adds its two signatories as evidence.
         log.store_order(om.clone());
         // Evidence: acks {p1, p2} + signatories {p0, p4} = 4.
-        assert_eq!(log.evidence(SeqNo(1), &om.payload().batch.digest, |_| true), 4);
+        assert_eq!(
+            log.evidence(SeqNo(1), &om.payload().batch.digest, |_| true),
+            4
+        );
         let proof = log.try_commit(SeqNo(1), 4, |_| true).unwrap();
         assert_eq!(proof.acks.len(), 2);
         assert!(log.is_committed(SeqNo(1)));

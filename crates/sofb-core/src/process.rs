@@ -304,7 +304,9 @@ impl ScProcess {
         if self.pair_status.is_some() {
             ctx.set_timer(self.cfg.heartbeat_period, TIMER_HEARTBEAT);
             ctx.set_timer(
-                self.cfg.heartbeat_period.saturating_mul(u64::from(self.cfg.heartbeat_misses)),
+                self.cfg
+                    .heartbeat_period
+                    .saturating_mul(u64::from(self.cfg.heartbeat_misses)),
                 TIMER_HB_CHECK,
             );
         }
@@ -390,10 +392,17 @@ impl ScProcess {
         let payload = OrderPayload {
             c: self.c,
             o,
-            batch: BatchRef { requests: members, digest },
+            batch: BatchRef {
+                requests: members,
+                digest,
+            },
             formed_at_ns,
         };
-        ctx.emit(ScEvent::OrderProposed { o, batch_len: payload.batch.len(), formed_at_ns });
+        ctx.emit(ScEvent::OrderProposed {
+            o,
+            batch_len: payload.batch.len(),
+            formed_at_ns,
+        });
         let signed = Signed::sign(payload, self.provider.as_mut());
         match self.coordinator() {
             Candidate::Pair { shadow, .. } => {
@@ -656,7 +665,10 @@ impl ScProcess {
 
         // Echo to the first signatory in case the second maliciously
         // omitted to inform its counterpart (§3.2).
-        if !fs.signed_by_pair(self.me(), self.topo().counterpart(self.me()).unwrap_or(self.me())) {
+        if !fs.signed_by_pair(
+            self.me(),
+            self.topo().counterpart(self.me()).unwrap_or(self.me()),
+        ) {
             self.send(ctx, fs.first, ScMsg::FailSignal(fs.clone()));
         }
 
@@ -667,7 +679,10 @@ impl ScProcess {
                 self.my_fs_emitted = true;
                 self.pair_status = Some(PairStatus::Down);
                 let mine = DoublySigned::endorse(presigned, self.provider.as_mut());
-                ctx.emit(ScEvent::FailSignalIssued { pair, value_domain: false });
+                ctx.emit(ScEvent::FailSignalIssued {
+                    pair,
+                    value_domain: false,
+                });
                 self.multicast_all(ctx, ScMsg::FailSignal(mine));
             }
         }
@@ -767,16 +782,26 @@ impl ScProcess {
         }
         let backlogs: Vec<Signed<BackLogPayload>> = self.backlogs.values().cloned().collect();
         let payloads: Vec<&BackLogPayload> = backlogs.iter().map(|b| &b.payload).collect();
-        let f_plus_1 = self.topo().effective_f(self.retired_pairs().saturating_sub(1)) + 1;
+        let f_plus_1 = self
+            .topo()
+            .effective_f(self.retired_pairs().saturating_sub(1))
+            + 1;
         let (new_backlog, start_o) = compute_new_backlog(&payloads, f_plus_1);
-        let payload = StartPayload { c: self.c, start_o, new_backlog };
+        let payload = StartPayload {
+            c: self.c,
+            start_o,
+            new_backlog,
+        };
         let signed = Signed::sign(payload, self.provider.as_mut());
         match self.coordinator() {
             Candidate::Pair { shadow, .. } => {
                 self.send(
                     ctx,
                     shadow,
-                    ScMsg::StartProposal { start: signed, backlogs },
+                    ScMsg::StartProposal {
+                        start: signed,
+                        backlogs,
+                    },
                 );
             }
             Candidate::Unpaired(_) => {
@@ -840,12 +865,13 @@ impl ScProcess {
             for b in &backlogs {
                 union.entry(b.signer).or_insert_with(|| b.clone());
             }
-            let union_payloads: Vec<&BackLogPayload> =
-                union.values().map(|b| &b.payload).collect();
-            let f_plus_1 = self.topo().effective_f(self.retired_pairs().saturating_sub(1)) + 1;
+            let union_payloads: Vec<&BackLogPayload> = union.values().map(|b| &b.payload).collect();
+            let f_plus_1 = self
+                .topo()
+                .effective_f(self.retired_pairs().saturating_sub(1))
+                + 1;
             let (expected_backlog, expected_o) = {
-                let provided: Vec<&BackLogPayload> =
-                    backlogs.iter().map(|b| &b.payload).collect();
+                let provided: Vec<&BackLogPayload> = backlogs.iter().map(|b| &b.payload).collect();
                 compute_new_backlog(&provided, f_plus_1)
             };
             let p = &start.payload;
@@ -857,11 +883,8 @@ impl ScProcess {
                     .all(|(a, b)| a.payload().o == b.payload().o);
             // Conflict rule: any chosen order that conflicts across the
             // union must appear in ≥ f+1 backlogs.
-            let conflict_ok = crate::install::verify_choice(
-                &p.new_backlog,
-                &union_payloads,
-                f_plus_1,
-            );
+            let conflict_ok =
+                crate::install::verify_choice(&p.new_backlog, &union_payloads, f_plus_1);
             if !consistent || !conflict_ok {
                 self.fail_signal(true, ctx);
                 return;
@@ -909,7 +932,10 @@ impl ScProcess {
             // IN3: send an identifier-signature tuple to the pair.
             self.start_sig_sent = true;
             let sig = Signed::sign(
-                StartSigPayload { c: self.c, start_digest: digest },
+                StartSigPayload {
+                    c: self.c,
+                    start_digest: digest,
+                },
                 self.provider.as_mut(),
             );
             let cand = self.coordinator();
@@ -1026,7 +1052,10 @@ impl ScProcess {
         let digest = self.start_digest.clone().expect("set with start");
         self.start_acks.insert(self.me(), digest.clone());
         let ack = Signed::sign(
-            StartSigPayload { c: self.c, start_digest: digest },
+            StartSigPayload {
+                c: self.c,
+                start_digest: digest,
+            },
             self.provider.as_mut(),
         );
         // Start-acks are StartSig messages rebroadcast to everyone (the
@@ -1054,7 +1083,8 @@ impl ScProcess {
         if !sig.verify(self.provider.as_mut()) {
             return;
         }
-        self.start_acks.insert(sig.signer, sig.payload.start_digest.clone());
+        self.start_acks
+            .insert(sig.signer, sig.payload.start_digest.clone());
         if let Some(start) = self.start_msg.clone() {
             self.try_commit_start(start, ctx);
         }
@@ -1200,7 +1230,11 @@ impl ScProcess {
         if v <= self.view && self.installed {
             return;
         }
-        if self.view_changes.get(&v).is_some_and(|m| m.contains_key(&self.me())) {
+        if self
+            .view_changes
+            .get(&v)
+            .is_some_and(|m| m.contains_key(&self.me()))
+        {
             return;
         }
         let Some(fs) = self.fail_signalled.values().next_back().cloned() else {
@@ -1215,7 +1249,10 @@ impl ScProcess {
         };
         let vc = Signed::sign(ViewChangePayload { v, backlog }, self.provider.as_mut());
         let me = self.me();
-        self.view_changes.entry(v).or_default().insert(me, vc.clone());
+        self.view_changes
+            .entry(v)
+            .or_default()
+            .insert(me, vc.clone());
         self.multicast_all(ctx, ScMsg::ViewChange(vc));
         self.process_view_change_state(v, ctx);
     }
@@ -1228,7 +1265,10 @@ impl ScProcess {
         if !vc.verify(self.provider.as_mut()) {
             return;
         }
-        self.view_changes.entry(v).or_default().insert(vc.signer, vc);
+        self.view_changes
+            .entry(v)
+            .or_default()
+            .insert(vc.signer, vc);
         // Join the view change once f+1 processes vouch for it (at least
         // one correct process saw the fail-signal).
         let f_plus_1 = self.topo().f() as usize + 1;
@@ -1262,9 +1302,9 @@ impl ScProcess {
             if self.unwilling_sent_for != Some(v) {
                 self.unwilling_sent_for = Some(v);
                 if let Some(fs) = self.fail_signalled.get(&candidate).cloned().or_else(|| {
-                    self.presigned_fs.clone().map(|pre| {
-                        DoublySigned::endorse(pre, self.provider.as_mut())
-                    })
+                    self.presigned_fs
+                        .clone()
+                        .map(|pre| DoublySigned::endorse(pre, self.provider.as_mut()))
                 }) {
                     let u = Signed::sign(
                         UnwillingPayload { v, fail_signal: fs },
@@ -1291,7 +1331,11 @@ impl ScProcess {
             let payload_refs: Vec<&BackLogPayload> = payloads.iter().collect();
             let f_plus_1 = self.topo().f() as usize + 1;
             let (new_backlog, start_o) = compute_new_backlog(&payload_refs, f_plus_1);
-            let payload = StartPayload { c: self.c, start_o, new_backlog };
+            let payload = StartPayload {
+                c: self.c,
+                start_o,
+                new_backlog,
+            };
             let signed = Signed::sign(payload, self.provider.as_mut());
             if let Candidate::Pair { shadow, .. } = cand {
                 // Reuse the SC endorsement path: ship the backlogs as
@@ -1304,7 +1348,14 @@ impl ScProcess {
                         sig: Vec::new(), // shadow revalidates from its own set
                     })
                     .collect();
-                self.send(ctx, shadow, ScMsg::StartProposal { start: signed, backlogs });
+                self.send(
+                    ctx,
+                    shadow,
+                    ScMsg::StartProposal {
+                        start: signed,
+                        backlogs,
+                    },
+                );
             }
         }
     }
@@ -1327,7 +1378,9 @@ impl ScProcess {
         if let Some(endorser) = cand.endorser() {
             self.send(ctx, endorser, ScMsg::Unwilling(u.clone()));
         }
-        self.fail_signalled.entry(candidate).or_insert(u.payload.fail_signal.clone());
+        self.fail_signalled
+            .entry(candidate)
+            .or_insert(u.payload.fail_signal.clone());
         self.begin_view_change(v.next(), ctx);
     }
 
@@ -1366,7 +1419,11 @@ impl ScProcess {
             seq: self.hb_send_seq,
         };
         let tag = self.provider.mac(counterpart.0, &payload.to_bytes());
-        let hb = Signed { payload, signer: self.me(), sig: tag };
+        let hb = Signed {
+            payload,
+            signer: self.me(),
+            sig: tag,
+        };
         // Heartbeats flow even while Down so SCR pairs can recover; they
         // bypass the dumb-process gag because they never touch the
         // asynchronous network (fast pair link only).
@@ -1383,28 +1440,29 @@ impl ScProcess {
         let received = self.hb_recv_in_window;
         self.hb_recv_in_window = 0;
         match self.pair_status {
-            Some(PairStatus::Up) => {
-                if received == 0 && self.cfg.time_checks {
-                    // Time-domain failure: the counterpart missed the
-                    // window the delay estimate promised.
-                    self.hb_fresh_streak = 0;
-                    self.fail_signal(false, ctx);
-                }
+            Some(PairStatus::Up) if received == 0 && self.cfg.time_checks => {
+                // Time-domain failure: the counterpart missed the
+                // window the delay estimate promised.
+                self.hb_fresh_streak = 0;
+                self.fail_signal(false, ctx);
             }
-            Some(PairStatus::Down) if self.topo().variant() == Variant::Scr => {
+            Some(PairStatus::Down)
+                if self.topo().variant() == Variant::Scr
                 // SCR recovery: sustained fresh heartbeats restore `up`.
-                if self.hb_fresh_streak >= self.cfg.recovery_beats {
-                    self.pair_status = Some(PairStatus::Up);
-                    self.my_fs_emitted = false;
-                    if let Some(pair) = self.my_pair_rank() {
-                        ctx.emit(ScEvent::PairRecovered { pair });
-                    }
+                && self.hb_fresh_streak >= self.cfg.recovery_beats =>
+            {
+                self.pair_status = Some(PairStatus::Up);
+                self.my_fs_emitted = false;
+                if let Some(pair) = self.my_pair_rank() {
+                    ctx.emit(ScEvent::PairRecovered { pair });
                 }
             }
             _ => {}
         }
         ctx.set_timer(
-            self.cfg.heartbeat_period.saturating_mul(u64::from(self.cfg.heartbeat_misses)),
+            self.cfg
+                .heartbeat_period
+                .saturating_mul(u64::from(self.cfg.heartbeat_misses)),
             TIMER_HB_CHECK,
         );
     }
@@ -1462,9 +1520,7 @@ impl ScProcess {
             {
                 // Vote for our own checkpoint and tell everyone.
                 let quorum = self.ack_quorum();
-                if let Some(stable) =
-                    self.checkpoints.record_vote(self.me(), &payload, quorum)
-                {
+                if let Some(stable) = self.checkpoints.record_vote(self.me(), &payload, quorum) {
                     self.stabilize_checkpoint(stable, ctx);
                 }
                 let signed = Signed::sign(payload, self.provider.as_mut());
@@ -1482,7 +1538,10 @@ impl ScProcess {
             return;
         }
         let quorum = self.ack_quorum();
-        if let Some(stable) = self.checkpoints.record_vote(vote.signer, &vote.payload, quorum) {
+        if let Some(stable) = self
+            .checkpoints
+            .record_vote(vote.signer, &vote.payload, quorum)
+        {
             self.stabilize_checkpoint(stable, ctx);
         }
     }

@@ -1,20 +1,21 @@
-//! Harness: assemble an SC/SCR deployment inside the discrete-event
-//! simulator.
+//! Harness glue: the SC/SCR [`Protocol`] implementation and the
+//! historical [`ScWorldBuilder`] facade.
 //!
-//! Mirrors the paper's testbed shape: order processes connected by a
-//! LAN-class asynchronous network, each pair additionally joined by a fast
-//! dedicated link (§2), plus clients that multicast requests to every
-//! process (§3).
+//! Deployment assembly itself — clients, network, fault scheduling — is
+//! the generic [`sofb_harness::WorldBuilder`]; this module contributes
+//! only what is SC-specific: the paper's testbed shape (a LAN everywhere
+//! plus fast dedicated intra-pair links, §2), the trusted dealer's
+//! pre-signed fail-signals (§3.2), and per-process `ScConfig` synthesis.
 
 use sofb_crypto::provider::{CryptoProvider, Dealer};
 use sofb_crypto::scheme::SchemeId;
-use sofb_proto::ids::{ClientId, ProcessId, Rank};
-use sofb_proto::request::Request;
+use sofb_harness::{Deployment, FaultSpec, Knobs, Links, Protocol, WorldBuilder};
+use sofb_proto::ids::{ProcessId, Rank};
 use sofb_proto::signed::Signed;
 use sofb_proto::topology::{Candidate, Topology, Variant};
 use sofb_sim::cpu::CpuModel;
 use sofb_sim::delay::{LinkModel, NetworkModel};
-use sofb_sim::engine::{Actor, Ctx, World};
+use sofb_sim::engine::{Actor, World};
 use sofb_sim::time::{SimDuration, SimTime};
 
 use crate::config::{Fault, ScConfig};
@@ -22,212 +23,48 @@ use crate::events::ScEvent;
 use crate::messages::{FailSignalPayload, ScMsg};
 use crate::process::ScProcess;
 
-/// Timer tag used by the client actor.
-const TIMER_CLIENT: u64 = 100;
+pub use sofb_harness::{Arrival, ClientActor, ClientSpec};
 
-/// A synthetic client: multicasts fixed-size requests to every order
-/// process at a constant rate until `stop_at`.
+/// The SC/SCR protocol, as hosted by the generic harness.
+///
+/// `Knobs::variant` selects between the SC (`n = 3f+1`) and SCR
+/// (`n = 3f+2`) layouts; scripted Byzantine misbehaviours are the
+/// protocol's [`Fault`] scripts.
 #[derive(Debug)]
-pub struct ClientActor {
-    id: ClientId,
-    n_processes: usize,
-    request_size: usize,
-    interval: SimDuration,
-    stop_at: SimTime,
-    next_seq: u64,
-}
+pub struct ScProtocol;
 
-impl ClientActor {
-    /// Creates a client issuing `rate_per_sec` requests of
-    /// `request_size` bytes until `stop_at`.
-    pub fn new(
-        id: ClientId,
-        n_processes: usize,
-        request_size: usize,
-        rate_per_sec: f64,
-        stop_at: SimTime,
-    ) -> Self {
-        assert!(rate_per_sec > 0.0, "client rate must be positive");
-        let interval = SimDuration((1e9 / rate_per_sec) as u64);
-        ClientActor {
-            id,
-            n_processes,
-            request_size,
-            interval,
-            stop_at,
-            next_seq: 0,
-        }
-    }
-}
-
-impl Actor for ClientActor {
+impl Protocol for ScProtocol {
     type Msg = ScMsg;
-    type Event = ScEvent;
+    type Byz = Fault;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, ScMsg, ScEvent>) {
-        ctx.set_timer(self.interval, TIMER_CLIENT);
+    const NAME: &'static str = "SC";
+
+    fn node_count(knobs: &Knobs) -> usize {
+        Topology::new(knobs.f, knobs.variant).n()
     }
 
-    fn on_message(&mut self, _from: usize, _msg: ScMsg, _ctx: &mut Ctx<'_, ScMsg, ScEvent>) {
-        // Clients ignore replies in this harness; commitment is observed
-        // through the processes' events.
-    }
-
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ScMsg, ScEvent>) {
-        if tag != TIMER_CLIENT || ctx.now() >= self.stop_at {
-            return;
-        }
-        self.next_seq += 1;
-        let payload = vec![0xabu8; self.request_size];
-        let req = Request::new(self.id, self.next_seq, payload);
-        for p in 0..self.n_processes {
-            ctx.send(p, ScMsg::Request(req.clone()));
-        }
-        ctx.set_timer(self.interval, TIMER_CLIENT);
-    }
-}
-
-/// Specification of one synthetic client.
-#[derive(Clone, Debug)]
-pub struct ClientSpec {
-    /// Requests per second.
-    pub rate_per_sec: f64,
-    /// Payload size in bytes.
-    pub request_size: usize,
-    /// Stop issuing at this virtual time.
-    pub stop_at: SimTime,
-}
-
-/// Builder for a complete simulated SC/SCR deployment.
-#[derive(Debug)]
-pub struct ScWorldBuilder {
-    f: u32,
-    variant: Variant,
-    scheme: SchemeId,
-    seed: u64,
-    batching_interval: SimDuration,
-    order_timeout: SimDuration,
-    backlog_pad: usize,
-    checkpoint_interval: u64,
-    time_checks: bool,
-    cpu: CpuModel,
-    faults: Vec<(ProcessId, Fault)>,
-    clients: Vec<ClientSpec>,
-    pair_link: LinkModel,
-    lan_link: LinkModel,
-}
-
-impl ScWorldBuilder {
-    /// Starts a builder for resilience `f` under the given variant and
-    /// crypto scheme.
-    pub fn new(f: u32, variant: Variant, scheme: SchemeId) -> Self {
-        ScWorldBuilder {
-            f,
-            variant,
-            scheme,
-            seed: 42,
-            batching_interval: SimDuration::from_ms(100),
-            order_timeout: SimDuration::from_ms(1_000),
-            backlog_pad: 0,
-            checkpoint_interval: 64,
-            time_checks: true,
-            cpu: CpuModel::default(),
-            faults: Vec::new(),
-            clients: Vec::new(),
-            pair_link: LinkModel::pair_link(),
-            lan_link: LinkModel::lan_100mbit(),
-        }
-    }
-
-    /// Sets the deterministic seed.
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the batching interval (the paper sweeps 40–500 ms).
-    pub fn batching_interval(mut self, d: SimDuration) -> Self {
-        self.batching_interval = d;
-        self
-    }
-
-    /// Sets the shadow's proposal-timeliness estimate.
-    pub fn order_timeout(mut self, d: SimDuration) -> Self {
-        self.order_timeout = d;
-        self
-    }
-
-    /// Pads BackLogs (Figure 6's size sweep).
-    pub fn backlog_pad(mut self, pad: usize) -> Self {
-        self.backlog_pad = pad;
-        self
-    }
-
-    /// Sets the checkpoint interval (0 disables log truncation).
-    pub fn checkpoint_interval(mut self, every: u64) -> Self {
-        self.checkpoint_interval = every;
-        self
-    }
-
-    /// Enables/disables time-domain detection (see `ScConfig`).
-    pub fn time_checks(mut self, on: bool) -> Self {
-        self.time_checks = on;
-        self
-    }
-
-    /// Overrides the CPU model of every process node.
-    pub fn cpu(mut self, cpu: CpuModel) -> Self {
-        self.cpu = cpu;
-        self
-    }
-
-    /// Installs a fault plan on one process.
-    pub fn fault(mut self, p: ProcessId, fault: Fault) -> Self {
-        self.faults.push((p, fault));
-        self
-    }
-
-    /// Adds a client.
-    pub fn client(mut self, spec: ClientSpec) -> Self {
-        self.clients.push(spec);
-        self
-    }
-
-    /// Overrides the asynchronous-network link model (e.g. partial
-    /// synchrony for SCR experiments).
-    pub fn lan_link(mut self, link: LinkModel) -> Self {
-        self.lan_link = link;
-        self
-    }
-
-    /// Overrides the intra-pair link model.
-    pub fn pair_link(mut self, link: LinkModel) -> Self {
-        self.pair_link = link;
-        self
-    }
-
-    /// Assembles the world.
-    pub fn build(self) -> ScWorld {
-        let topology = Topology::new(self.f, self.variant);
-        let n = topology.n();
-
-        // Network: LAN everywhere, fast dedicated links within pairs.
-        let mut net = NetworkModel::uniform(self.lan_link.clone());
+    fn network(knobs: &Knobs, links: &Links) -> NetworkModel {
+        // LAN everywhere, fast dedicated links within pairs.
+        let topology = Topology::new(knobs.f, knobs.variant);
+        let mut net = NetworkModel::uniform(links.lan.clone());
         for c in 1..=topology.candidate_count() {
             if let Candidate::Pair { replica, shadow } = topology.candidate(Rank(c)) {
-                net = net.with_bidi_link(
-                    replica.0 as usize,
-                    shadow.0 as usize,
-                    self.pair_link.clone(),
-                );
+                net = net.with_bidi_link(replica.0 as usize, shadow.0 as usize, links.pair.clone());
             }
         }
+        net
+    }
 
-        let mut world: World<ScMsg, ScEvent> = World::new(net, self.seed);
+    fn build_nodes(
+        knobs: &Knobs,
+        byz: &[(ProcessId, Fault)],
+    ) -> Vec<Box<dyn Actor<Msg = ScMsg, Event = ScEvent>>> {
+        let topology = Topology::new(knobs.f, knobs.variant);
+        let n = topology.n();
 
         // The trusted dealer hands out providers; counterparts pre-sign
         // each other's fail-signals (§3.2).
-        let mut providers = Dealer::sim(self.scheme, n, self.seed ^ 0x5107);
+        let mut providers = Dealer::sim(knobs.scheme, n, knobs.seed ^ 0x5107);
         let mut presigned: Vec<Option<Signed<FailSignalPayload>>> = vec![None; n];
         for c in 1..=topology.candidate_count() {
             if let Candidate::Pair { replica, shadow } = topology.candidate(Rank(c)) {
@@ -236,65 +73,159 @@ impl ScWorldBuilder {
                     payload.clone(),
                     &mut providers[shadow.0 as usize],
                 ));
-                presigned[shadow.0 as usize] = Some(Signed::sign(
-                    payload,
-                    &mut providers[replica.0 as usize],
-                ));
+                presigned[shadow.0 as usize] =
+                    Some(Signed::sign(payload, &mut providers[replica.0 as usize]));
                 // Pre-signing must not bill the simulation clock.
                 providers[replica.0 as usize].take_cost_ns();
                 providers[shadow.0 as usize].take_cost_ns();
             }
         }
 
-        for (i, provider) in providers.into_iter().enumerate() {
-            let me = ProcessId(i as u32);
-            let fault = self
-                .faults
-                .iter()
-                .find(|(p, _)| *p == me)
-                .map(|(_, f)| f.clone())
-                .unwrap_or_default();
-            let cfg = ScConfig {
-                topology,
-                me,
-                scheme: self.scheme,
-                batching_interval: self.batching_interval,
-                batch_max_bytes: 1024,
-                order_timeout: self.order_timeout,
-                heartbeat_period: SimDuration::from_ms(50),
-                heartbeat_misses: 4,
-                recovery_beats: 3,
-                checkpoint_interval: self.checkpoint_interval,
-                backlog_pad: self.backlog_pad,
-                time_checks: self.time_checks,
-                fault,
-            };
-            let process = ScProcess::new(cfg, Box::new(provider), presigned[i].take());
-            world.add_node(Box::new(process), self.cpu);
-        }
+        providers
+            .into_iter()
+            .enumerate()
+            .map(|(i, provider)| {
+                let me = ProcessId(i as u32);
+                let fault = byz
+                    .iter()
+                    .find(|(p, _)| *p == me)
+                    .map(|(_, f)| f.clone())
+                    .unwrap_or_default();
+                let cfg = ScConfig {
+                    topology,
+                    me,
+                    scheme: knobs.scheme,
+                    batching_interval: knobs.batching_interval,
+                    batch_max_bytes: knobs.batch_max_bytes,
+                    order_timeout: knobs.order_timeout,
+                    heartbeat_period: knobs.heartbeat_period,
+                    heartbeat_misses: knobs.heartbeat_misses,
+                    recovery_beats: knobs.recovery_beats,
+                    checkpoint_interval: knobs.checkpoint_interval,
+                    backlog_pad: knobs.backlog_pad,
+                    time_checks: knobs.time_checks,
+                    fault,
+                };
+                let process = ScProcess::new(cfg, Box::new(provider), presigned[i].take());
+                Box::new(process) as Box<dyn Actor<Msg = ScMsg, Event = ScEvent>>
+            })
+            .collect()
+    }
 
-        let mut client_nodes = Vec::new();
-        for (k, spec) in self.clients.iter().enumerate() {
-            let client = ClientActor::new(
-                ClientId(k as u32),
-                n,
-                spec.request_size,
-                spec.rate_per_sec,
-                spec.stop_at,
-            );
-            let idx = world.add_node(Box::new(client), CpuModel::zero());
-            client_nodes.push(idx);
-        }
+    fn request_msg(req: sofb_proto::request::Request) -> ScMsg {
+        ScMsg::Request(req)
+    }
+}
 
+/// Builder for a complete simulated SC/SCR deployment (thin facade over
+/// the generic [`WorldBuilder`]; kept so existing experiments, tests and
+/// examples read unchanged).
+#[derive(Debug)]
+pub struct ScWorldBuilder {
+    inner: WorldBuilder<ScProtocol>,
+}
+
+impl ScWorldBuilder {
+    /// Starts a builder for resilience `f` under the given variant and
+    /// crypto scheme.
+    pub fn new(f: u32, variant: Variant, scheme: SchemeId) -> Self {
+        ScWorldBuilder {
+            inner: WorldBuilder::new(f).variant(variant).scheme(scheme),
+        }
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// Sets the batching interval (the paper sweeps 40–500 ms).
+    pub fn batching_interval(mut self, d: SimDuration) -> Self {
+        self.inner = self.inner.batching_interval(d);
+        self
+    }
+
+    /// Sets the shadow's proposal-timeliness estimate.
+    pub fn order_timeout(mut self, d: SimDuration) -> Self {
+        self.inner = self.inner.order_timeout(d);
+        self
+    }
+
+    /// Pads BackLogs (Figure 6's size sweep).
+    pub fn backlog_pad(mut self, pad: usize) -> Self {
+        self.inner = self.inner.backlog_pad(pad);
+        self
+    }
+
+    /// Sets the checkpoint interval (0 disables log truncation).
+    pub fn checkpoint_interval(mut self, every: u64) -> Self {
+        self.inner = self.inner.checkpoint_interval(every);
+        self
+    }
+
+    /// Enables/disables time-domain detection (see `ScConfig`).
+    pub fn time_checks(mut self, on: bool) -> Self {
+        self.inner = self.inner.time_checks(on);
+        self
+    }
+
+    /// Overrides the CPU model of every process node.
+    pub fn cpu(mut self, cpu: CpuModel) -> Self {
+        self.inner = self.inner.cpu(cpu);
+        self
+    }
+
+    /// Installs a scripted Byzantine fault on one process.
+    pub fn fault(mut self, p: ProcessId, fault: Fault) -> Self {
+        self.inner = self.inner.fault(p, FaultSpec::Byzantine(fault));
+        self
+    }
+
+    /// Installs any uniform fault (crash / mute / delay / Byzantine) on
+    /// one process.
+    pub fn fault_spec(mut self, p: ProcessId, spec: FaultSpec<Fault>) -> Self {
+        self.inner = self.inner.fault(p, spec);
+        self
+    }
+
+    /// Adds a constant-rate client.
+    pub fn client(mut self, spec: ClientSpec) -> Self {
+        self.inner = self.inner.client(spec);
+        self
+    }
+
+    /// Adds an open-loop Poisson client.
+    pub fn poisson_client(mut self, spec: ClientSpec) -> Self {
+        self.inner = self.inner.poisson_client(spec);
+        self
+    }
+
+    /// Overrides the asynchronous-network link model (e.g. partial
+    /// synchrony for SCR experiments).
+    pub fn lan_link(mut self, link: LinkModel) -> Self {
+        self.inner = self.inner.lan_link(link);
+        self
+    }
+
+    /// Overrides the intra-pair link model.
+    pub fn pair_link(mut self, link: LinkModel) -> Self {
+        self.inner = self.inner.pair_link(link);
+        self
+    }
+
+    /// Assembles the world.
+    pub fn build(self) -> ScWorld {
+        let deployment: Deployment<ScProtocol> = self.inner.build();
         ScWorld {
-            world,
-            topology,
-            client_nodes,
+            topology: Topology::new(deployment.knobs.f, deployment.knobs.variant),
+            world: deployment.world,
+            client_nodes: deployment.client_nodes,
         }
     }
 }
 
-/// A built deployment.
+/// A built SC/SCR deployment.
 pub struct ScWorld {
     /// The simulator world (drive with `start`/`run_until`).
     pub world: World<ScMsg, ScEvent>,

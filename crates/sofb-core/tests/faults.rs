@@ -36,7 +36,10 @@ fn crashed_coordinator_replica_detected_by_heartbeats() {
     assert!(
         events.iter().any(|e| matches!(
             e.event,
-            ScEvent::FailSignalIssued { pair: Rank(1), value_domain: false }
+            ScEvent::FailSignalIssued {
+                pair: Rank(1),
+                value_domain: false
+            }
         )),
         "shadow must detect the crash in the time domain"
     );
@@ -98,7 +101,10 @@ fn crash_of_non_coordinator_process_is_tolerated_silently() {
         .filter(|e| e.time > SimTime::from_secs(1))
         .filter(|e| matches!(e.event, ScEvent::Committed { .. }))
         .count();
-    assert!(commits_after > 10, "commits after the crash: {commits_after}");
+    assert!(
+        commits_after > 10,
+        "commits after the crash: {commits_after}"
+    );
 }
 
 #[test]

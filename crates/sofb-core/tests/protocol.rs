@@ -72,7 +72,7 @@ fn failfree_no_duplicate_request_ordering() {
         })
         .sum();
     // 200 req/s for 1 s: allow the tail batch to be in flight.
-    assert!(committed_reqs >= 190 && committed_reqs <= 200, "{committed_reqs}");
+    assert!((190..=200).contains(&committed_reqs), "{committed_reqs}");
 }
 
 #[test]
@@ -94,12 +94,14 @@ fn value_domain_fault_triggers_failover_and_preserves_safety() {
         .iter()
         .filter(|e| matches!(e.event, ScEvent::FailSignalIssued { pair: Rank(1), .. }))
         .collect();
-    assert!(!fs.is_empty(), "shadow must fail-signal the corrupted order");
     assert!(
-        events.iter().any(|e| matches!(
-            e.event,
-            ScEvent::StartCertIssued { c: Rank(2), .. }
-        )),
+        !fs.is_empty(),
+        "shadow must fail-signal the corrupted order"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ScEvent::StartCertIssued { c: Rank(2), .. })),
         "rank 2 must issue its Start certificate"
     );
     let installed: Vec<usize> = events
@@ -107,12 +109,14 @@ fn value_domain_fault_triggers_failover_and_preserves_safety() {
         .filter(|e| matches!(e.event, ScEvent::Installed { c: Rank(2) }))
         .map(|e| e.node)
         .collect();
-    assert!(installed.len() >= d.topology.commit_quorum() - 1, "most processes install rank 2: {installed:?}");
+    assert!(
+        installed.len() >= d.topology.commit_quorum() - 1,
+        "most processes install rank 2: {installed:?}"
+    );
     // Ordering continues under the new coordinator.
-    let post_install_commits = events.iter().any(|e| matches!(
-        &e.event,
-        ScEvent::Committed { c: Rank(2), .. }
-    ));
+    let post_install_commits = events
+        .iter()
+        .any(|e| matches!(&e.event, ScEvent::Committed { c: Rank(2), .. }));
     assert!(post_install_commits, "rank 2 must order new batches");
     // Fail-over latency is measurable.
     let ms = analysis::failover_latency_ms(&events).expect("measurable fail-over");
@@ -137,8 +141,10 @@ fn time_domain_fault_muted_coordinator_detected() {
     analysis::check_total_order(&events).unwrap();
     let fs = events
         .iter()
-        .find(|e| matches!(e.event, ScEvent::FailSignalIssued { pair: Rank(1), value_domain }
-            if !value_domain))
+        .find(|e| {
+            matches!(e.event, ScEvent::FailSignalIssued { pair: Rank(1), value_domain }
+            if !value_domain)
+        })
         .expect("time-domain fail-signal");
     // The shadow (process 5 for f=2) is the detector.
     assert_eq!(fs.node, 5);
@@ -167,10 +173,9 @@ fn double_failover_reaches_unpaired_candidate() {
         .iter()
         .any(|e| matches!(e.event, ScEvent::Installed { c: Rank(3) })));
     assert!(
-        events.iter().any(|e| matches!(
-            &e.event,
-            ScEvent::Committed { c: Rank(3), .. }
-        )),
+        events
+            .iter()
+            .any(|e| matches!(&e.event, ScEvent::Committed { c: Rank(3), .. })),
         "the unpaired coordinator must order new batches"
     );
 }
@@ -223,7 +228,11 @@ fn scr_failfree_behaves_like_sc() {
     let events = d.world.drain_events();
     analysis::check_total_order(&events).unwrap();
     let latencies = analysis::order_latencies(&events);
-    assert!(latencies.len() >= 10, "SCR orders batches: {}", latencies.len());
+    assert!(
+        latencies.len() >= 10,
+        "SCR orders batches: {}",
+        latencies.len()
+    );
 }
 
 #[test]
@@ -266,9 +275,7 @@ fn deterministic_runs_with_same_seed() {
         events
             .iter()
             .filter_map(|e| match &e.event {
-                ScEvent::Committed { o, digest, .. } => {
-                    Some((e.time, e.node, *o, digest.clone()))
-                }
+                ScEvent::Committed { o, digest, .. } => Some((e.time, e.node, *o, digest.clone())),
                 _ => None,
             })
             .collect::<Vec<_>>()

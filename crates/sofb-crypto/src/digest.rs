@@ -1,7 +1,5 @@
 //! Unified digest interface over the crate's hash implementations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::md5::Md5;
 use crate::sha1::Sha1;
 use crate::sha256::Sha256;
@@ -19,7 +17,7 @@ use crate::sha256::Sha256;
 /// let d = DigestAlg::Sha1.digest(b"hello");
 /// assert_eq!(d.len(), 20);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DigestAlg {
     /// MD5 (16-byte output). Broken; present only for paper fidelity.
     Md5,

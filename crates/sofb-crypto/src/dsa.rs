@@ -100,7 +100,10 @@ impl DsaParams {
     /// Panics if `q_bits + 16 > p_bits` or `q_bits < 32`.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, p_bits: usize, q_bits: usize) -> Self {
         assert!(q_bits >= 32, "subgroup too small");
-        assert!(q_bits + 16 <= p_bits, "p must be substantially larger than q");
+        assert!(
+            q_bits + 16 <= p_bits,
+            "p must be substantially larger than q"
+        );
         let one = BigUint::one();
         let q = BigUint::gen_prime(rng, q_bits);
         // Search p = q*k + 1 with the right bit length.

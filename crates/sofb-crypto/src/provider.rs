@@ -268,7 +268,9 @@ pub struct Dealer;
 impl Dealer {
     /// Hands out simulated providers for `n` processes.
     pub fn sim(scheme: SchemeId, n: usize, master: u64) -> Vec<SimProvider> {
-        (0..n as u32).map(|i| SimProvider::new(scheme, i, master)).collect()
+        (0..n as u32)
+            .map(|i| SimProvider::new(scheme, i, master))
+            .collect()
     }
 
     /// Hands out real-crypto providers for `n` processes.
@@ -340,7 +342,6 @@ pub fn short_hex(bytes: &[u8]) -> String {
 pub fn digest_with(scheme: SchemeId, data: &[u8]) -> Vec<u8> {
     scheme.digest_alg().digest(data)
 }
-
 
 #[cfg(test)]
 mod tests {

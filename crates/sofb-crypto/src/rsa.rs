@@ -206,7 +206,9 @@ mod tests {
     fn malformed_signature_lengths() {
         let kp = keypair();
         let sig = kp.sign(DigestAlg::Sha1, b"msg");
-        assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &sig[..sig.len() - 1]));
+        assert!(!kp
+            .public()
+            .verify(DigestAlg::Sha1, b"msg", &sig[..sig.len() - 1]));
         let mut long = sig.clone();
         long.push(0);
         assert!(!kp.public().verify(DigestAlg::Sha1, b"msg", &long));

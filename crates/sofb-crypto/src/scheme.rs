@@ -1,11 +1,9 @@
 //! The digest/signature scheme combinations evaluated by the paper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::digest::DigestAlg;
 
 /// Signature algorithm family.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SigAlg {
     /// RSA with EMSA-PKCS1-v1_5-style padding.
     Rsa,
@@ -27,7 +25,7 @@ pub enum SigAlg {
 /// assert_eq!(SchemeId::Md5Rsa1024.key_bits(), 1024);
 /// assert_eq!(SchemeId::PAPER.len(), 3);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchemeId {
     /// MD5 digests, RSA-1024 signatures (Figure 4a/5a).
     Md5Rsa1024,

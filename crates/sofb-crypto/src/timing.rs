@@ -16,12 +16,10 @@
 //! Magnitudes are taken from contemporaneous JCE measurements on P4-class
 //! hardware; see `EXPERIMENTS.md` for the calibration notes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::scheme::SchemeId;
 
 /// Virtual-time cost table for one scheme. All values in nanoseconds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchemeTiming {
     /// Cost of producing one signature.
     pub sign_ns: u64,
@@ -44,7 +42,7 @@ impl SchemeTiming {
     pub fn calibrated(scheme: SchemeId) -> Self {
         match scheme {
             SchemeId::Md5Rsa1024 => SchemeTiming {
-                sign_ns: 28_000_000, // 28 ms
+                sign_ns: 28_000_000,  // 28 ms
                 verify_ns: 1_300_000, // e = 65537 is cheap
                 digest_base_ns: 15_000,
                 digest_per_byte_ns: 5,
@@ -56,7 +54,7 @@ impl SchemeTiming {
                 digest_per_byte_ns: 5,
             },
             SchemeId::Sha1Dsa1024 => SchemeTiming {
-                sign_ns: 26_000_000, // "time taken to sign ... is similar"
+                sign_ns: 26_000_000,  // "time taken to sign ... is similar"
                 verify_ns: 5_500_000, // two exponentiations; ≫ RSA verify
                 digest_base_ns: 18_000,
                 digest_per_byte_ns: 7,

@@ -98,7 +98,10 @@ mod tests {
         let order = CtOrder {
             o: SeqNo(4),
             batch: BatchRef {
-                requests: vec![RequestId { client: ClientId(1), seq: 2 }],
+                requests: vec![RequestId {
+                    client: ClientId(1),
+                    seq: 2,
+                }],
                 digest: Digest(vec![1, 2]),
             },
             formed_at_ns: 77,

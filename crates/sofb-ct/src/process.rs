@@ -146,10 +146,17 @@ impl CtProcess {
         }
         let order = CtOrder {
             o,
-            batch: BatchRef { requests: members, digest },
+            batch: BatchRef {
+                requests: members,
+                digest,
+            },
             formed_at_ns,
         };
-        ctx.emit(ScEvent::OrderProposed { o, batch_len: order.batch.len(), formed_at_ns });
+        ctx.emit(ScEvent::OrderProposed {
+            o,
+            batch_len: order.batch.len(),
+            formed_at_ns,
+        });
         self.accept_order(order.clone(), ProcessId(0), ctx);
         self.multicast(ctx, CtMsg::Order(order));
     }
@@ -174,12 +181,16 @@ impl CtProcess {
         let me = ProcessId(self.cfg.me);
         loop {
             let o = self.next_to_ack;
-            let Some(slot) = self.slots.get_mut(&o) else { return };
+            let Some(slot) = self.slots.get_mut(&o) else {
+                return;
+            };
             if slot.acked {
                 self.next_to_ack = o.next();
                 continue;
             }
-            let Some(order) = slot.order.clone() else { return };
+            let Some(order) = slot.order.clone() else {
+                return;
+            };
             slot.acked = true;
             slot.ackers.insert(me);
             self.next_to_ack = o.next();
@@ -200,7 +211,9 @@ impl CtProcess {
 
     fn try_commit(&mut self, o: SeqNo, ctx: &mut Ctx<'_, CtMsg, ScEvent>) {
         let quorum = self.cfg.quorum();
-        let Some(slot) = self.slots.get_mut(&o) else { return };
+        let Some(slot) = self.slots.get_mut(&o) else {
+            return;
+        };
         if slot.committed || slot.order.is_none() || slot.ackers.len() < quorum {
             return;
         }

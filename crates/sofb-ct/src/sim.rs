@@ -1,10 +1,11 @@
-//! Harness: assemble a CT deployment inside the simulator.
+//! Harness glue: the CT [`Protocol`] implementation and the historical
+//! [`CtWorldBuilder`] facade.
 
-use sofb_proto::ids::ClientId;
+use sofb_harness::{ClientSpec, Deployment, FaultSpec, Knobs, Protocol, WorldBuilder};
+use sofb_proto::ids::ProcessId;
 use sofb_proto::request::Request;
 use sofb_sim::cpu::CpuModel;
-use sofb_sim::delay::{LinkModel, NetworkModel};
-use sofb_sim::engine::{Actor, Ctx, World};
+use sofb_sim::engine::{Actor, World};
 use sofb_sim::time::{SimDuration, SimTime};
 
 use sofb_core::events::ScEvent;
@@ -12,117 +13,95 @@ use sofb_core::events::ScEvent;
 use crate::messages::CtMsg;
 use crate::process::{CtConfig, CtProcess};
 
-const TIMER_CLIENT: u64 = 100;
+/// CT tolerates crash faults only, so it has no scripted Byzantine
+/// misbehaviours — the uniform crash/mute/delay faults are the whole
+/// plan. (Uninhabited: a `FaultSpec::Byzantine` cannot be constructed.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtByz {}
 
-/// A synthetic client for the CT world.
+/// The crash-tolerant baseline, as hosted by the generic harness.
 #[derive(Debug)]
-pub struct CtClient {
-    id: ClientId,
-    n: usize,
-    request_size: usize,
-    interval: SimDuration,
-    stop_at: SimTime,
-    next_seq: u64,
-}
+pub struct CtProtocol;
 
-impl CtClient {
-    /// Creates a client issuing `rate_per_sec` requests until `stop_at`.
-    pub fn new(id: ClientId, n: usize, request_size: usize, rate_per_sec: f64, stop_at: SimTime) -> Self {
-        assert!(rate_per_sec > 0.0);
-        CtClient {
-            id,
-            n,
-            request_size,
-            interval: SimDuration((1e9 / rate_per_sec) as u64),
-            stop_at,
-            next_seq: 0,
-        }
-    }
-}
-
-impl Actor for CtClient {
+impl Protocol for CtProtocol {
     type Msg = CtMsg;
-    type Event = ScEvent;
+    type Byz = CtByz;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, CtMsg, ScEvent>) {
-        ctx.set_timer(self.interval, TIMER_CLIENT);
+    const NAME: &'static str = "CT";
+
+    fn node_count(knobs: &Knobs) -> usize {
+        2 * knobs.f as usize + 1
     }
 
-    fn on_message(&mut self, _f: usize, _m: CtMsg, _c: &mut Ctx<'_, CtMsg, ScEvent>) {}
+    fn build_nodes(
+        knobs: &Knobs,
+        _byz: &[(ProcessId, CtByz)],
+    ) -> Vec<Box<dyn Actor<Msg = CtMsg, Event = ScEvent>>> {
+        (0..Self::node_count(knobs))
+            .map(|i| {
+                let mut cfg = CtConfig::new(knobs.f, i as u32);
+                cfg.batching_interval = knobs.batching_interval;
+                cfg.batch_max_bytes = knobs.batch_max_bytes;
+                Box::new(CtProcess::new(cfg)) as Box<dyn Actor<Msg = CtMsg, Event = ScEvent>>
+            })
+            .collect()
+    }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, CtMsg, ScEvent>) {
-        if tag != TIMER_CLIENT || ctx.now() >= self.stop_at {
-            return;
-        }
-        self.next_seq += 1;
-        let req = Request::new(self.id, self.next_seq, vec![0xefu8; self.request_size]);
-        for p in 0..self.n {
-            ctx.send(p, CtMsg::Request(req.clone()));
-        }
-        ctx.set_timer(self.interval, TIMER_CLIENT);
+    fn request_msg(req: Request) -> CtMsg {
+        CtMsg::Request(req)
     }
 }
 
-/// Builder for a simulated CT deployment.
+/// Builder for a simulated CT deployment (thin facade over the generic
+/// [`WorldBuilder`]).
 #[derive(Debug)]
 pub struct CtWorldBuilder {
-    f: u32,
-    seed: u64,
-    batching_interval: SimDuration,
-    cpu: CpuModel,
-    clients: Vec<(f64, usize, SimTime)>,
+    inner: WorldBuilder<CtProtocol>,
 }
 
 impl CtWorldBuilder {
     /// Starts a builder for resilience `f`.
     pub fn new(f: u32) -> Self {
         CtWorldBuilder {
-            f,
-            seed: 42,
-            batching_interval: SimDuration::from_ms(100),
-            cpu: CpuModel::default(),
-            clients: Vec::new(),
+            inner: WorldBuilder::new(f),
         }
     }
 
     /// Sets the deterministic seed.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
     /// Sets the batching interval.
     pub fn batching_interval(mut self, d: SimDuration) -> Self {
-        self.batching_interval = d;
+        self.inner = self.inner.batching_interval(d);
         self
     }
 
     /// Overrides the CPU model.
     pub fn cpu(mut self, cpu: CpuModel) -> Self {
-        self.cpu = cpu;
+        self.inner = self.inner.cpu(cpu);
+        self
+    }
+
+    /// Installs a uniform fault (crash / mute / delay) on one replica.
+    pub fn fault(mut self, p: ProcessId, spec: FaultSpec<CtByz>) -> Self {
+        self.inner = self.inner.fault(p, spec);
         self
     }
 
     /// Adds a client: (rate/s, request size, stop time).
     pub fn client(mut self, rate_per_sec: f64, request_size: usize, stop_at: SimTime) -> Self {
-        self.clients.push((rate_per_sec, request_size, stop_at));
+        self.inner = self
+            .inner
+            .client(ClientSpec::new(rate_per_sec, request_size, stop_at));
         self
     }
 
     /// Assembles the world; returns it with the replica count.
     pub fn build(self) -> (World<CtMsg, ScEvent>, usize) {
-        let n = 2 * self.f as usize + 1;
-        let net = NetworkModel::uniform(LinkModel::lan_100mbit());
-        let mut world: World<CtMsg, ScEvent> = World::new(net, self.seed);
-        for i in 0..n {
-            let mut cfg = CtConfig::new(self.f, i as u32);
-            cfg.batching_interval = self.batching_interval;
-            world.add_node(Box::new(CtProcess::new(cfg)), self.cpu);
-        }
-        for (k, (rate, size, stop)) in self.clients.iter().enumerate() {
-            let client = CtClient::new(ClientId(k as u32), n, *size, *rate, *stop);
-            world.add_node(Box::new(client), CpuModel::zero());
-        }
-        (world, n)
+        let deployment: Deployment<CtProtocol> = self.inner.build();
+        (deployment.world, deployment.n_processes)
     }
 }

@@ -1,0 +1,147 @@
+//! The one synthetic client implementation shared by every protocol.
+//!
+//! Clients in the paper "direct their requests to all nodes" (§3); this
+//! actor multicasts fixed-size requests to the first `n` nodes of its
+//! world at a configured offered load, either at a constant interval (the
+//! paper's workload, and the reproducible default) or with open-loop
+//! Poisson arrivals (exponential inter-arrival times) for burstier
+//! scenarios.
+
+use std::fmt;
+
+use rand::Rng;
+
+use sofb_proto::ids::ClientId;
+use sofb_proto::request::Request;
+use sofb_sim::engine::{Actor, Ctx, WireSize};
+use sofb_sim::time::{SimDuration, SimTime};
+
+use crate::event::ProtocolEvent;
+
+/// Timer tag used by the client actor.
+const TIMER_CLIENT: u64 = 100;
+
+/// The arrival process of a synthetic client.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Arrival {
+    /// One request every `1/rate` seconds (deterministic, the default).
+    #[default]
+    Constant,
+    /// Open-loop Poisson arrivals with mean rate `rate` (exponential
+    /// inter-arrival times drawn from the world's seeded RNG).
+    Poisson,
+}
+
+/// Specification of one synthetic client.
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    /// Requests per second.
+    pub rate_per_sec: f64,
+    /// Payload size in bytes.
+    pub request_size: usize,
+    /// Stop issuing at this virtual time.
+    pub stop_at: SimTime,
+}
+
+impl ClientSpec {
+    /// A spec issuing `rate_per_sec` requests of `request_size` bytes
+    /// until `stop_at`.
+    pub fn new(rate_per_sec: f64, request_size: usize, stop_at: SimTime) -> Self {
+        ClientSpec {
+            rate_per_sec,
+            request_size,
+            stop_at,
+        }
+    }
+}
+
+/// A synthetic client, generic over the hosted protocol's message type:
+/// each request is wrapped through `wrap` (the protocol's
+/// request-constructor) and multicast to nodes `0..n`.
+pub struct ClientActor<M> {
+    id: ClientId,
+    n: usize,
+    request_size: usize,
+    mean_interval: SimDuration,
+    stop_at: SimTime,
+    arrival: Arrival,
+    next_seq: u64,
+    wrap: fn(Request) -> M,
+}
+
+impl<M> ClientActor<M> {
+    /// Creates a client for a world whose order processes are nodes
+    /// `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's rate is not positive.
+    pub fn new(
+        id: ClientId,
+        n: usize,
+        spec: &ClientSpec,
+        arrival: Arrival,
+        wrap: fn(Request) -> M,
+    ) -> Self {
+        assert!(spec.rate_per_sec > 0.0, "client rate must be positive");
+        ClientActor {
+            id,
+            n,
+            request_size: spec.request_size,
+            mean_interval: SimDuration((1e9 / spec.rate_per_sec) as u64),
+            stop_at: spec.stop_at,
+            arrival,
+            next_seq: 0,
+            wrap,
+        }
+    }
+
+    fn next_interval(&self, ctx: &mut Ctx<'_, M, ProtocolEvent>) -> SimDuration {
+        match self.arrival {
+            Arrival::Constant => self.mean_interval,
+            Arrival::Poisson => {
+                let u: f64 = ctx.rng().gen_range(f64::EPSILON..1.0);
+                let ns = (-u.ln() * self.mean_interval.as_ns() as f64)
+                    .min(self.mean_interval.as_ns() as f64 * 100.0);
+                SimDuration(ns.max(1.0) as u64)
+            }
+        }
+    }
+}
+
+impl<M> fmt::Debug for ClientActor<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientActor")
+            .field("id", &self.id)
+            .field("n", &self.n)
+            .field("arrival", &self.arrival)
+            .finish()
+    }
+}
+
+impl<M: Clone + WireSize + fmt::Debug> Actor for ClientActor<M> {
+    type Msg = M;
+    type Event = ProtocolEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M, ProtocolEvent>) {
+        let d = self.next_interval(ctx);
+        ctx.set_timer(d, TIMER_CLIENT);
+    }
+
+    fn on_message(&mut self, _from: usize, _msg: M, _ctx: &mut Ctx<'_, M, ProtocolEvent>) {
+        // Clients ignore replies in this harness; commitment is observed
+        // through the processes' events.
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, M, ProtocolEvent>) {
+        if tag != TIMER_CLIENT || ctx.now() >= self.stop_at {
+            return;
+        }
+        self.next_seq += 1;
+        let payload = vec![0xabu8; self.request_size];
+        let req = Request::new(self.id, self.next_seq, payload);
+        ctx.multicast(0..self.n, (self.wrap)(req));
+        let d = self.next_interval(ctx);
+        ctx.set_timer(d, TIMER_CLIENT);
+    }
+}

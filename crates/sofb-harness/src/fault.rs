@@ -1,0 +1,98 @@
+//! The uniform fault plan: failure behaviours every protocol variant can
+//! be subjected to, plus a protocol-specific Byzantine escape hatch.
+//!
+//! Crash, mute and delay are *engine-level* faults — the simulator itself
+//! applies them, so they are expressible for SC, SCR, BFT and CT alike
+//! without any per-protocol plumbing. Scripted Byzantine misbehaviours
+//! (corrupt a digest, rubber-stamp an endorsement, …) are inherently
+//! protocol-specific, so they ride along as the [`Protocol::Byz`]
+//! associated type.
+//!
+//! [`Protocol::Byz`]: crate::protocol::Protocol
+
+use sofb_proto::ids::ProcessId;
+use sofb_sim::time::{SimDuration, SimTime};
+
+/// One scripted fault on one process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpec<B> {
+    /// Halt the process entirely at the given time: its queue is
+    /// discarded and it receives no further callbacks.
+    Crash {
+        /// When the crash takes effect.
+        at: SimTime,
+    },
+    /// From the given time the process keeps running but every message it
+    /// sends is dropped (silent-but-alive; the time-domain fault).
+    Mute {
+        /// When the mute takes effect.
+        from: SimTime,
+    },
+    /// From the given time every message the process sends incurs extra
+    /// latency (a degraded uplink / overloaded host).
+    Delay {
+        /// When the degradation starts.
+        from: SimTime,
+        /// Added one-way latency.
+        extra: SimDuration,
+    },
+    /// A protocol-specific scripted misbehaviour (value-domain faults,
+    /// rubber-stamping shadows, mute primaries, …).
+    Byzantine(B),
+}
+
+impl<B> FaultSpec<B> {
+    /// A crash at `at` (convenience constructor; the engine-level faults
+    /// are generic over the protocol's Byzantine type, so these help
+    /// write one fault scenario against several protocols).
+    pub fn crash(at: SimTime) -> Self {
+        FaultSpec::Crash { at }
+    }
+
+    /// A mute from `from`.
+    pub fn mute(from: SimTime) -> Self {
+        FaultSpec::Mute { from }
+    }
+
+    /// A send delay of `extra` from `from`.
+    pub fn delay(from: SimTime, extra: SimDuration) -> Self {
+        FaultSpec::Delay { from, extra }
+    }
+}
+
+/// A complete fault plan: which process misbehaves, and how.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan<B> {
+    entries: Vec<(ProcessId, FaultSpec<B>)>,
+}
+
+impl<B: Clone> FaultPlan<B> {
+    /// An empty (fail-free) plan.
+    pub fn new() -> Self {
+        FaultPlan {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, p: ProcessId, spec: FaultSpec<B>) {
+        self.entries.push((p, spec));
+    }
+
+    /// All scheduled faults.
+    pub fn entries(&self) -> &[(ProcessId, FaultSpec<B>)] {
+        &self.entries
+    }
+
+    /// The Byzantine entries only (what a protocol's node constructor
+    /// consumes).
+    pub fn byzantine(&self) -> Vec<(ProcessId, B)> {
+        self.entries
+            .iter()
+            .filter_map(|(p, s)| match s {
+                FaultSpec::Byzantine(b) => Some((*p, b.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,40 @@
+//! # sofb-harness — the protocol-agnostic deployment harness
+//!
+//! One generic layer between the discrete-event simulator (`sofb-sim`)
+//! and the protocol implementations (`sofb-core`, `sofb-bft`, `sofb-ct`):
+//!
+//! * [`protocol::Protocol`] — what a total-order protocol must provide to
+//!   be hosted: a wire message type, node construction from shared
+//!   [`protocol::Knobs`], a network shape, and a request constructor;
+//! * [`builder::WorldBuilder`] — the single world-assembly code path:
+//!   every deployment of every variant (SC, SCR, BFT, CT) is built here;
+//! * [`client::ClientActor`] — the one synthetic client implementation,
+//!   with constant-rate or open-loop Poisson arrivals;
+//! * [`fault::FaultSpec`] — the uniform fault plan: crash, mute and
+//!   delayed faults work on every variant (the engine applies them);
+//!   Byzantine scripts remain protocol-specific via
+//!   [`protocol::Protocol::Byz`];
+//! * [`event::ProtocolEvent`] — the uniform observation vocabulary all
+//!   variants emit, which is what lets one analysis module measure every
+//!   §5 metric for every protocol.
+//!
+//! Protocol crates implement [`protocol::Protocol`] and keep their
+//! historical `ScWorldBuilder` / `BftWorldBuilder` / `CtWorldBuilder`
+//! types as thin facades over [`builder::WorldBuilder`], so existing
+//! experiment code keeps compiling while all new scenario work lands once
+//! and applies to all four variants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod client;
+pub mod event;
+pub mod fault;
+pub mod protocol;
+
+pub use builder::{Deployment, WorldBuilder};
+pub use client::{Arrival, ClientActor, ClientSpec};
+pub use event::ProtocolEvent;
+pub use fault::{FaultPlan, FaultSpec};
+pub use protocol::{Knobs, Links, Protocol, ProtocolKind};

@@ -23,9 +23,12 @@ pub trait Encode {
         enc.into_bytes()
     }
 
-    /// Encoded length in bytes.
+    /// Encoded length in bytes (computed without materializing the
+    /// encoding — see [`Encoder::counting`]).
     fn encoded_len(&self) -> usize {
-        self.to_bytes().len()
+        let mut enc = Encoder::counting();
+        self.encode(&mut enc);
+        enc.len()
     }
 }
 
@@ -76,9 +79,18 @@ impl std::error::Error for CodecError {}
 const MAX_FIELD: usize = 16 << 20;
 
 /// The canonical writer.
+///
+/// A counting encoder ([`Encoder::counting`]) walks the same `encode`
+/// path but only tallies lengths — no allocation, no copying. The
+/// simulator computes a wire size for every single send and delivery, so
+/// [`Encode::encoded_len`] runs in counting mode; this removed a full
+/// serialization (plus its buffer churn) from the hottest path in the
+/// engine.
 #[derive(Debug, Default)]
 pub struct Encoder {
     buf: Vec<u8>,
+    count_only: bool,
+    count: usize,
 }
 
 impl Encoder {
@@ -87,45 +99,79 @@ impl Encoder {
         Self::default()
     }
 
-    /// Finishes and returns the bytes.
+    /// Creates a length-counting encoder: `put_*` calls tally bytes
+    /// without materializing them.
+    pub fn counting() -> Self {
+        Encoder {
+            buf: Vec::new(),
+            count_only: true,
+            count: 0,
+        }
+    }
+
+    /// Finishes and returns the bytes (empty for a counting encoder).
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
     /// Current encoded length.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        if self.count_only {
+            self.count
+        } else {
+            self.buf.len()
+        }
     }
 
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Writes one byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        if self.count_only {
+            self.count += 1;
+        } else {
+            self.buf.push(v);
+        }
     }
 
     /// Writes a little-endian u16.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        if self.count_only {
+            self.count += 2;
+        } else {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Writes a little-endian u32.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        if self.count_only {
+            self.count += 4;
+        } else {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Writes a little-endian u64.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        if self.count_only {
+            self.count += 8;
+        } else {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Writes a length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
+        if self.count_only {
+            self.count += v.len();
+        } else {
+            self.buf.extend_from_slice(v);
+        }
     }
 
     /// Writes a bool as one byte.

@@ -1,13 +1,12 @@
 //! Client requests, batches and digests.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use crate::ids::ClientId;
 
 /// A message digest (algorithm chosen by the deployment's scheme).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest(pub Vec<u8>);
 
 impl Digest {
@@ -41,9 +40,7 @@ impl std::fmt::Display for Digest {
 }
 
 /// A unique request identifier: issuing client plus client-local sequence.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId {
     /// The issuing client.
     pub client: ClientId,
@@ -75,27 +72,12 @@ impl Decode for RequestId {
 /// A client request (`m` in the paper). Clients "direct their requests to
 /// all nodes" (§3), so the order messages carry only `D(m)` and request
 /// ids, never the payload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Unique id.
     pub id: RequestId,
     /// Operation payload (opaque to the ordering layer).
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
-}
-
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v: Vec<u8> = Vec::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Request {
@@ -128,7 +110,7 @@ impl Decode for Request {
 ///
 /// The digest is computed over the concatenated canonical encodings of the
 /// member requests, in id order as listed.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchRef {
     /// Member request ids, in coordinator order.
     pub requests: Vec<RequestId>,
@@ -186,9 +168,18 @@ mod tests {
 
     #[test]
     fn request_id_ordering() {
-        let a = RequestId { client: ClientId(1), seq: 5 };
-        let b = RequestId { client: ClientId(1), seq: 6 };
-        let c = RequestId { client: ClientId(2), seq: 0 };
+        let a = RequestId {
+            client: ClientId(1),
+            seq: 5,
+        };
+        let b = RequestId {
+            client: ClientId(1),
+            seq: 6,
+        };
+        let c = RequestId {
+            client: ClientId(2),
+            seq: 0,
+        };
         assert!(a < b && b < c);
         assert_eq!(a.to_string(), "cl1#5");
     }
@@ -207,8 +198,14 @@ mod tests {
     fn batch_ref_roundtrip() {
         let b = BatchRef {
             requests: vec![
-                RequestId { client: ClientId(1), seq: 1 },
-                RequestId { client: ClientId(2), seq: 9 },
+                RequestId {
+                    client: ClientId(1),
+                    seq: 1,
+                },
+                RequestId {
+                    client: ClientId(2),
+                    seq: 9,
+                },
             ],
             digest: Digest(vec![1, 2, 3]),
         };

@@ -7,15 +7,13 @@
 //! attributable to its source pair and carries content both members
 //! computed or checked.
 
-use serde::{Deserialize, Serialize};
-
 use sofb_crypto::provider::CryptoProvider;
 
 use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use crate::ids::ProcessId;
 
 /// A payload with one signature.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Signed<T> {
     /// The signed content.
     pub payload: T,
@@ -56,12 +54,16 @@ impl<T: Decode> Decode for Signed<T> {
         let payload = T::decode(dec)?;
         let signer = ProcessId::decode(dec)?;
         let sig = dec.get_bytes()?;
-        Ok(Signed { payload, signer, sig })
+        Ok(Signed {
+            payload,
+            signer,
+            sig,
+        })
     }
 }
 
 /// A payload signed by two processes in sequence.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DoublySigned<T> {
     /// The signed content.
     pub payload: T,

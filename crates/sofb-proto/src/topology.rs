@@ -13,12 +13,10 @@
 //! Process indices: replicas are `0..2f+1`; shadows follow, so the shadow
 //! of replica `i` is process `2f+1 + i`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ProcessId, Rank, ViewId};
 
 /// Which assumption set (and thus process layout) a deployment uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// `{1_after_1, Sync}` — signal-on-crash, `n = 3f+1`.
     Sc,
@@ -28,7 +26,7 @@ pub enum Variant {
 
 /// A coordinator candidate: a pair or (in SC only) the final unpaired
 /// process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Candidate {
     /// A replica/shadow pair implementing the signal-on-crash process.
     Pair {
@@ -83,7 +81,7 @@ impl Candidate {
 /// assert_eq!(t.counterpart(ProcessId(0)), Some(ProcessId(5)));
 /// assert_eq!(t.commit_quorum(), 5);           // n - f
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
     f: u32,
     variant: Variant,
@@ -183,7 +181,10 @@ impl Topology {
     ///
     /// Panics if `c` is out of range.
     pub fn candidate(&self, c: Rank) -> Candidate {
-        assert!(c.0 >= 1 && c.0 <= self.candidate_count(), "rank out of range");
+        assert!(
+            c.0 >= 1 && c.0 <= self.candidate_count(),
+            "rank out of range"
+        );
         let idx = c.0 - 1; // replica index of the candidate
         let replica = ProcessId(idx);
         match self.shadow_of(replica) {
@@ -228,7 +229,9 @@ impl Topology {
 
     /// All processes except `me` (the usual multicast target set).
     pub fn others(&self, me: ProcessId) -> impl Iterator<Item = ProcessId> {
-        (0..self.n() as u32).map(ProcessId).filter(move |p| *p != me)
+        (0..self.n() as u32)
+            .map(ProcessId)
+            .filter(move |p| *p != me)
     }
 
     /// Effective system size after `k` pairs have been retired as dumb
@@ -287,11 +290,17 @@ mod tests {
         let t = Topology::new(2, Variant::Sc);
         assert_eq!(
             t.candidate(Rank(1)),
-            Candidate::Pair { replica: ProcessId(0), shadow: ProcessId(5) }
+            Candidate::Pair {
+                replica: ProcessId(0),
+                shadow: ProcessId(5)
+            }
         );
         assert_eq!(
             t.candidate(Rank(2)),
-            Candidate::Pair { replica: ProcessId(1), shadow: ProcessId(6) }
+            Candidate::Pair {
+                replica: ProcessId(1),
+                shadow: ProcessId(6)
+            }
         );
         assert_eq!(t.candidate(Rank(3)), Candidate::Unpaired(ProcessId(2)));
     }

@@ -12,10 +12,8 @@
 //! extra factor proportional to the excess (standing in for JVM garbage
 //! collection and buffer pressure on the original testbed; see DESIGN.md).
 
-use serde::{Deserialize, Serialize};
-
 /// CPU cost parameters for one node.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CpuModel {
     /// Fixed dispatch cost per handled event (scheduling, deserialization
     /// setup), nanoseconds.

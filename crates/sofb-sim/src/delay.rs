@@ -125,12 +125,7 @@ impl LinkModel {
     }
 
     /// Total one-way latency for a `len`-byte message sent at `now`.
-    pub fn latency<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        now: SimTime,
-        len: usize,
-    ) -> SimDuration {
+    pub fn latency<R: Rng + ?Sized>(&self, rng: &mut R, now: SimTime, len: usize) -> SimDuration {
         self.delay.sample(rng, now) + SimDuration(self.per_byte_ns * len as u64)
     }
 }

@@ -40,7 +40,12 @@ pub trait Actor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Event>);
 
     /// Called when a message from `from` is dequeued for processing.
-    fn on_message(&mut self, from: usize, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Event>);
+    fn on_message(
+        &mut self,
+        from: usize,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Event>,
+    );
 
     /// Called when an armed timer with `tag` fires.
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg, Self::Event>);
@@ -108,14 +113,20 @@ impl<M, E> Ctx<'_, M, E> {
         self.sends.push((to, msg));
     }
 
-    /// Queues `msg` to every node in `targets` (cloning per target).
+    /// Queues `msg` to every node in `targets` (cloning per target except
+    /// the last, which takes the original — one fewer deep copy per
+    /// multicast on the hot path).
     pub fn multicast<I: IntoIterator<Item = usize>>(&mut self, targets: I, msg: M)
     where
         M: Clone,
     {
-        for t in targets {
-            self.sends.push((t, msg.clone()));
+        let mut it = targets.into_iter();
+        let Some(mut pending) = it.next() else { return };
+        for t in it {
+            self.sends.push((pending, msg.clone()));
+            pending = t;
         }
+        self.sends.push((pending, msg));
     }
 
     /// Arms (or re-arms) the timer `tag` to fire `delay` after this
@@ -205,8 +216,15 @@ impl<'a, M, E> Ctx<'a, M, E> {
 /// A stimulus waiting in a node's input queue.
 #[derive(Debug)]
 enum Incoming<M> {
-    Message { from: usize, msg: M },
-    Timer { tag: u64, token: u64, fired: SimTime },
+    Message {
+        from: usize,
+        msg: M,
+    },
+    Timer {
+        tag: u64,
+        token: u64,
+        fired: SimTime,
+    },
 }
 
 /// Heap entry kinds.
@@ -215,6 +233,7 @@ enum EngineEventKind<M> {
     Deliver { to: usize, from: usize, msg: M },
     TimerFire { node: usize, tag: u64, token: u64 },
     ProcessNext { node: usize },
+    Crash { node: usize },
 }
 
 struct EngineEvent<M> {
@@ -248,6 +267,8 @@ struct NodeState<M, E> {
     timer_tokens: HashMap<u64, u64>,
     next_token: u64,
     crashed: bool,
+    muted_from: Option<SimTime>,
+    send_delay: Option<(SimTime, SimDuration)>,
     cpu: CpuModel,
     stats: NodeStats,
 }
@@ -317,6 +338,8 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             timer_tokens: HashMap::new(),
             next_token: 0,
             crashed: false,
+            muted_from: None,
+            send_delay: None,
             cpu,
             stats: NodeStats::default(),
         });
@@ -364,6 +387,35 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// True if `node` has been crashed.
     pub fn is_crashed(&self, node: usize) -> bool {
         self.nodes[node].crashed
+    }
+
+    /// Schedules `node` to crash at virtual time `at`. A time already in
+    /// the past is clamped to the current instant, i.e. the node crashes
+    /// as soon as the event is processed.
+    pub fn crash_at(&mut self, node: usize, at: SimTime) {
+        let at = at.max(self.now);
+        self.push(at, EngineEventKind::Crash { node });
+    }
+
+    /// Mutes `node` from `from` onward: it keeps processing input but all
+    /// its sends are silently dropped (a silent-but-alive process, the
+    /// time-domain fault every protocol variant must tolerate).
+    ///
+    /// Installing a second mute keeps the earlier of the two start
+    /// times (the node can only be "mute from the first moment either
+    /// plan applies").
+    pub fn mute_from(&mut self, node: usize, from: SimTime) {
+        let slot = &mut self.nodes[node].muted_from;
+        *slot = Some(slot.map_or(from, |existing| existing.min(from)));
+    }
+
+    /// Adds `extra` latency to every message `node` sends from `from`
+    /// onward (a degraded process / congested uplink).
+    ///
+    /// One delay plan per node: installing a second replaces the first
+    /// (escalating degradation schedules are not supported).
+    pub fn delay_sends_from(&mut self, node: usize, from: SimTime, extra: SimDuration) {
+        self.nodes[node].send_delay = Some((from, extra));
     }
 
     /// Invokes `on_start` on every node (in index order, at time zero).
@@ -415,7 +467,11 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                     self.push(self.now, EngineEventKind::ProcessNext { node: to });
                 }
             }
-            EngineEventKind::TimerFire { node: idx, tag, token } => {
+            EngineEventKind::TimerFire {
+                node: idx,
+                tag,
+                token,
+            } => {
                 let node = &mut self.nodes[idx];
                 if node.crashed {
                     return true;
@@ -444,6 +500,9 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                         self.run_callback(idx, Some(incoming));
                     }
                 }
+            }
+            EngineEventKind::Crash { node } => {
+                self.crash(node);
             }
         }
         true
@@ -543,17 +602,36 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         stats.busy_ns += service;
         stats.max_queue = stats.max_queue.max(queue_len);
 
-        // Transmit queued sends at completion time.
+        // Transmit queued sends at completion time (unless a fault plan
+        // has muted or degraded this node's uplink by then).
+        let muted = self.nodes[idx].muted_from.is_some_and(|from| done >= from);
+        let extra_delay = self.nodes[idx]
+            .send_delay
+            .and_then(|(from, extra)| (done >= from).then_some(extra))
+            .unwrap_or(SimDuration::ZERO);
         for (to, msg) in sends {
+            // Self-addressed messages never traverse the uplink, so the
+            // mute/delay faults (which model a cut or degraded network
+            // interface) do not apply to them.
+            let local = to == idx;
+            if muted && !local {
+                continue;
+            }
             let len = msg.wire_len();
             self.messages_sent += 1;
             self.bytes_sent += len as u64;
-            let latency = if to == idx {
-                SimDuration::from_us(1)
+            let (latency, extra) = if local {
+                (SimDuration::from_us(1), SimDuration::ZERO)
             } else {
-                self.net.link(idx, to).latency(&mut self.rng, done, len)
+                (
+                    self.net.link(idx, to).latency(&mut self.rng, done, len),
+                    extra_delay,
+                )
             };
-            self.push(done + latency, EngineEventKind::Deliver { to, from: idx, msg });
+            self.push(
+                done + latency + extra,
+                EngineEventKind::Deliver { to, from: idx, msg },
+            );
         }
 
         // Apply timer mutations at completion time, in call order.
@@ -569,7 +647,11 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                     node.timer_tokens.insert(tag, token);
                     self.push(
                         done + delay,
-                        EngineEventKind::TimerFire { node: idx, tag, token },
+                        EngineEventKind::TimerFire {
+                            node: idx,
+                            tag,
+                            token,
+                        },
                     );
                 }
             }
@@ -641,11 +723,19 @@ mod tests {
     fn ping_pong_delivers_in_order() {
         let mut w: World<Ping, Obs> = World::new(constant_net(100), 1);
         w.add_node(
-            Box::new(Echo { peer: 1, limit: 4, initiate: true }),
+            Box::new(Echo {
+                peer: 1,
+                limit: 4,
+                initiate: true,
+            }),
             CpuModel::zero(),
         );
         w.add_node(
-            Box::new(Echo { peer: 0, limit: 4, initiate: false }),
+            Box::new(Echo {
+                peer: 0,
+                limit: 4,
+                initiate: false,
+            }),
             CpuModel::zero(),
         );
         w.start();
@@ -665,11 +755,19 @@ mod tests {
     fn virtual_time_advances_with_latency() {
         let mut w: World<Ping, Obs> = World::new(constant_net(250), 1);
         w.add_node(
-            Box::new(Echo { peer: 1, limit: 0, initiate: true }),
+            Box::new(Echo {
+                peer: 1,
+                limit: 0,
+                initiate: true,
+            }),
             CpuModel::zero(),
         );
         w.add_node(
-            Box::new(Echo { peer: 0, limit: 0, initiate: false }),
+            Box::new(Echo {
+                peer: 0,
+                limit: 0,
+                initiate: false,
+            }),
             CpuModel::zero(),
         );
         w.start();
@@ -701,7 +799,14 @@ mod tests {
             overload_threshold: usize::MAX,
             overload_penalty: 0.0,
         };
-        w.add_node(Box::new(Echo { peer: 0, limit: usize::MAX, initiate: false }), cpu);
+        w.add_node(
+            Box::new(Echo {
+                peer: 0,
+                limit: usize::MAX,
+                initiate: false,
+            }),
+            cpu,
+        );
         w.start();
         w.run_until(SimTime::from_ms(10));
         let times: Vec<SimTime> = w.events().iter().map(|e| e.time).collect();
@@ -750,11 +855,19 @@ mod tests {
     fn crashed_node_receives_nothing() {
         let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
         w.add_node(
-            Box::new(Echo { peer: 1, limit: 10, initiate: true }),
+            Box::new(Echo {
+                peer: 1,
+                limit: 10,
+                initiate: true,
+            }),
             CpuModel::zero(),
         );
         w.add_node(
-            Box::new(Echo { peer: 0, limit: 10, initiate: false }),
+            Box::new(Echo {
+                peer: 0,
+                limit: 10,
+                initiate: false,
+            }),
             CpuModel::zero(),
         );
         w.crash(1);
@@ -775,11 +888,19 @@ mod tests {
                 seed,
             );
             w.add_node(
-                Box::new(Echo { peer: 1, limit: 20, initiate: true }),
+                Box::new(Echo {
+                    peer: 1,
+                    limit: 20,
+                    initiate: true,
+                }),
                 CpuModel::default(),
             );
             w.add_node(
-                Box::new(Echo { peer: 0, limit: 20, initiate: false }),
+                Box::new(Echo {
+                    peer: 0,
+                    limit: 20,
+                    initiate: false,
+                }),
                 CpuModel::default(),
             );
             w.start();
@@ -797,7 +918,11 @@ mod tests {
     fn inject_delivers_external_message() {
         let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
         w.add_node(
-            Box::new(Echo { peer: 0, limit: 0, initiate: false }),
+            Box::new(Echo {
+                peer: 0,
+                limit: 0,
+                initiate: false,
+            }),
             CpuModel::zero(),
         );
         w.start();
@@ -810,11 +935,19 @@ mod tests {
     fn counters_track_traffic() {
         let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
         w.add_node(
-            Box::new(Echo { peer: 1, limit: 2, initiate: true }),
+            Box::new(Echo {
+                peer: 1,
+                limit: 2,
+                initiate: true,
+            }),
             CpuModel::zero(),
         );
         w.add_node(
-            Box::new(Echo { peer: 0, limit: 2, initiate: false }),
+            Box::new(Echo {
+                peer: 0,
+                limit: 2,
+                initiate: false,
+            }),
             CpuModel::zero(),
         );
         w.start();

@@ -1,7 +1,5 @@
 //! Measurement helpers for the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 /// A sample collection with summary statistics.
 ///
 /// # Examples
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.mean(), 2.5);
 /// assert_eq!(h.percentile(25.0), 2.0);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
 }
@@ -75,14 +73,30 @@ impl Histogram {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        self.percentiles(&[p])[0]
+    }
+
+    /// Several percentiles at once, sorting the samples a single time
+    /// (nearest-rank, like [`Histogram::percentile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested percentile is outside `[0, 100]`.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        for p in ps {
+            assert!((0.0..=100.0).contains(p), "percentile out of range");
+        }
         if self.samples.is_empty() {
-            return 0.0;
+            return ps.iter().map(|_| 0.0).collect();
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        ps.iter()
+            .map(|p| {
+                let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+                sorted[rank.min(sorted.len() - 1)]
+            })
+            .collect()
     }
 
     /// Sample standard deviation (0 with fewer than two samples).
@@ -107,7 +121,7 @@ impl Histogram {
 }
 
 /// One (x, y) point of an experiment series.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SeriesPoint {
     /// Swept parameter value (e.g. batching interval in ms).
     pub x: f64,
@@ -116,7 +130,7 @@ pub struct SeriesPoint {
 }
 
 /// A named series of experiment points, printable as a table column.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Display name (e.g. "SC", "BFT", "CT").
     pub name: String,

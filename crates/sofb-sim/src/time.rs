@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in virtual time, in nanoseconds since simulation start.
 ///
 /// # Examples
@@ -15,15 +13,11 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimTime::from_ms(5).as_duration();
 /// assert_eq!(t.as_ms_f64(), 5.0);
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in nanoseconds.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

@@ -45,7 +45,11 @@ fn main() {
                 "  {:>10}  node {} fail-signals pair {pair} ({})",
                 ev.time.to_string(),
                 ev.node,
-                if *value_domain { "value-domain" } else { "time-domain" }
+                if *value_domain {
+                    "value-domain"
+                } else {
+                    "time-domain"
+                }
             ),
             ScEvent::StartCertIssued { c, start_o } => println!(
                 "  {:>10}  node {} issues Start certificate for {c} (start_o = {start_o})",

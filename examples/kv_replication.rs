@@ -28,12 +28,15 @@ fn main() {
     // Generate a deterministic KV workload up front.
     let mut gen = KvWorkload::new(
         ClientId(0),
-        KvMix { read_ratio: 0.3, key_space: 50, value_size: 32 },
+        KvMix {
+            read_ratio: 0.3,
+            key_space: 50,
+            value_size: 32,
+        },
         7,
     );
     let requests: Vec<Request> = (0..200).map(|_| gen.next_request()).collect();
-    let by_id: HashMap<RequestId, Request> =
-        requests.iter().map(|r| (r.id, r.clone())).collect();
+    let by_id: HashMap<RequestId, Request> = requests.iter().map(|r| (r.id, r.clone())).collect();
 
     // Order the requests with the SC protocol (f = 1, n = 4).
     let mut deployment = ScWorldBuilder::new(1, Variant::Sc, SchemeId::Md5Rsa1024)
@@ -46,7 +49,9 @@ fn main() {
     for (i, req) in requests.iter().enumerate() {
         deployment.run_until(SimTime::from_ms(5 * i as u64));
         for p in 0..n {
-            deployment.world.inject(p, 1_000, ScMsg::Request(req.clone()));
+            deployment
+                .world
+                .inject(p, 1_000, ScMsg::Request(req.clone()));
         }
     }
     deployment.run_until(SimTime::from_secs(10));
@@ -92,10 +97,7 @@ fn main() {
     let mut replica_a = Executor::new(KvStore::new());
     let mut replica_b = Executor::new(KvStore::new());
     for (o, batch) in &schedule {
-        let ops: Vec<Vec<u8>> = batch
-            .iter()
-            .map(|id| by_id[id].payload.to_vec())
-            .collect();
+        let ops: Vec<Vec<u8>> = batch.iter().map(|id| by_id[id].payload.to_vec()).collect();
         replica_a.apply_batch(*o, ops.clone()).expect("in order");
         replica_b.apply_batch(*o, ops).expect("in order");
     }
@@ -111,6 +113,9 @@ fn main() {
     println!("  keys stored        : {}", replica_a.machine().len());
     println!(
         "  state digest       : {} (identical on both replicas)",
-        da.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>()
+        da.iter()
+            .take(8)
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>()
     );
 }

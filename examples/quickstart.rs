@@ -31,13 +31,10 @@ fn main() {
     analysis::check_total_order(&events).expect("total order must hold");
 
     let latencies = analysis::order_latencies(&events);
-    let mean = analysis::mean_latency_ms(&events, SimTime::from_secs(1))
-        .expect("batches committed");
-    let throughput = analysis::throughput_per_process(
-        &events,
-        SimTime::from_secs(1),
-        SimTime::from_secs(8),
-    );
+    let mean =
+        analysis::mean_latency_ms(&events, SimTime::from_secs(1)).expect("batches committed");
+    let throughput =
+        analysis::throughput_per_process(&events, SimTime::from_secs(1), SimTime::from_secs(8));
 
     println!("Streets of Byzantium — SC protocol quickstart");
     println!("  processes            : {}", deployment.topology.n());

@@ -28,7 +28,13 @@ fn main() {
 
     // Open three accounts, then transfer between them.
     for (acct, amount) in [("alice", "100"), ("bob", "50"), ("carol", "0")] {
-        bank.submit(KvOp::Put { key: acct.into(), value: amount.into() }.to_bytes());
+        bank.submit(
+            KvOp::Put {
+                key: acct.into(),
+                value: amount.into(),
+            }
+            .to_bytes(),
+        );
         bank.run_for(SimDuration::from_ms(60));
     }
     // A compare-and-swap models a guarded transfer.
@@ -41,7 +47,13 @@ fn main() {
         .to_bytes(),
     );
     bank.run_for(SimDuration::from_ms(60));
-    let credit = bank.submit(KvOp::Put { key: "carol".into(), value: "30".into() }.to_bytes());
+    let credit = bank.submit(
+        KvOp::Put {
+            key: "carol".into(),
+            value: "30".into(),
+        }
+        .to_bytes(),
+    );
 
     // Keep the workload going through the injected fault.
     for i in 0..30 {
@@ -58,17 +70,33 @@ fn main() {
 
     let replies = bank.poll_replies().clone();
     println!("Streets of Byzantium — replicated service (with mid-run fail-over)");
-    println!("  ops executed (each exactly once) : {}", bank.executed_ops());
-    println!("  CAS transfer reply               : {:?}", replies.get(&cas).map(|r| r == &[1u8]));
-    println!("  credit acknowledged              : {}", replies.contains_key(&credit));
+    println!(
+        "  ops executed (each exactly once) : {}",
+        bank.executed_ops()
+    );
+    println!(
+        "  CAS transfer reply               : {:?}",
+        replies.get(&cas).map(|r| r == &[1u8])
+    );
+    println!(
+        "  credit acknowledged              : {}",
+        replies.contains_key(&credit)
+    );
     println!(
         "  alice = {:?}, carol = {:?}",
-        bank.machine().get(b"alice").map(|v| String::from_utf8_lossy(v).into_owned()),
-        bank.machine().get(b"carol").map(|v| String::from_utf8_lossy(v).into_owned()),
+        bank.machine()
+            .get(b"alice")
+            .map(|v| String::from_utf8_lossy(v).into_owned()),
+        bank.machine()
+            .get(b"carol")
+            .map(|v| String::from_utf8_lossy(v).into_owned()),
     );
     println!(
         "  replica state digest             : {} (audited identical on all {} replicas)",
-        bank.state_digest()[..8].iter().map(|b| format!("{b:02x}")).collect::<String>(),
+        bank.state_digest()[..8]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>(),
         5,
     );
 }

@@ -15,10 +15,21 @@
 //! * [`sim`] — the deterministic simulator (network delay models,
 //!   per-node CPU queueing);
 //! * [`proto`] — topology, requests, signed envelopes, canonical codec;
+//! * [`harness`] — the protocol-agnostic deployment layer: one generic
+//!   [`harness::WorldBuilder`], one client actor, one uniform fault plan
+//!   ([`harness::FaultSpec`]: crash/mute/delay on every variant) and the
+//!   shared observation vocabulary ([`harness::ProtocolEvent`]);
 //! * [`core`] — the SC and SCR protocols (the paper's contribution);
 //! * [`bft`] — the BFT baseline;
 //! * [`ct`] — the crash-tolerant baseline;
 //! * [`app`] — a deterministic replicated KV service and workloads.
+//!
+//! Each protocol crate implements [`harness::Protocol`] (SC/SCR:
+//! `core::sim::ScProtocol`; BFT: `bft::sim::BftProtocol`; CT:
+//! `ct::sim::CtProtocol`), so any variant is constructible through the
+//! same generic builder and measured by the same analysis pass; the
+//! historical `ScWorldBuilder`/`BftWorldBuilder`/`CtWorldBuilder` types
+//! remain as thin facades. See `DESIGN.md` for the layer map.
 //!
 //! # Quickstart
 //!
@@ -55,5 +66,6 @@ pub use sofb_bft as bft;
 pub use sofb_core as core;
 pub use sofb_crypto as crypto;
 pub use sofb_ct as ct;
+pub use sofb_harness as harness;
 pub use sofb_proto as proto;
 pub use sofb_sim as sim;

@@ -126,7 +126,11 @@ where
             });
             handles.push(handle);
         }
-        ThreadedHost { senders, handles, events }
+        ThreadedHost {
+            senders,
+            handles,
+            events,
+        }
     }
 
     /// Injects a message to `to` as if from node `from`.
@@ -182,14 +186,13 @@ mod tests {
                     payload.clone(),
                     &mut providers[shadow.0 as usize],
                 ));
-                presigned[shadow.0 as usize] = Some(Signed::sign(
-                    payload,
-                    &mut providers[replica.0 as usize],
-                ));
+                presigned[shadow.0 as usize] =
+                    Some(Signed::sign(payload, &mut providers[replica.0 as usize]));
             }
         }
-        let mut actors: Vec<Box<dyn Actor<Msg = ScMsg, Event = sofb_core::events::ScEvent> + Send>> =
-            Vec::new();
+        let mut actors: Vec<
+            Box<dyn Actor<Msg = ScMsg, Event = sofb_core::events::ScEvent> + Send>,
+        > = Vec::new();
         for (i, provider) in providers.into_iter().enumerate() {
             let mut cfg = ScConfig::new(topology, ProcessId(i as u32), SchemeId::Md5Rsa1024);
             cfg.batching_interval = SimDuration::from_ms(30);

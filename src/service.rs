@@ -11,10 +11,10 @@
 use std::collections::{BTreeMap, HashMap};
 
 use sofb_app::state_machine::{Executor, StateMachine};
+use sofb_core::analysis;
 use sofb_core::events::ScEvent;
 use sofb_core::messages::ScMsg;
 use sofb_core::sim::{ScWorld, ScWorldBuilder};
-use sofb_core::analysis;
 use sofb_proto::ids::{ClientId, SeqNo};
 use sofb_proto::request::{Request, RequestId};
 use sofb_sim::time::{SimDuration, SimTime};
@@ -65,7 +65,9 @@ impl<S: StateMachine> ReplicatedService<S> {
             client: ClientId(0),
             next_seq: 0,
             requests: HashMap::new(),
-            executors: (0..replicas).map(|_| Executor::new(make_machine())).collect(),
+            executors: (0..replicas)
+                .map(|_| Executor::new(make_machine()))
+                .collect(),
             staged: BTreeMap::new(),
             replies: HashMap::new(),
             started: false,
@@ -137,11 +139,7 @@ impl<S: StateMachine> ReplicatedService<S> {
             // Cross-replica audit.
             let d0 = self.executors[0].machine().state_digest();
             for ex in &self.executors[1..] {
-                assert_eq!(
-                    ex.machine().state_digest(),
-                    d0,
-                    "replica state divergence"
-                );
+                assert_eq!(ex.machine().state_digest(), d0, "replica state divergence");
             }
             for (id, reply) in ids.iter().zip(replica_replies.unwrap_or_default()) {
                 self.replies.insert(*id, reply);
@@ -189,7 +187,11 @@ mod tests {
     use sofb_proto::topology::Variant;
 
     fn put(k: &str, v: &str) -> Vec<u8> {
-        KvOp::Put { key: k.into(), value: v.into() }.to_bytes()
+        KvOp::Put {
+            key: k.into(),
+            value: v.into(),
+        }
+        .to_bytes()
     }
 
     fn get(k: &str) -> Vec<u8> {

@@ -79,11 +79,7 @@ fn ordered_kv_replicas_converge_under_failover() {
         .collect();
     for (i, op) in ops.iter().enumerate() {
         d.run_until(SimTime::from_ms(20 * i as u64));
-        let req = sofbyz::proto::request::Request::new(
-            ClientId(0),
-            i as u64 + 1,
-            op.to_bytes(),
-        );
+        let req = sofbyz::proto::request::Request::new(ClientId(0), i as u64 + 1, op.to_bytes());
         for p in 0..n {
             d.world
                 .inject(p, 999, sofbyz::core::messages::ScMsg::Request(req.clone()));
@@ -160,7 +156,10 @@ fn scr_recovers_from_transient_partition_of_pair_link() {
     assert!(
         events.iter().any(|e| matches!(
             e.event,
-            ScEvent::FailSignalIssued { value_domain: false, .. }
+            ScEvent::FailSignalIssued {
+                value_domain: false,
+                ..
+            }
         )),
         "pre-GST heartbeat misses must trigger a (false) fail-signal"
     );
@@ -209,7 +208,11 @@ fn umbrella_reexports_compose() {
     let mut kv = KvStore::new();
     let reply = StateMachine::apply(
         &mut kv,
-        &KvOp::Put { key: b"x".to_vec(), value: b"y".to_vec() }.to_bytes(),
+        &KvOp::Put {
+            key: b"x".to_vec(),
+            value: b"y".to_vec(),
+        }
+        .to_bytes(),
     );
     assert_eq!(reply, b"OK");
     let mut provs = Dealer::sim(SchemeId::Sha1Dsa1024, 2, 3);

@@ -1,8 +1,13 @@
-//! Property-based tests (proptest): protocol invariants under randomized
-//! parameters, schedules (seeds) and fault plans, plus algebraic laws of
-//! the crypto substrate.
+//! Property-style tests: protocol invariants under randomized parameters,
+//! schedules (seeds) and fault plans, plus algebraic laws of the crypto
+//! substrate.
+//!
+//! The container build has no network access, so instead of proptest these
+//! sweep deterministic pseudo-random inputs from the workspace RNG — the
+//! same shrink-free exploration, fully reproducible run to run.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use sofbyz::core::analysis;
 use sofbyz::core::config::Fault;
@@ -16,104 +21,132 @@ use sofbyz::proto::request::Request;
 use sofbyz::proto::topology::Variant;
 use sofbyz::sim::time::{SimDuration, SimTime};
 
+fn biguint_from_u128(v: u128) -> BigUint {
+    BigUint::from_bytes_be(&v.to_be_bytes())
+}
+
 // ---------------------------------------------------------------------
 // Bignum laws (vs u128 reference model)
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bignum_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn bignum_add_matches_u128() {
+    let mut rng = StdRng::seed_from_u64(0xadd);
+    for _ in 0..64 {
+        let (a, b): (u64, u64) = (rng.gen(), rng.gen());
         let sum = BigUint::from_u64(a).add(&BigUint::from_u64(b));
         let expect = u128::from(a) + u128::from(b);
-        prop_assert_eq!(sum.to_bytes_be(), biguint_from_u128(expect).to_bytes_be());
+        assert_eq!(sum.to_bytes_be(), biguint_from_u128(expect).to_bytes_be());
     }
+}
 
-    #[test]
-    fn bignum_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn bignum_mul_matches_u128() {
+    let mut rng = StdRng::seed_from_u64(0x3a1);
+    for _ in 0..64 {
+        let (a, b): (u64, u64) = (rng.gen(), rng.gen());
         let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
         let expect = u128::from(a) * u128::from(b);
-        prop_assert_eq!(prod.to_bytes_be(), biguint_from_u128(expect).to_bytes_be());
+        assert_eq!(prod.to_bytes_be(), biguint_from_u128(expect).to_bytes_be());
     }
+}
 
-    #[test]
-    fn bignum_div_rem_reconstructs(a in any::<u128>(), b in 1u64..) {
+#[test]
+fn bignum_div_rem_reconstructs() {
+    let mut rng = StdRng::seed_from_u64(0xd17);
+    for _ in 0..64 {
+        let a: u128 = rng.gen();
+        let b: u64 = rng.gen_range(1u64..);
         let dividend = biguint_from_u128(a);
         let divisor = BigUint::from_u64(b);
         let (q, r) = dividend.div_rem(&divisor);
-        prop_assert!(r < divisor);
-        prop_assert_eq!(q.mul(&divisor).add(&r), dividend);
+        assert!(r < divisor);
+        assert_eq!(q.mul(&divisor).add(&r), dividend);
     }
+}
 
-    #[test]
-    fn bignum_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn bignum_bytes_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xb17e5);
+    for _ in 0..64 {
+        let len = rng.gen_range(0usize..64);
+        let mut bytes = vec![0u8; len];
+        rng.fill(&mut bytes);
         let v = BigUint::from_bytes_be(&bytes);
         let back = BigUint::from_bytes_be(&v.to_bytes_be());
-        prop_assert_eq!(v, back);
+        assert_eq!(v, back);
     }
+}
 
-    #[test]
-    fn bignum_mod_pow_mul_law(a in 2u64..1_000, b in 2u64..1_000, m in 3u64..100_000) {
-        // (a*b) mod m == (a mod m * b mod m) mod m via mod_pow exponent 1.
+#[test]
+fn bignum_mod_pow_mul_law() {
+    // (a*b) mod m == (a mod m * b mod m) mod m via mod_pow exponent 1.
+    let mut rng = StdRng::seed_from_u64(0x90d);
+    for _ in 0..64 {
+        let a: u64 = rng.gen_range(2u64..1_000);
+        let b: u64 = rng.gen_range(2u64..1_000);
+        let m: u64 = rng.gen_range(3u64..100_000);
         let m = BigUint::from_u64(m | 1);
         let lhs = BigUint::from_u64(a).mul_mod(&BigUint::from_u64(b), &m);
         let rhs = BigUint::from_u64(a)
             .mod_pow(&BigUint::from_u64(1), &m)
             .mul_mod(&BigUint::from_u64(b).mod_pow(&BigUint::from_u64(1), &m), &m);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
-}
-
-fn biguint_from_u128(v: u128) -> BigUint {
-    BigUint::from_bytes_be(&v.to_be_bytes())
 }
 
 // ---------------------------------------------------------------------
 // Codec and signature properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn request_codec_roundtrips(
-        client in any::<u32>(),
-        seq in any::<u64>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+#[test]
+fn request_codec_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xc0dec);
+    for _ in 0..32 {
+        let client: u32 = rng.gen();
+        let seq: u64 = rng.gen();
+        let len = rng.gen_range(0usize..512);
+        let mut payload = vec![0u8; len];
+        rng.fill(&mut payload);
         let r = Request::new(ClientId(client), seq, payload);
         let decoded = Request::from_bytes(&r.to_bytes()).unwrap();
-        prop_assert_eq!(decoded, r);
+        assert_eq!(decoded, r);
     }
+}
 
-    #[test]
-    fn sim_signatures_bind_signer_and_content(
-        msg_a in proptest::collection::vec(any::<u8>(), 1..128),
-        msg_b in proptest::collection::vec(any::<u8>(), 1..128),
-        master in any::<u64>(),
-    ) {
+#[test]
+fn sim_signatures_bind_signer_and_content() {
+    let mut rng = StdRng::seed_from_u64(0x516);
+    for _ in 0..32 {
+        let master: u64 = rng.gen();
+        let mut msg_a = vec![0u8; rng.gen_range(1usize..128)];
+        let mut msg_b = vec![0u8; rng.gen_range(1usize..128)];
+        rng.fill(&mut msg_a);
+        rng.fill(&mut msg_b);
         let mut provs = Dealer::sim(SchemeId::Md5Rsa1024, 3, master);
         let sig = provs[0].sign(&msg_a);
-        prop_assert!(provs[1].verify(0, &msg_a, &sig));
+        assert!(provs[1].verify(0, &msg_a, &sig));
         // Signer binding.
-        prop_assert!(!provs[1].verify(1, &msg_a, &sig));
+        assert!(!provs[1].verify(1, &msg_a, &sig));
         // Content binding.
         if msg_a != msg_b {
-            prop_assert!(!provs[1].verify(0, &msg_b, &sig));
+            assert!(!provs[1].verify(0, &msg_b, &sig));
         }
     }
+}
 
-    #[test]
-    fn macs_bind_pair_and_content(
-        msg in proptest::collection::vec(any::<u8>(), 1..128),
-        master in any::<u64>(),
-    ) {
+#[test]
+fn macs_bind_pair_and_content() {
+    let mut rng = StdRng::seed_from_u64(0x3ac);
+    for _ in 0..32 {
+        let master: u64 = rng.gen();
+        let mut msg = vec![0u8; rng.gen_range(1usize..128)];
+        rng.fill(&mut msg);
         let mut provs = Dealer::sim(SchemeId::Sha1Dsa1024, 4, master);
         let tag = provs[0].mac(1, &msg);
-        prop_assert!(provs[1].verify_mac(0, &msg, &tag));
+        assert!(provs[1].verify_mac(0, &msg, &tag));
         // A different pair's key fails.
-        prop_assert!(!provs[2].verify_mac(3, &msg, &tag));
+        assert!(!provs[2].verify_mac(3, &msg, &tag));
     }
 }
 
@@ -121,31 +154,28 @@ proptest! {
 // Protocol invariants under randomized schedules and fault plans
 // ---------------------------------------------------------------------
 
-fn fault_strategy() -> impl Strategy<Value = (ProcessId, Fault)> {
-    prop_oneof![
+fn random_fault(rng: &mut StdRng) -> (ProcessId, Fault) {
+    let s = rng.gen_range(1u64..8);
+    match rng.gen_range(0u32..6) {
         // Faulty coordinator replica (rank 1 or 2), value domain.
-        (1u64..8).prop_map(|s| (ProcessId(0), Fault::CorruptOrderAt(SeqNo(s)))),
-        (1u64..8).prop_map(|s| (ProcessId(1), Fault::CorruptOrderAt(SeqNo(s)))),
+        0 => (ProcessId(0), Fault::CorruptOrderAt(SeqNo(s))),
+        1 => (ProcessId(1), Fault::CorruptOrderAt(SeqNo(s))),
         // Muted coordinator (time domain).
-        (1u64..8).prop_map(|s| (ProcessId(0), Fault::MuteCoordinatorAt(SeqNo(s)))),
+        2 => (ProcessId(0), Fault::MuteCoordinatorAt(SeqNo(s))),
         // Byzantine shadow / silent acker.
-        Just((ProcessId(5), Fault::RubberStamp)),
-        Just((ProcessId(3), Fault::DropAcks)),
-        Just((ProcessId(4), Fault::None)),
-    ]
+        3 => (ProcessId(5), Fault::RubberStamp),
+        4 => (ProcessId(3), Fault::DropAcks),
+        _ => (ProcessId(4), Fault::None),
+    }
 }
 
-proptest! {
-    // End-to-end simulations are comparatively expensive; keep the case
-    // count moderate (each case is a full deterministic run).
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn sc_total_order_safe_under_any_single_fault_and_schedule(
-        seed in any::<u64>(),
-        (who, fault) in fault_strategy(),
-        interval_ms in 40u64..200,
-    ) {
+#[test]
+fn sc_total_order_safe_under_any_single_fault_and_schedule() {
+    let mut rng = StdRng::seed_from_u64(0x5afe);
+    for _ in 0..12 {
+        let seed: u64 = rng.gen();
+        let (who, fault) = random_fault(&mut rng);
+        let interval_ms = rng.gen_range(40u64..200);
         let mut d = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
             .batching_interval(SimDuration::from_ms(interval_ms))
             .client(ClientSpec {
@@ -153,23 +183,24 @@ proptest! {
                 request_size: 100,
                 stop_at: SimTime::from_secs(2),
             })
-            .fault(who, fault)
+            .fault(who, fault.clone())
             .seed(seed)
             .build();
         d.start();
         d.run_until(SimTime::from_secs(6));
         let events = d.world.drain_events();
         // SAFETY is unconditional.
-        analysis::check_total_order(&events).map_err(|e| {
-            TestCaseError::fail(format!("seed {seed}: {e}"))
-        })?;
+        analysis::check_total_order(&events)
+            .unwrap_or_else(|e| panic!("seed {seed} fault {fault:?}@{who}: {e}"));
     }
+}
 
-    #[test]
-    fn scr_total_order_safe_under_any_single_fault_and_schedule(
-        seed in any::<u64>(),
-        (who, fault) in fault_strategy(),
-    ) {
+#[test]
+fn scr_total_order_safe_under_any_single_fault_and_schedule() {
+    let mut rng = StdRng::seed_from_u64(0x5c2);
+    for _ in 0..12 {
+        let seed: u64 = rng.gen();
+        let (who, fault) = random_fault(&mut rng);
         let mut d = ScWorldBuilder::new(2, Variant::Scr, SchemeId::Md5Rsa1024)
             .batching_interval(SimDuration::from_ms(80))
             .client(ClientSpec {
@@ -177,19 +208,22 @@ proptest! {
                 request_size: 100,
                 stop_at: SimTime::from_secs(2),
             })
-            .fault(who, fault)
+            .fault(who, fault.clone())
             .seed(seed)
             .build();
         d.start();
         d.run_until(SimTime::from_secs(6));
         let events = d.world.drain_events();
-        analysis::check_total_order(&events).map_err(|e| {
-            TestCaseError::fail(format!("seed {seed}: {e}"))
-        })?;
+        analysis::check_total_order(&events)
+            .unwrap_or_else(|e| panic!("seed {seed} fault {fault:?}@{who}: {e}"));
     }
+}
 
-    #[test]
-    fn sc_liveness_without_faults(seed in any::<u64>()) {
+#[test]
+fn sc_liveness_without_faults() {
+    let mut rng = StdRng::seed_from_u64(0x11fe);
+    for _ in 0..12 {
+        let seed: u64 = rng.gen();
         let mut d = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
             .batching_interval(SimDuration::from_ms(100))
             .client(ClientSpec {
@@ -206,11 +240,9 @@ proptest! {
         let n = d.topology.n();
         let nodes: Vec<usize> = (0..n).collect();
         let prefix = analysis::common_committed_prefix(&events, &nodes);
-        prop_assert!(
+        assert!(
             prefix.is_some_and(|p| p >= SeqNo(5)),
-            "seed {}: committed prefix too short: {:?}",
-            seed,
-            prefix
+            "seed {seed}: committed prefix too short: {prefix:?}"
         );
     }
 }
