@@ -5,7 +5,13 @@
 //!
 //! ```sh
 //! cargo run --release -p sofb-bench --bin bench_protocols [out.json]
+//! cargo run --release -p sofb-bench --bin bench_protocols -- --check [committed.json]
 //! ```
+//!
+//! `--check` regenerates the measurements in memory and fails (exit 1)
+//! if any throughput/latency/msgs-per-batch value drifts from the
+//! committed file by more than 1e-9 — the CI determinism gate. `wall_ms`
+//! is machine-dependent and excluded.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -15,6 +21,7 @@ use sofb_crypto::scheme::SchemeId;
 use sofb_harness::ProtocolKind;
 
 const F: u32 = 2;
+const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
 const INTERVAL_MS: u64 = 100;
 const SEED: u64 = 7;
 const WINDOW: Window = Window {
@@ -23,6 +30,9 @@ const WINDOW: Window = Window {
     drain_s: 15,
 };
 
+/// Metric drift beyond this fails `--check`.
+const TOLERANCE: f64 = 1e-9;
+
 fn json_num(v: Option<f64>) -> String {
     match v {
         Some(x) if x.is_finite() => format!("{x:.3}"),
@@ -30,19 +40,50 @@ fn json_num(v: Option<f64>) -> String {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_protocols.json".to_string());
-    let scheme = SchemeId::Md5Rsa1024;
+struct VariantRow {
+    name: String,
+    throughput: f64,
+    mean_ms: Option<f64>,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
+    msgs_per_batch: f64,
+    wall_ms: f64,
+}
 
+fn measure() -> Vec<VariantRow> {
+    ProtocolKind::ALL
+        .iter()
+        .map(|kind| {
+            let wall = Instant::now();
+            let p = protocol_point(*kind, F, SCHEME, INTERVAL_MS, SEED, WINDOW);
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "{kind}: throughput {:.1} req/proc/s, latency p50 {} / p99 {} ms ({wall_ms:.0} ms wall)",
+                p.throughput,
+                json_num(p.p50_ms),
+                json_num(p.p99_ms),
+            );
+            VariantRow {
+                name: kind.to_string(),
+                throughput: p.throughput,
+                mean_ms: p.latency_ms,
+                p50_ms: p.p50_ms,
+                p99_ms: p.p99_ms,
+                msgs_per_batch: p.msgs_per_batch,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+fn render(rows: &[VariantRow]) -> String {
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
     writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v1\",").unwrap();
     writeln!(body, "  \"f\": {F},").unwrap();
     writeln!(body, "  \"interval_ms\": {INTERVAL_MS},").unwrap();
     writeln!(body, "  \"seed\": {SEED},").unwrap();
-    writeln!(body, "  \"scheme\": \"{scheme}\",").unwrap();
+    writeln!(body, "  \"scheme\": \"{SCHEME}\",").unwrap();
     writeln!(
         body,
         "  \"window_s\": {{\"warmup\": {}, \"run\": {}, \"drain\": {}}},",
@@ -50,50 +91,131 @@ fn main() {
     )
     .unwrap();
     writeln!(body, "  \"variants\": [").unwrap();
-
-    for (i, kind) in ProtocolKind::ALL.iter().enumerate() {
-        let wall = Instant::now();
-        let p = protocol_point(*kind, F, scheme, INTERVAL_MS, SEED, WINDOW);
-        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
-        eprintln!(
-            "{kind}: throughput {:.1} req/proc/s, latency p50 {} / p99 {} ms ({wall_ms:.0} ms wall)",
-            p.throughput,
-            json_num(p.p50_ms),
-            json_num(p.p99_ms),
-        );
+    for (i, r) in rows.iter().enumerate() {
         writeln!(body, "    {{").unwrap();
-        writeln!(body, "      \"name\": \"{kind}\",").unwrap();
+        writeln!(body, "      \"name\": \"{}\",", r.name).unwrap();
         writeln!(
             body,
             "      \"throughput_req_per_proc_s\": {:.3},",
-            p.throughput
+            r.throughput
         )
         .unwrap();
         writeln!(body, "      \"latency_ms\": {{").unwrap();
-        writeln!(body, "        \"mean\": {},", json_num(p.latency_ms)).unwrap();
-        writeln!(body, "        \"p50\": {},", json_num(p.p50_ms)).unwrap();
-        writeln!(body, "        \"p99\": {}", json_num(p.p99_ms)).unwrap();
+        writeln!(body, "        \"mean\": {},", json_num(r.mean_ms)).unwrap();
+        writeln!(body, "        \"p50\": {},", json_num(r.p50_ms)).unwrap();
+        writeln!(body, "        \"p99\": {}", json_num(r.p99_ms)).unwrap();
         writeln!(body, "      }},").unwrap();
-        writeln!(body, "      \"msgs_per_batch\": {:.3},", p.msgs_per_batch).unwrap();
-        writeln!(body, "      \"wall_ms\": {wall_ms:.1}").unwrap();
-        writeln!(
-            body,
-            "    }}{}",
-            if i + 1 < ProtocolKind::ALL.len() {
-                ","
-            } else {
-                ""
-            }
-        )
-        .unwrap();
+        writeln!(body, "      \"msgs_per_batch\": {:.3},", r.msgs_per_batch).unwrap();
+        writeln!(body, "      \"wall_ms\": {:.1}", r.wall_ms).unwrap();
+        writeln!(body, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }
-
     writeln!(body, "  ]").unwrap();
     writeln!(body, "}}").unwrap();
+    body
+}
 
-    if let Err(e) = std::fs::write(&out_path, &body) {
-        eprintln!("error: cannot write {out_path}: {e}");
+/// Pulls `"key": value` numbers out of the committed JSON (the emitter
+/// above is the only writer, so line-based extraction is sufficient —
+/// no JSON dependency needed).
+fn extract_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut variant = String::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            variant = rest.trim_end_matches(['"', ','].as_slice()).to_string();
+            continue;
+        }
+        for key in [
+            "throughput_req_per_proc_s",
+            "mean",
+            "p50",
+            "p99",
+            "msgs_per_batch",
+        ] {
+            let Some(rest) = line.strip_prefix(&format!("\"{key}\": ")) else {
+                continue;
+            };
+            let raw = rest.trim_end_matches(',');
+            if raw == "null" {
+                out.push((format!("{variant}.{key}"), f64::NAN));
+            } else if let Ok(v) = raw.parse::<f64>() {
+                out.push((format!("{variant}.{key}"), v));
+            }
+        }
+    }
+    out
+}
+
+fn check(rows: &[VariantRow], committed_path: &str) -> Result<(), String> {
+    let committed = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let want = extract_metrics(&committed);
+    let got = extract_metrics(&render(rows));
+    if want.is_empty() {
+        return Err(format!("{committed_path}: no metrics found"));
+    }
+    if want.len() != got.len() {
+        return Err(format!(
+            "metric count mismatch: committed {} vs regenerated {}",
+            want.len(),
+            got.len()
+        ));
+    }
+    let mut drifts = Vec::new();
+    for ((wk, wv), (gk, gv)) in want.iter().zip(&got) {
+        if wk != gk {
+            return Err(format!("metric order mismatch: {wk} vs {gk}"));
+        }
+        let same = (wv.is_nan() && gv.is_nan()) || (wv - gv).abs() <= TOLERANCE;
+        if !same {
+            drifts.push(format!("  {wk}: committed {wv} vs regenerated {gv}"));
+        }
+    }
+    if drifts.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) drifted beyond {TOLERANCE}:\n{}",
+            drifts.len(),
+            drifts.join("\n")
+        ))
+    }
+}
+
+fn main() {
+    let mut checking = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => checking = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag} (supported: --check [path])");
+                std::process::exit(2);
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => {
+                eprintln!("error: unexpected extra argument {extra}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| "BENCH_protocols.json".to_string());
+
+    let rows = measure();
+    if checking {
+        match check(&rows, &path) {
+            Ok(()) => eprintln!("check passed: regenerated metrics match {path}"),
+            Err(e) => {
+                eprintln!("check FAILED against {path}:\n{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Err(e) = std::fs::write(&path, render(&rows)) {
+        eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out_path}");
+    eprintln!("wrote {path}");
 }

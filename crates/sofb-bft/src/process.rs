@@ -10,10 +10,12 @@
 //! configuration the paper benchmarks (its crypto-technique axis applies
 //! to both protocols).
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet};
 
 use sofb_crypto::provider::CryptoProvider;
 use sofb_crypto::scheme::SchemeId;
+use sofb_proto::backlog::RequestBacklog;
+use sofb_proto::fasthash::IdHashMap;
 use sofb_proto::ids::{ProcessId, Rank, SeqNo, ViewId};
 use sofb_proto::request::{BatchRef, Digest, Request, RequestId};
 use sofb_proto::signed::Signed;
@@ -92,9 +94,8 @@ pub struct BftProcess {
     provider: Box<dyn CryptoProvider>,
     v: ViewId,
     next_propose: SeqNo,
-    requests: HashMap<RequestId, Request>,
-    ordered: HashSet<RequestId>,
-    unordered: VecDeque<(RequestId, SimTime)>,
+    requests: IdHashMap<RequestId, Request>,
+    backlog: RequestBacklog<SimTime>,
     slots: BTreeMap<SeqNo, SlotState>,
     last_committed: SeqNo,
     view_changes: BTreeMap<ViewId, BTreeMap<ProcessId, Signed<ViewChangePayload>>>,
@@ -110,9 +111,8 @@ impl BftProcess {
             provider,
             v: ViewId(1),
             next_propose: SeqNo(1),
-            requests: HashMap::new(),
-            ordered: HashSet::new(),
-            unordered: VecDeque::new(),
+            requests: IdHashMap::default(),
+            backlog: RequestBacklog::new(),
             slots: BTreeMap::new(),
             last_committed: SeqNo(0),
             view_changes: BTreeMap::new(),
@@ -152,9 +152,7 @@ impl BftProcess {
         }
         let id = req.id;
         self.requests.insert(id, req);
-        if !self.ordered.contains(&id) {
-            self.unordered.push_back((id, ctx.now()));
-        }
+        self.backlog.note(id, ctx.now());
         // A pre-prepare stashed for missing requests may now be checkable.
         self.recheck_slots(ctx);
     }
@@ -165,13 +163,13 @@ impl BftProcess {
         }
         let mut members: Vec<RequestId> = Vec::new();
         let mut bytes = 0usize;
-        while let Some(&(id, _)) = self.unordered.front() {
+        while let Some((id, _)) = self.backlog.front() {
             let Some(req) = self.requests.get(&id) else {
-                self.unordered.pop_front();
+                self.backlog.pop_front();
                 continue;
             };
-            if self.ordered.contains(&id) {
-                self.unordered.pop_front();
+            if self.backlog.is_ordered(&id) {
+                self.backlog.pop_front();
                 continue;
             }
             let len = req.payload.len();
@@ -180,7 +178,7 @@ impl BftProcess {
             }
             members.push(id);
             bytes += len;
-            self.unordered.pop_front();
+            self.backlog.pop_front();
             if bytes >= self.cfg.batch_max_bytes {
                 break;
             }
@@ -194,9 +192,7 @@ impl BftProcess {
         let digest = Digest(self.provider.digest(&BatchRef::digest_input(&refs)));
         let o = self.next_propose;
         self.next_propose = o.next();
-        for id in &members {
-            self.ordered.insert(*id);
-        }
+        self.backlog.mark_ordered(members.iter().copied());
         let payload = PrePreparePayload {
             v: self.v,
             o,
@@ -237,10 +233,8 @@ impl BftProcess {
             return;
         }
         slot.pre_prepare = Some(pp.clone());
-        for id in &pp.payload.batch.requests {
-            self.ordered.insert(*id);
-        }
-        self.unordered.retain(|(id, _)| !self.ordered.contains(id));
+        self.backlog
+            .mark_ordered(pp.payload.batch.requests.iter().copied());
 
         // Backups multicast prepare; the primary's pre-prepare stands in
         // for its prepare.
@@ -292,22 +286,30 @@ impl BftProcess {
         let Some(slot) = self.slots.get_mut(&o) else {
             return;
         };
-        let Some(pp) = slot.pre_prepare.clone() else {
+        // Only the digest is needed on the hot path (every prepare and
+        // commit lands here); the full pre-prepare — request ids
+        // included — is read again only on the once-per-slot commit
+        // transition below.
+        let Some(digest) = slot
+            .pre_prepare
+            .as_ref()
+            .map(|pp| pp.payload.batch.digest.clone())
+        else {
             return;
         };
-        let digest = pp.payload.batch.digest.clone();
 
         // prepared: pre-prepare + 2f matching prepares (own included; the
-        // primary contributes the pre-prepare itself).
+        // primary contributes the pre-prepare itself). `prepares` is
+        // keyed by signer and never contains the primary, so the count
+        // of matching entries plus one is already the distinct-voter
+        // count.
         if !slot.prepared {
-            let mut votes: HashSet<ProcessId> = slot
+            let matching = slot
                 .prepares
                 .values()
                 .filter(|p| p.payload.digest == digest)
-                .map(|p| p.signer)
-                .collect();
-            votes.insert(pp.signer);
-            if votes.len() > 2 * f {
+                .count();
+            if matching + 1 > 2 * f {
                 slot.prepared = true;
             }
         }
@@ -340,15 +342,16 @@ impl BftProcess {
                 if o > self.last_committed {
                     self.last_committed = o;
                 }
-                let p = &pp.payload;
-                ctx.emit(ScEvent::Committed {
+                let p = &slot.pre_prepare.as_ref().expect("checked above").payload;
+                let event = ScEvent::Committed {
                     c: Rank(p.v.0 as u32),
                     o,
                     digest: p.batch.digest.clone(),
                     requests: p.batch.len(),
                     request_ids: p.batch.requests.clone(),
                     formed_at_ns: p.formed_at_ns,
-                });
+                };
+                ctx.emit(event);
             }
         }
     }
@@ -569,9 +572,9 @@ impl Actor for BftProcess {
                 if let Some(timeout) = self.cfg.request_timeout {
                     let now = ctx.now();
                     let overdue = self
-                        .unordered
-                        .front()
-                        .is_some_and(|(_, t)| now.since(*t) > timeout);
+                        .backlog
+                        .oldest_waiting()
+                        .is_some_and(|t| now.since(t) > timeout);
                     if overdue {
                         self.start_view_change(self.v.next(), ctx);
                     }

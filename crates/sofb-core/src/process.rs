@@ -14,10 +14,12 @@
 //! The state machine is driven through [`sofb_sim::engine::Actor`], so the
 //! same code runs under the deterministic simulator and any other host.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use sofb_crypto::provider::CryptoProvider;
+use sofb_proto::backlog::RequestBacklog;
 use sofb_proto::codec::Encode;
+use sofb_proto::fasthash::IdHashMap;
 use sofb_proto::ids::{ProcessId, Rank, SeqNo, ViewId};
 use sofb_proto::request::{BatchRef, Digest, Request, RequestId};
 use sofb_proto::signed::{DoublySigned, Signed};
@@ -72,9 +74,8 @@ pub struct ScProcess {
     dumb_below: Rank,
 
     // ---- request store ----
-    requests: HashMap<RequestId, Request>,
-    ordered: HashSet<RequestId>,
-    unordered: VecDeque<(RequestId, SimTime)>,
+    requests: IdHashMap<RequestId, Request>,
+    backlog: RequestBacklog<SimTime>,
 
     // ---- coordinator-replica state ----
     next_propose: SeqNo,
@@ -143,9 +144,8 @@ impl ScProcess {
             installed: true,
             halted: false,
             dumb_below: Rank::FIRST,
-            requests: HashMap::new(),
-            ordered: HashSet::new(),
-            unordered: VecDeque::new(),
+            requests: IdHashMap::default(),
+            backlog: RequestBacklog::new(),
             next_propose: SeqNo(1),
             next_endorse: SeqNo(1),
             stashed_proposal: None,
@@ -322,9 +322,7 @@ impl ScProcess {
         }
         let id = req.id;
         self.requests.insert(id, req);
-        if !self.ordered.contains(&id) {
-            self.unordered.push_back((id, ctx.now()));
-        }
+        self.backlog.note(id, ctx.now());
         // A stashed proposal may now be checkable.
         if let Some(p) = self.stashed_proposal.take() {
             self.endorse_proposal(p, ctx);
@@ -344,13 +342,13 @@ impl ScProcess {
         // Collect unordered requests up to the size cap.
         let mut members: Vec<RequestId> = Vec::new();
         let mut bytes = 0usize;
-        while let Some(&(id, _)) = self.unordered.front() {
+        while let Some((id, _)) = self.backlog.front() {
             let Some(req) = self.requests.get(&id) else {
-                self.unordered.pop_front();
+                self.backlog.pop_front();
                 continue;
             };
-            if self.ordered.contains(&id) {
-                self.unordered.pop_front();
+            if self.backlog.is_ordered(&id) {
+                self.backlog.pop_front();
                 continue;
             }
             let len = req.payload.len();
@@ -359,7 +357,7 @@ impl ScProcess {
             }
             members.push(id);
             bytes += len;
-            self.unordered.pop_front();
+            self.backlog.pop_front();
             if bytes >= self.cfg.batch_max_bytes {
                 break;
             }
@@ -386,9 +384,7 @@ impl ScProcess {
         }
         let o = self.next_propose;
         self.next_propose = o.next();
-        for id in &members {
-            self.ordered.insert(*id);
-        }
+        self.backlog.mark_ordered(members.iter().copied());
         let payload = OrderPayload {
             c: self.c,
             o,
@@ -469,9 +465,8 @@ impl ScProcess {
             }
         }
         self.next_endorse = proposal.payload.o.next();
-        for id in &proposal.payload.batch.requests {
-            self.ordered.insert(*id);
-        }
+        self.backlog
+            .mark_ordered(proposal.payload.batch.requests.iter().copied());
         // Phase 2 (2→n): endorse and multicast. The multicast includes
         // this shadow itself: its own ack (a 28 ms signing under RSA-1024)
         // must happen in a later callback so the Order leaves the NIC as
@@ -512,10 +507,8 @@ impl ScProcess {
     /// now in sequence.
     fn accept_order(&mut self, order: OrderMsg, ctx: &mut ScCtx<'_>) {
         let o = order.payload().o;
-        for id in &order.payload().batch.requests {
-            self.ordered.insert(*id);
-        }
-        self.unordered.retain(|(id, _)| !self.ordered.contains(id));
+        self.backlog
+            .mark_ordered(order.payload().batch.requests.iter().copied());
         if !self.log.store_order(order) {
             return; // duplicate (both pair members multicast)
         }
@@ -1141,9 +1134,7 @@ impl ScProcess {
             let p = order.payload().clone();
             self.log
                 .force_commit(order.clone(), crate::messages::CommitProof::default());
-            for id in &p.batch.requests {
-                self.ordered.insert(*id);
-            }
+            self.backlog.mark_ordered(p.batch.requests.iter().copied());
             ctx.emit(ScEvent::Committed {
                 c: p.c,
                 o,
@@ -1153,7 +1144,6 @@ impl ScProcess {
                 formed_at_ns: p.formed_at_ns,
             });
         }
-        self.unordered.retain(|(id, _)| !self.ordered.contains(id));
         // Fetch any committed orders we are still missing (the paper's
         // f+1-agreeing-copies recovery).
         let floor = start
@@ -1479,9 +1469,9 @@ impl ScProcess {
             let now = ctx.now();
             let overdue = self.cfg.time_checks
                 && self
-                    .unordered
-                    .front()
-                    .is_some_and(|(_, t)| now.since(*t) > self.cfg.order_timeout);
+                    .backlog
+                    .oldest_waiting()
+                    .is_some_and(|t| now.since(t) > self.cfg.order_timeout);
             if overdue {
                 self.fail_signal(false, ctx);
                 return;
@@ -1585,7 +1575,7 @@ impl ScProcess {
 
     /// Number of requests known but not yet ordered.
     pub fn unordered_len(&self) -> usize {
-        self.unordered.len()
+        self.backlog.waiting_len()
     }
 }
 

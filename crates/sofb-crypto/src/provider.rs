@@ -10,7 +10,7 @@
 //! * [`RealProvider`] — genuine RSA/DSA signatures from this crate's
 //!   from-scratch implementations. Used in integration tests and examples
 //!   (with reduced key sizes so debug builds stay fast).
-//! * [`SimProvider`] — authenticated tags (keyed digest oracle) with
+//! * [`SimProvider`] — authenticated tags (a fast keyed tag oracle) with
 //!   *virtual-time cost accounting* from the calibrated
 //!   [`crate::timing::SchemeTiming`] table. Used by the
 //!   discrete-event simulator that regenerates the paper's figures.
@@ -208,15 +208,76 @@ impl SimProvider {
         if sig_len == 0 {
             return Vec::new();
         }
-        let mut h = Sha256::new();
-        h.update(&self.master.to_le_bytes());
-        h.update(&signer.to_le_bytes());
-        h.update(message);
-        let full = h.finalize();
-        let mut out = full[..full.len().min(sig_len)].to_vec();
-        out.resize(sig_len, 0);
-        out
+        oracle_tag(
+            self.master ^ TAG_DOMAIN,
+            u64::from(signer),
+            message,
+            sig_len,
+        )
     }
+
+    /// The symmetric per-pair tag behind `mac`/`verify_mac` (cost is
+    /// accrued by the callers).
+    fn pair_tag(&self, peer: u32, message: &[u8]) -> Vec<u8> {
+        let (lo, hi) = if self.id <= peer {
+            (self.id, peer)
+        } else {
+            (peer, self.id)
+        };
+        let pair = (u64::from(lo) << 32) | u64::from(hi);
+        oracle_tag(self.master ^ MAC_DOMAIN, pair, message, SIM_MAC_LEN)
+    }
+}
+
+/// Domain separators keeping signature tags and pairwise MAC tags from
+/// colliding under one master secret.
+const TAG_DOMAIN: u64 = 0x7369_675f_7461_675f; // "sig_tag_"
+const MAC_DOMAIN: u64 = 0x6d61_635f_7461_675f; // "mac_tag_"
+
+/// Simulated MAC tags share the fixed HMAC-SHA-256 output width so wire
+/// sizes (and therefore simulated marshalling and link costs) match the
+/// real provider byte for byte.
+const SIM_MAC_LEN: usize = 32;
+
+/// The keyed tag oracle of the simulated provider: a multiply-xor mix
+/// over `(key, message)` expanded to `len` bytes.
+///
+/// Tags only ever flow back into [`CryptoProvider::verify`]-style
+/// equality checks inside the simulation; no actor reads the dealer
+/// secret, so unforgeability holds by construction and cryptographic
+/// strength would buy nothing. This used to be SHA-256 and was the
+/// single largest *host*-CPU cost of a benchmark run — virtual crypto
+/// cost is billed separately through [`SchemeTiming`], and a simulated
+/// operation should not also cost real compression rounds.
+fn oracle_tag(key: u64, signer: u64, message: &[u8], len: usize) -> Vec<u8> {
+    const M: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = key ^ signer.rotate_left(17).wrapping_mul(M);
+    let mut chunks = message.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h ^ u64::from_le_bytes(c.try_into().unwrap()))
+            .rotate_left(23)
+            .wrapping_mul(M);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(buf))
+            .rotate_left(23)
+            .wrapping_mul(M);
+    }
+    h ^= message.len() as u64;
+    let mut out = vec![0u8; len];
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        let mut x = h ^ (i as u64).wrapping_mul(M);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 29;
+        let bytes = x.to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&bytes[..n]);
+    }
+    out
 }
 
 impl CryptoProvider for SimProvider {
@@ -245,15 +306,12 @@ impl CryptoProvider for SimProvider {
 
     fn mac(&mut self, peer: u32, message: &[u8]) -> Vec<u8> {
         self.cost_ns += 2 * self.timing.digest_cost(message.len()).max(1_000);
-        let key = pair_key(self.master, self.id, peer);
-        crate::hmac::hmac(crate::digest::DigestAlg::Sha256, &key, message)
+        self.pair_tag(peer, message)
     }
 
     fn verify_mac(&mut self, peer: u32, message: &[u8], tag: &[u8]) -> bool {
         self.cost_ns += 2 * self.timing.digest_cost(message.len()).max(1_000);
-        let key = pair_key(self.master, self.id, peer);
-        let expected = crate::hmac::hmac(crate::digest::DigestAlg::Sha256, &key, message);
-        crate::hmac::verify_tag(&expected, tag)
+        self.pair_tag(peer, message) == tag
     }
 
     fn take_cost_ns(&mut self) -> u64 {

@@ -1,7 +1,9 @@
 //! The CT replica: 1→n order, n→n ack, commit on `n−f`.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet};
 
+use sofb_proto::backlog::RequestBacklog;
+use sofb_proto::fasthash::IdHashMap;
 use sofb_proto::ids::{ProcessId, Rank, SeqNo};
 use sofb_proto::request::{BatchRef, Digest, Request, RequestId};
 use sofb_sim::engine::{Actor, Ctx};
@@ -62,9 +64,8 @@ pub struct CtProcess {
     cfg: CtConfig,
     next_propose: SeqNo,
     next_to_ack: SeqNo,
-    requests: HashMap<RequestId, Request>,
-    ordered: HashSet<RequestId>,
-    unordered: VecDeque<(RequestId, SimTime)>,
+    requests: IdHashMap<RequestId, Request>,
+    backlog: RequestBacklog<SimTime>,
     slots: BTreeMap<SeqNo, Slot>,
 }
 
@@ -75,9 +76,8 @@ impl CtProcess {
             cfg,
             next_propose: SeqNo(1),
             next_to_ack: SeqNo(1),
-            requests: HashMap::new(),
-            ordered: HashSet::new(),
-            unordered: VecDeque::new(),
+            requests: IdHashMap::default(),
+            backlog: RequestBacklog::new(),
             slots: BTreeMap::new(),
         }
     }
@@ -98,9 +98,7 @@ impl CtProcess {
         }
         let id = req.id;
         self.requests.insert(id, req);
-        if !self.ordered.contains(&id) {
-            self.unordered.push_back((id, ctx.now()));
-        }
+        self.backlog.note(id, ctx.now());
     }
 
     fn propose_batch(&mut self, ctx: &mut Ctx<'_, CtMsg, ScEvent>) {
@@ -109,13 +107,13 @@ impl CtProcess {
         }
         let mut members: Vec<RequestId> = Vec::new();
         let mut bytes = 0usize;
-        while let Some(&(id, _)) = self.unordered.front() {
+        while let Some((id, _)) = self.backlog.front() {
             let Some(req) = self.requests.get(&id) else {
-                self.unordered.pop_front();
+                self.backlog.pop_front();
                 continue;
             };
-            if self.ordered.contains(&id) {
-                self.unordered.pop_front();
+            if self.backlog.is_ordered(&id) {
+                self.backlog.pop_front();
                 continue;
             }
             let len = req.payload.len();
@@ -124,7 +122,7 @@ impl CtProcess {
             }
             members.push(id);
             bytes += len;
-            self.unordered.pop_front();
+            self.backlog.pop_front();
             if bytes >= self.cfg.batch_max_bytes {
                 break;
             }
@@ -141,9 +139,7 @@ impl CtProcess {
         let digest = Digest(DigestAlg::Sha256.digest(&BatchRef::digest_input(&refs)));
         let o = self.next_propose;
         self.next_propose = o.next();
-        for id in &members {
-            self.ordered.insert(*id);
-        }
+        self.backlog.mark_ordered(members.iter().copied());
         let order = CtOrder {
             o,
             batch: BatchRef {
@@ -163,10 +159,8 @@ impl CtProcess {
 
     fn accept_order(&mut self, order: CtOrder, from: ProcessId, ctx: &mut Ctx<'_, CtMsg, ScEvent>) {
         let o = order.o;
-        for id in &order.batch.requests {
-            self.ordered.insert(*id);
-        }
-        self.unordered.retain(|(id, _)| !self.ordered.contains(id));
+        self.backlog
+            .mark_ordered(order.batch.requests.iter().copied());
         let slot = self.slots.entry(o).or_default();
         if slot.order.is_none() {
             slot.order = Some(order);

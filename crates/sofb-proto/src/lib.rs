@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backlog;
 pub mod codec;
+pub mod fasthash;
 pub mod ids;
 pub mod request;
 pub mod signed;

@@ -8,11 +8,35 @@
 //! cost) advances the node's CPU clock, so queueing delay and saturation
 //! emerge naturally.
 //!
-//! Execution is deterministic for a given seed: the event heap breaks time
-//! ties by insertion sequence number.
+//! # Scheduler
+//!
+//! Events are totally ordered by `(time, seq)`, where `seq` is a global
+//! insertion sequence number — execution is deterministic for a given
+//! seed. Three stores realize that order (see DESIGN.md "Scheduler"):
+//!
+//! * a **binary heap** holding network events only (deliveries and
+//!   scheduled crashes);
+//! * a **hierarchical timer wheel** ([`crate::sched`]) holding node-local
+//!   time-indexed events — timer fires and node-ready (dequeue) events —
+//!   with O(1) arm/cancel/re-arm through a generation-stamped slab;
+//! * an **instant run queue**: all events due at the current virtual
+//!   instant, drained from both stores in one batch and processed in
+//!   `seq` order; same-instant follow-ups (a node waking at `now`, a
+//!   zero-latency delivery) join this queue directly and future
+//!   deliveries accumulate in a pending buffer that is folded into the
+//!   heap once per instant, not push-by-push.
+//!
+//! A node that drains its input queue goes idle instead of scheduling a
+//! speculative dequeue event (*ProcessNext elision*): it records a
+//! reserved `(ready_at, seq)` key and the next stimulus to arrive either
+//! redeems that reservation (when it lands before the reserved key) or
+//! wakes the node at its own instant. This halves scheduler traffic for
+//! request/response workloads while realizing the exact event order the
+//! former always-push scheduler produced — the golden-trace tests pin
+//! that equivalence bit for bit.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -20,6 +44,7 @@ use rand::SeedableRng;
 
 use crate::cpu::CpuModel;
 use crate::delay::NetworkModel;
+use crate::sched::{EntryId, Wheel};
 use crate::time::{SimDuration, SimTime};
 
 /// Messages must report their wire size so the engine can charge
@@ -227,44 +252,77 @@ enum Incoming<M> {
     },
 }
 
-/// Heap entry kinds.
+/// Network-level heap events (everything else lives in the timer wheel
+/// or the instant run queue).
 #[derive(Debug)]
-enum EngineEventKind<M> {
+enum NetEventKind<M> {
     Deliver { to: usize, from: usize, msg: M },
-    TimerFire { node: usize, tag: u64, token: u64 },
-    ProcessNext { node: usize },
     Crash { node: usize },
 }
 
-struct EngineEvent<M> {
+struct NetEvent<M> {
     time: SimTime,
     seq: u64,
-    kind: EngineEventKind<M>,
+    kind: NetEventKind<M>,
 }
 
-impl<M> PartialEq for EngineEvent<M> {
+impl<M> PartialEq for NetEvent<M> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for EngineEvent<M> {}
-impl<M> PartialOrd for EngineEvent<M> {
+impl<M> Eq for NetEvent<M> {}
+impl<M> PartialOrd for NetEvent<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for EngineEvent<M> {
+impl<M> Ord for NetEvent<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
+/// Node-local time-indexed events, held in the timer wheel.
+#[derive(Debug, Clone, Copy)]
+enum NodeEvent {
+    /// An arming of timer `tag` comes due on `node`.
+    TimerFire { node: usize, tag: u64, token: u64 },
+    /// `node`'s CPU frees up and should dequeue its next stimulus.
+    Ready { node: usize },
+}
+
+/// One entry of the current-instant run queue.
+enum InstantItem<M> {
+    Net(NetEventKind<M>),
+    Node(NodeEvent),
+}
+
+/// A live arming: `tag`'s current token plus the wheel entry carrying
+/// the fire (`None` once the fire has left the wheel — scheduled into
+/// the instant run queue at arm time, or already delivered to the
+/// node's inbox).
+#[derive(Debug)]
+struct ArmedTimer {
+    tag: u64,
+    token: u64,
+    entry: Option<EntryId>,
+}
+
 struct NodeState<M, E> {
     actor: Box<dyn Actor<Msg = M, Event = E>>,
     inbox: VecDeque<Incoming<M>>,
+    /// True while a Ready event for this node is scheduled.
     busy: bool,
     busy_until: SimTime,
-    timer_tokens: HashMap<u64, u64>,
+    /// Armed timers, tag → (token, wheel entry). Protocols use a handful
+    /// of small tags, so a flat vector beats a hash map here.
+    timers: Vec<ArmedTimer>,
+    /// ProcessNext elision: the `(ready_at, seq)` key the node's dequeue
+    /// would have carried had it stayed scheduled while idle. The next
+    /// stimulus redeems it (preserving the realized schedule) or lets it
+    /// lapse.
+    reservation: Option<(SimTime, u64)>,
     next_token: u64,
     crashed: bool,
     muted_from: Option<SimTime>,
@@ -278,26 +336,47 @@ struct NodeState<M, E> {
 pub struct NodeStats {
     /// Callbacks processed.
     pub callbacks: u64,
-    /// Total virtual service nanoseconds consumed.
+    /// Total virtual service nanoseconds consumed (includes service
+    /// scheduled beyond the observation instant; see
+    /// [`NodeStats::utilization`]).
     pub busy_ns: u64,
-    /// Largest input-queue depth observed.
+    /// End of the last scheduled service.
+    pub busy_until: SimTime,
+    /// Largest input-queue depth observed (sampled at enqueue, so a
+    /// burst of `k` stimuli to an idle node records `k`).
     pub max_queue: usize,
 }
 
 impl NodeStats {
     /// Fraction of `[0, now]` this node's CPU was busy.
+    ///
+    /// `busy_ns` accrues a callback's full service time when the
+    /// callback is dispatched, which may extend beyond `now` when
+    /// sampled mid-service; the unexpired tail (`busy_until - now`) is
+    /// subtracted so the result never exceeds 1.
     pub fn utilization(&self, now: SimTime) -> f64 {
         if now.as_ns() == 0 {
             return 0.0;
         }
-        self.busy_ns as f64 / now.as_ns() as f64
+        let unexpired = self.busy_until.since(now).as_ns();
+        self.busy_ns.saturating_sub(unexpired) as f64 / now.as_ns() as f64
     }
 }
 
-/// The simulated world: nodes, network, event heap, observation log.
+/// The simulated world: nodes, network, event stores, observation log.
 pub struct World<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> {
     nodes: Vec<NodeState<M, E>>,
-    heap: BinaryHeap<Reverse<EngineEvent<M>>>,
+    /// Network events (deliveries, scheduled crashes) for future instants.
+    heap: BinaryHeap<Reverse<NetEvent<M>>>,
+    /// Future network events staged during the current instant; folded
+    /// into the heap in one batch when the next instant forms.
+    staged: Vec<NetEvent<M>>,
+    /// Node-local time-indexed events (timer fires, node-ready).
+    wheel: Wheel<NodeEvent>,
+    /// All events due at `instant_time`, in `seq` order.
+    instant: VecDeque<(u64, InstantItem<M>)>,
+    instant_time: SimTime,
+    in_instant: bool,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -306,6 +385,7 @@ pub struct World<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> {
     processed: u64,
     messages_sent: u64,
     bytes_sent: u64,
+    heap_pushes: u64,
 }
 
 impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
@@ -316,6 +396,11 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         World {
             nodes: Vec::new(),
             heap: BinaryHeap::new(),
+            staged: Vec::new(),
+            wheel: Wheel::new(),
+            instant: VecDeque::new(),
+            instant_time: SimTime::ZERO,
+            in_instant: false,
             now: SimTime::ZERO,
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -324,6 +409,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             processed: 0,
             messages_sent: 0,
             bytes_sent: 0,
+            heap_pushes: 0,
         }
     }
 
@@ -335,7 +421,8 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             inbox: VecDeque::new(),
             busy: false,
             busy_until: SimTime::ZERO,
-            timer_tokens: HashMap::new(),
+            timers: Vec::new(),
+            reservation: None,
             next_token: 0,
             crashed: false,
             muted_from: None,
@@ -376,12 +463,36 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         self.bytes_sent
     }
 
-    /// Marks a node crashed: its queue is discarded and it receives no
-    /// further callbacks. (Byzantine behaviours live in the actors; crash
-    /// is the only failure the engine itself models.)
+    /// Total events pushed into the network event heap (scheduler-traffic
+    /// introspection; timer-wheel and instant-queue events are not heap
+    /// traffic).
+    pub fn heap_pushes(&self) -> u64 {
+        self.heap_pushes
+    }
+
+    /// Heap pushes per processed callback — the scheduler-overhead ratio
+    /// the ProcessNext elision and the timer wheel drive down (≈2.5 on
+    /// the all-in-one-heap engine, <1.1 after).
+    pub fn heap_pushes_per_callback(&self) -> f64 {
+        if self.processed == 0 {
+            return 0.0;
+        }
+        self.heap_pushes as f64 / self.processed as f64
+    }
+
+    /// Marks a node crashed: its queue is discarded, its armed timers are
+    /// cancelled and it receives no further callbacks. (Byzantine
+    /// behaviours live in the actors; crash is the only failure the
+    /// engine itself models.)
     pub fn crash(&mut self, node: usize) {
-        self.nodes[node].crashed = true;
-        self.nodes[node].inbox.clear();
+        let n = &mut self.nodes[node];
+        n.crashed = true;
+        n.inbox.clear();
+        for t in n.timers.drain(..) {
+            if let Some(id) = t.entry {
+                self.wheel.cancel(id);
+            }
+        }
     }
 
     /// True if `node` has been crashed.
@@ -394,7 +505,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// as soon as the event is processed.
     pub fn crash_at(&mut self, node: usize, at: SimTime) {
         let at = at.max(self.now);
-        self.push(at, EngineEventKind::Crash { node });
+        self.push_net(at, NetEventKind::Crash { node });
     }
 
     /// Mutes `node` from `from` onward: it keeps processing input but all
@@ -441,79 +552,212 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         &self.events
     }
 
-    fn push(&mut self, time: SimTime, kind: EngineEventKind<M>) {
-        let seq = self.seq;
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(EngineEvent { time, seq, kind }));
+        s
     }
 
-    /// Processes a single engine event. Returns `false` when the heap is
-    /// exhausted.
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.heap.pop() else {
+    /// Inserts an item into the current instant's run queue at its `seq`
+    /// position (almost always the back; a redeemed reservation may sort
+    /// earlier).
+    fn instant_insert(&mut self, seq: u64, item: InstantItem<M>) {
+        let pos = self.instant.partition_point(|(s, _)| *s < seq);
+        self.instant.insert(pos, (seq, item));
+    }
+
+    /// Schedules a network event: same-instant events join the run
+    /// queue, future ones are staged for the next heap fold.
+    fn push_net(&mut self, time: SimTime, kind: NetEventKind<M>) {
+        let seq = self.alloc_seq();
+        if self.in_instant && time == self.instant_time {
+            self.instant_insert(seq, InstantItem::Net(kind));
+        } else {
+            self.staged.push(NetEvent { time, seq, kind });
+        }
+    }
+
+    /// Schedules a node-local event under an externally allocated `seq`:
+    /// same-instant events join the run queue (no wheel entry), future
+    /// ones enter the wheel.
+    fn push_node(&mut self, due: SimTime, seq: u64, ev: NodeEvent) -> Option<EntryId> {
+        if self.in_instant && due == self.instant_time {
+            self.instant_insert(seq, InstantItem::Node(ev));
+            None
+        } else {
+            Some(self.wheel.insert(due, seq, ev))
+        }
+    }
+
+    /// Time of the next event to process: the current instant's time
+    /// while its run queue still holds events, otherwise the earliest
+    /// time across the heap, the wheel and the staged buffer.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        if !self.instant.is_empty() {
+            return Some(self.instant_time);
+        }
+        let heap_t = self.heap.peek().map(|Reverse(e)| e.time);
+        let wheel_t = self.wheel.peek().map(|(t, _)| t);
+        let staged_t = self.staged.iter().map(|e| e.time).min();
+        [heap_t, wheel_t, staged_t].into_iter().flatten().min()
+    }
+
+    /// Forms the next instant: picks the earliest `(time, seq)` across
+    /// the heap, the wheel and the staged buffer, drains *everything* due
+    /// at that time into the run queue, and folds the remaining staged
+    /// events into the heap in one batch. Returns `false` when no events
+    /// remain. Must only be called with an empty instant run queue.
+    fn form_instant(&mut self) -> bool {
+        let Some(t) = self.next_event_time() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
-        match ev.kind {
-            EngineEventKind::Deliver { to, from, msg } => {
-                let node = &mut self.nodes[to];
-                if node.crashed {
-                    return true;
-                }
-                node.inbox.push_back(Incoming::Message { from, msg });
-                if !node.busy {
-                    node.busy = true;
-                    self.push(self.now, EngineEventKind::ProcessNext { node: to });
-                }
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.instant_time = t;
+        self.in_instant = true;
+
+        let mut batch: Vec<(u64, InstantItem<M>)> = Vec::new();
+        for e in std::mem::take(&mut self.staged) {
+            if e.time == t {
+                batch.push((e.seq, InstantItem::Net(e.kind)));
+            } else {
+                self.heap_pushes += 1;
+                self.heap.push(Reverse(e));
             }
-            EngineEventKind::TimerFire {
-                node: idx,
-                tag,
-                token,
-            } => {
-                let node = &mut self.nodes[idx];
-                if node.crashed {
-                    return true;
-                }
-                // Only the latest arming of a tag is live.
-                if node.timer_tokens.get(&tag) != Some(&token) {
-                    return true;
-                }
-                let fired = self.now;
-                node.inbox.push_back(Incoming::Timer { tag, token, fired });
-                if !node.busy {
-                    node.busy = true;
-                    self.push(self.now, EngineEventKind::ProcessNext { node: idx });
-                }
+        }
+        while self.heap.peek().is_some_and(|Reverse(e)| e.time == t) {
+            let Reverse(e) = self.heap.pop().unwrap();
+            batch.push((e.seq, InstantItem::Net(e.kind)));
+        }
+        while let Some((seq, ev)) = self.wheel.pop_due(t) {
+            batch.push((seq, InstantItem::Node(ev)));
+        }
+        batch.sort_unstable_by_key(|(seq, _)| *seq);
+        self.instant = batch.into();
+        true
+    }
+
+    /// Processes a single engine event. Returns `false` when no events
+    /// remain.
+    pub fn step(&mut self) -> bool {
+        if self.instant.is_empty() && !self.form_instant() {
+            return false;
+        }
+        let (seq, item) = self.instant.pop_front().expect("instant just formed");
+        match item {
+            InstantItem::Net(NetEventKind::Deliver { to, from, msg }) => {
+                self.deliver(to, from, msg, seq);
             }
-            EngineEventKind::ProcessNext { node: idx } => {
-                if self.nodes[idx].crashed {
-                    return true;
-                }
-                let item = self.nodes[idx].inbox.pop_front();
-                match item {
-                    None => {
-                        self.nodes[idx].busy = false;
-                    }
-                    Some(incoming) => {
-                        self.run_callback(idx, Some(incoming));
-                    }
-                }
-            }
-            EngineEventKind::Crash { node } => {
+            InstantItem::Net(NetEventKind::Crash { node }) => {
                 self.crash(node);
+            }
+            InstantItem::Node(NodeEvent::TimerFire { node, tag, token }) => {
+                self.timer_fire(node, tag, token, seq);
+            }
+            InstantItem::Node(NodeEvent::Ready { node }) => {
+                self.ready(node);
             }
         }
         true
     }
 
-    /// Runs until virtual time would exceed `deadline` or the heap drains.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.time > deadline {
-                break;
+    /// A message arrives at `to`: queue it and wake the node if idle.
+    fn deliver(&mut self, to: usize, from: usize, msg: M, seq: u64) {
+        let node = &mut self.nodes[to];
+        if node.crashed {
+            return;
+        }
+        node.inbox.push_back(Incoming::Message { from, msg });
+        node.stats.max_queue = node.stats.max_queue.max(node.inbox.len());
+        if !node.busy {
+            self.wake(to, seq);
+        }
+    }
+
+    /// An arming comes due: queue the firing and wake the node if idle.
+    /// The arming stays recorded until the firing is dequeued (one-shot
+    /// semantics: a live firing consumes its arming).
+    fn timer_fire(&mut self, idx: usize, tag: u64, token: u64, seq: u64) {
+        let node = &mut self.nodes[idx];
+        if node.crashed {
+            return;
+        }
+        // Only the latest arming of a tag is live. Wheel-resident fires
+        // are physically removed on cancel/re-arm so they always pass;
+        // same-instant fires are invalidated here.
+        let Some(armed) = node
+            .timers
+            .iter_mut()
+            .find(|t| t.tag == tag && t.token == token)
+        else {
+            return;
+        };
+        // The fire has left whichever store carried it; a later
+        // cancel/re-arm of this arming has no wheel entry to remove.
+        armed.entry = None;
+        let fired = self.now;
+        node.inbox.push_back(Incoming::Timer { tag, token, fired });
+        node.stats.max_queue = node.stats.max_queue.max(node.inbox.len());
+        if !node.busy {
+            self.wake(idx, seq);
+        }
+    }
+
+    /// Schedules the dequeue for an idle node that just received a
+    /// stimulus. If the node still holds a live reservation (its
+    /// would-be dequeue key from going idle), the stimulus redeems it so
+    /// the dequeue runs at exactly the `(time, seq)` position the
+    /// always-push scheduler realized; otherwise the dequeue joins the
+    /// current instant under a fresh seq.
+    fn wake(&mut self, idx: usize, trigger_seq: u64) {
+        self.nodes[idx].busy = true;
+        match self.nodes[idx].reservation.take() {
+            Some((ready_at, seq)) if (self.now, trigger_seq) < (ready_at, seq) => {
+                self.push_node(ready_at, seq, NodeEvent::Ready { node: idx });
             }
+            _ => {
+                let seq = self.alloc_seq();
+                self.push_node(self.now, seq, NodeEvent::Ready { node: idx });
+            }
+        }
+    }
+
+    /// The node's CPU is free: dequeue and run the next stimulus.
+    fn ready(&mut self, idx: usize) {
+        if self.nodes[idx].crashed {
+            return;
+        }
+        let Some(incoming) = self.nodes[idx].inbox.pop_front() else {
+            self.nodes[idx].busy = false;
+            return;
+        };
+        // A timer may have been re-armed or cancelled while this firing
+        // was queued behind other work; skip stale firings and keep
+        // draining at the same instant.
+        if let Incoming::Timer { tag, token, .. } = &incoming {
+            let node = &mut self.nodes[idx];
+            match node
+                .timers
+                .iter()
+                .position(|t| t.tag == *tag && t.token == *token)
+            {
+                None => {
+                    let seq = self.alloc_seq();
+                    self.push_node(self.now, seq, NodeEvent::Ready { node: idx });
+                    return;
+                }
+                Some(i) => {
+                    node.timers.swap_remove(i);
+                }
+            }
+        }
+        self.run_callback(idx, Some(incoming));
+    }
+
+    /// Runs until virtual time would exceed `deadline` or no events
+    /// remain.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.next_event_time().is_some_and(|t| t <= deadline) {
             self.step();
         }
         if self.now < deadline {
@@ -521,7 +765,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         }
     }
 
-    /// Runs until no events remain (with a safety cap on callback count).
+    /// Runs until no events remain (with a safety cap on event count).
     ///
     /// # Panics
     ///
@@ -538,21 +782,10 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// Delivers `msg` from a fictitious external source (e.g. a client
     /// co-located with `to`) at the current time.
     pub fn inject(&mut self, to: usize, from: usize, msg: M) {
-        self.push(self.now, EngineEventKind::Deliver { to, from, msg });
+        self.push_net(self.now, NetEventKind::Deliver { to, from, msg });
     }
 
     fn run_callback(&mut self, idx: usize, incoming: Option<Incoming<M>>) {
-        // A timer may have been re-armed or cancelled while this firing
-        // was queued behind other work; skip stale firings (one-shot
-        // semantics: a live firing consumes its arming).
-        if let Some(Incoming::Timer { tag, token, .. }) = &incoming {
-            let node = &mut self.nodes[idx];
-            if node.timer_tokens.get(tag) != Some(token) {
-                self.push(self.now, EngineEventKind::ProcessNext { node: idx });
-                return;
-            }
-            node.timer_tokens.remove(tag);
-        }
         let start = self.now.max(self.nodes[idx].busy_until);
         let msg_len = match &incoming {
             Some(Incoming::Message { msg, .. }) => msg.wire_len(),
@@ -600,7 +833,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         let stats = &mut self.nodes[idx].stats;
         stats.callbacks += 1;
         stats.busy_ns += service;
-        stats.max_queue = stats.max_queue.max(queue_len);
+        stats.busy_until = done;
 
         // Transmit queued sends at completion time (unless a fault plan
         // has muted or degraded this node's uplink by then).
@@ -628,38 +861,62 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                     extra_delay,
                 )
             };
-            self.push(
+            self.push_net(
                 done + latency + extra,
-                EngineEventKind::Deliver { to, from: idx, msg },
+                NetEventKind::Deliver { to, from: idx, msg },
             );
         }
 
         // Apply timer mutations at completion time, in call order.
         for op in timer_ops {
             match op {
-                TimerOp::Cancel(tag) => {
-                    self.nodes[idx].timer_tokens.remove(&tag);
-                }
+                TimerOp::Cancel(tag) => self.cancel_arming(idx, tag),
                 TimerOp::Set(delay, tag) => {
+                    self.cancel_arming(idx, tag);
                     let node = &mut self.nodes[idx];
                     node.next_token += 1;
                     let token = node.next_token;
-                    node.timer_tokens.insert(tag, token);
-                    self.push(
+                    let seq = self.alloc_seq();
+                    let entry = self.push_node(
                         done + delay,
-                        EngineEventKind::TimerFire {
+                        seq,
+                        NodeEvent::TimerFire {
                             node: idx,
                             tag,
                             token,
                         },
                     );
+                    self.nodes[idx]
+                        .timers
+                        .push(ArmedTimer { tag, token, entry });
                 }
             }
         }
 
-        // Continue draining this node's queue after the service completes.
-        self.push(done, EngineEventKind::ProcessNext { node: idx });
-        self.nodes[idx].busy = true;
+        // Continue draining this node's queue when the service completes
+        // — or go idle, reserving the dequeue key the next stimulus may
+        // redeem (ProcessNext elision).
+        let seq = self.alloc_seq();
+        if self.nodes[idx].inbox.is_empty() {
+            self.nodes[idx].reservation = Some((done, seq));
+            self.nodes[idx].busy = false;
+        } else {
+            self.push_node(done, seq, NodeEvent::Ready { node: idx });
+            self.nodes[idx].busy = true;
+        }
+    }
+
+    /// Removes `tag`'s live arming (if any): drops it from the node's
+    /// armed set and, when the fire still sits in the wheel, cancels the
+    /// wheel entry through its generation-stamped handle.
+    fn cancel_arming(&mut self, idx: usize, tag: u64) {
+        let node = &mut self.nodes[idx];
+        if let Some(i) = node.timers.iter().position(|t| t.tag == tag) {
+            let t = node.timers.swap_remove(i);
+            if let Some(id) = t.entry {
+                self.wheel.cancel(id);
+            }
+        }
     }
 }
 
@@ -851,6 +1108,69 @@ mod tests {
         assert_eq!(fired, vec![7]);
     }
 
+    /// A firing that is already queued behind other work when its tag is
+    /// re-armed must be skipped (one-shot semantics: a live firing
+    /// consumes its arming; a superseded one is stale at dequeue).
+    #[test]
+    fn queued_firing_superseded_before_dequeue_is_skipped() {
+        // Node 0 arms tag 5 at 1 ms with a 10 ms-per-event CPU. A message
+        // arriving just before the firing occupies the CPU; while the
+        // firing waits in the queue, the message callback re-arms tag 5.
+        // The queued firing is stale at dequeue; only the re-armed one
+        // (at ~11 ms + 3 ms) fires.
+        struct Rearm {
+            fired: u64,
+        }
+        impl Actor for Rearm {
+            type Msg = Ping;
+            type Event = Obs;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+                ctx.set_timer(SimDuration::from_ms(1), 5);
+            }
+            fn on_message(&mut self, _f: usize, _m: Ping, ctx: &mut Ctx<'_, Ping, Obs>) {
+                ctx.set_timer(SimDuration::from_ms(3), 5);
+            }
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Ping, Obs>) {
+                self.fired += 1;
+                ctx.emit(Obs::TimerFired(tag));
+            }
+        }
+        struct Poker;
+        impl Actor for Poker {
+            type Msg = Ping;
+            type Event = Obs;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+                ctx.send(0, Ping(0));
+            }
+            fn on_message(&mut self, _f: usize, _m: Ping, _c: &mut Ctx<'_, Ping, Obs>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, Ping, Obs>) {}
+        }
+        let mut w: World<Ping, Obs> = World::new(constant_net(900), 1);
+        let slow = CpuModel {
+            per_event_ns: 10_000_000,
+            per_byte_ns: 0,
+            overload_threshold: usize::MAX,
+            overload_penalty: 0.0,
+        };
+        w.add_node(Box::new(Rearm { fired: 0 }), slow);
+        w.add_node(Box::new(Poker), CpuModel::zero());
+        w.start();
+        w.run_until_idle(100);
+        let fired: Vec<(SimTime, u64)> = w
+            .drain_events()
+            .into_iter()
+            .filter_map(|e| match e.event {
+                Obs::TimerFired(t) => Some((e.time, t)),
+                _ => None,
+            })
+            .collect();
+        // Exactly one firing, from the re-arm: message served [0.9, 10.9]
+        // ms, re-arm due 13.9 ms.
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, 5);
+        assert_eq!(fired[0].0, SimTime(13_900_000));
+    }
+
     #[test]
     fn crashed_node_receives_nothing() {
         let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
@@ -955,5 +1275,122 @@ mod tests {
         assert_eq!(w.messages_sent(), 3); // hops 0,1,2
         assert_eq!(w.bytes_sent(), 48);
         assert!(w.processed() > 0);
+    }
+
+    /// `max_queue` is a true high-water mark: a burst of `k` messages to
+    /// an idle node records `k` (the pre-fix sampling point — after the
+    /// dequeue — recorded `k − 1`).
+    #[test]
+    fn max_queue_counts_the_whole_burst() {
+        struct Burst;
+        impl Actor for Burst {
+            type Msg = Ping;
+            type Event = Obs;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+                for i in 0..5 {
+                    ctx.send(1, Ping(i));
+                }
+            }
+            fn on_message(&mut self, _f: usize, _m: Ping, _c: &mut Ctx<'_, Ping, Obs>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, Ping, Obs>) {}
+        }
+        let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
+        w.add_node(Box::new(Burst), CpuModel::zero());
+        let cpu = CpuModel {
+            per_event_ns: 1_000_000,
+            per_byte_ns: 0,
+            overload_threshold: usize::MAX,
+            overload_penalty: 0.0,
+        };
+        w.add_node(
+            Box::new(Echo {
+                peer: 0,
+                limit: 0,
+                initiate: false,
+            }),
+            cpu,
+        );
+        w.start();
+        w.run_until_idle(1_000);
+        // All 5 arrive at the same instant (constant latency) before the
+        // first service dequeues any of them.
+        assert_eq!(w.node_stats(1).max_queue, 5);
+    }
+
+    /// Utilization sampled mid-service must not exceed 1: the unexpired
+    /// service tail is excluded.
+    #[test]
+    fn utilization_clamps_midservice_accrual() {
+        struct Sender;
+        impl Actor for Sender {
+            type Msg = Ping;
+            type Event = Obs;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, Obs>) {
+                ctx.send(1, Ping(0));
+            }
+            fn on_message(&mut self, _f: usize, _m: Ping, _c: &mut Ctx<'_, Ping, Obs>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, Ping, Obs>) {}
+        }
+        let mut w: World<Ping, Obs> = World::new(constant_net(10), 1);
+        w.add_node(Box::new(Sender), CpuModel::zero());
+        let cpu = CpuModel {
+            per_event_ns: 50_000_000, // 50 ms per event
+            per_byte_ns: 0,
+            overload_threshold: usize::MAX,
+            overload_penalty: 0.0,
+        };
+        w.add_node(
+            Box::new(Echo {
+                peer: 0,
+                limit: 0,
+                initiate: false,
+            }),
+            cpu,
+        );
+        w.start();
+        // Sample 5 ms in: the 50 ms service started at 10 µs is mostly
+        // unexpired. Raw busy_ns/now would report ≈10×.
+        w.run_until(SimTime::from_ms(5));
+        let stats = w.node_stats(1);
+        let u = stats.utilization(w.now());
+        assert!(u <= 1.0, "utilization {u} exceeds 1");
+        // Busy since 10 µs: (5 ms − 10 µs) / 5 ms ≈ 0.998.
+        assert!((u - 0.998).abs() < 0.01, "utilization {u} not ≈0.998");
+        // After the service completes, utilization reflects 50 ms of
+        // work over 100 ms elapsed.
+        w.run_until(SimTime::from_ms(100));
+        let u = w.node_stats(1).utilization(w.now());
+        assert!((u - 0.5).abs() < 0.01, "utilization {u} not ≈0.5");
+    }
+
+    /// ProcessNext elision: a request/response exchange must cost about
+    /// one heap push per callback (the delivery), not two.
+    #[test]
+    fn heap_traffic_stays_below_processed_events() {
+        let mut w: World<Ping, Obs> = World::new(constant_net(100), 1);
+        w.add_node(
+            Box::new(Echo {
+                peer: 1,
+                limit: 200,
+                initiate: true,
+            }),
+            CpuModel::default(),
+        );
+        w.add_node(
+            Box::new(Echo {
+                peer: 0,
+                limit: 200,
+                initiate: false,
+            }),
+            CpuModel::default(),
+        );
+        w.start();
+        w.run_until_idle(10_000);
+        assert!(w.processed() > 200);
+        assert!(
+            w.heap_pushes_per_callback() < 1.1,
+            "heap pushes per callback: {:.3}",
+            w.heap_pushes_per_callback()
+        );
     }
 }

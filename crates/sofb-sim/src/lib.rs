@@ -57,6 +57,7 @@ pub mod cpu;
 pub mod delay;
 pub mod engine;
 pub mod metrics;
+pub mod sched;
 pub mod time;
 
 pub use cpu::CpuModel;

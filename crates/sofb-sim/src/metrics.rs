@@ -12,7 +12,9 @@
 ///     h.record(v);
 /// }
 /// assert_eq!(h.mean(), 2.5);
-/// assert_eq!(h.percentile(25.0), 2.0);
+/// // Nearest-rank: the smallest sample covering at least 25% of the
+/// // data — ⌈0.25·4⌉ = 1st of the sorted samples.
+/// assert_eq!(h.percentile(25.0), 1.0);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
@@ -67,7 +69,14 @@ impl Histogram {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// The `p`-th percentile (nearest-rank; 0 for an empty histogram).
+    /// The `p`-th percentile (0 for an empty histogram).
+    ///
+    /// True nearest-rank: the smallest sample such that at least `p`% of
+    /// all samples are ≤ it — rank `⌈p/100 · n⌉` of the sorted samples
+    /// (`p = 0` yields the minimum, `p = 100` the maximum). Earlier
+    /// versions computed a rounded linear-interpolation index
+    /// (`(p/100 · (n−1)).round()`), which disagrees with nearest-rank by
+    /// up to one sample and is what the docs never promised.
     ///
     /// # Panics
     ///
@@ -78,6 +87,10 @@ impl Histogram {
 
     /// Several percentiles at once, sorting the samples a single time
     /// (nearest-rank, like [`Histogram::percentile`]).
+    ///
+    /// The sort is total (`f64::total_cmp`), so NaN samples — which
+    /// should not be recorded, but must not panic — order after every
+    /// number instead of aborting the comparison.
     ///
     /// # Panics
     ///
@@ -90,11 +103,15 @@ impl Histogram {
             return ps.iter().map(|_| 0.0).collect();
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
         ps.iter()
             .map(|p| {
-                let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-                sorted[rank.min(sorted.len() - 1)]
+                // Multiply before dividing: p·n is exact for the usual
+                // integer-valued percentiles, so ⌈·⌉ cannot pick up a
+                // ulp of error (0.2·5 ≠ 1.0 in binary, 20·5/100 is).
+                let rank = (p * n as f64 / 100.0).ceil() as usize;
+                sorted[rank.clamp(1, n) - 1]
             })
             .collect()
     }
@@ -225,6 +242,56 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_validates() {
         Histogram::new().percentile(101.0);
+    }
+
+    /// Nearest-rank pinned on known sample sets: rank = ⌈p/100·n⌉,
+    /// 1-indexed into the sorted samples (p0 → minimum).
+    #[test]
+    fn percentiles_are_true_nearest_rank() {
+        // n = 4, inserted out of order.
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.percentiles(&[0.0, 25.0, 50.0, 99.0, 100.0]),
+            vec![1.0, 1.0, 2.0, 4.0, 4.0]
+        );
+
+        // n = 5: p50 must be the 3rd sample (⌈2.5⌉), p20 exactly the 1st
+        // (⌈1.0⌉ — the rounded-linear-index formula returned the 2nd).
+        let mut h = Histogram::new();
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(20.0), 10.0);
+        assert_eq!(h.percentile(50.0), 30.0);
+        assert_eq!(h.percentile(60.0), 30.0);
+        assert_eq!(h.percentile(60.1), 40.0);
+        assert_eq!(h.percentile(99.0), 50.0);
+
+        // n = 100: p99 is the 99th of 100 (the old formula's
+        // round(0.99·99) = 98 → 99th as well, but p50 differed).
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(99.0), 99.0);
+        assert_eq!(h.percentile(99.1), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+    }
+
+    /// A stray NaN sample must not panic the sort; it totals-orders last.
+    #[test]
+    fn percentile_sort_is_nan_safe() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        h.record(f64::NAN);
+        h.record(1.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(50.0), 2.0);
+        assert!(h.percentile(100.0).is_nan());
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Scheduler primitives: a generation-stamped slab feeding a hierarchical
+//! timer wheel.
+//!
+//! The engine keeps two event stores: a binary heap for network events
+//! (deliveries, scheduled crashes) and this wheel for *node-local*
+//! time-indexed events — timer fires and "node ready" (dequeue) events.
+//! Both stores order entries by the same `(time, seq)` key, and the
+//! engine always pops the global minimum, so splitting the stores never
+//! changes the realized schedule; it only changes the cost of
+//! maintaining it:
+//!
+//! * **arm / cancel / re-arm are O(1)** — an arming allocates a slab slot
+//!   and links it into the slot vector of one wheel level; a cancel
+//!   bumps the slot's generation (invalidating any wheel reference
+//!   lazily) and frees it. The old implementation paid a heap push per
+//!   arming and a heap pop per *stale* firing; superseded armings now
+//!   never surface at all.
+//! * **timer fires don't contend with message events** — at a typical
+//!   operating point the heap holds in-flight messages only, so its
+//!   depth (and per-op `log n`) drops.
+//!
+//! # Wheel layout
+//!
+//! Four levels of 64 slots over a 2^17 ns (≈131 µs) base tick:
+//!
+//! | level | slot width | horizon |
+//! |-------|-----------:|--------:|
+//! | 0     | ≈131 µs    | ≈8.4 ms |
+//! | 1     | ≈8.4 ms    | ≈537 ms |
+//! | 2     | ≈537 ms    | ≈34 s   |
+//! | 3     | ≈34 s      | ≈37 min |
+//!
+//! Entries beyond the last horizon go to an overflow list that is folded
+//! back in as the wheel advances. Slot indexing is absolute
+//! (`(due_tick >> 6·level) & 63`), so an entry never moves until the
+//! cursor crosses its covering slot, at which point the slot *cascades*
+//! into the levels below. The cursor only ever advances to the due time
+//! of the next live entry, which the discrete-event engine asks for
+//! explicitly — there is no tick thread.
+//!
+//! # Determinism
+//!
+//! Every entry carries the engine's global insertion sequence number;
+//! entries are popped in strict `(due, seq)` order, exactly the order the
+//! previous all-in-one-heap scheduler realized. Within one slot the pop
+//! scans for the minimum key, which is cheap because slots are small and
+//! cleared wholesale by cascades.
+
+use crate::time::SimTime;
+
+/// log2 of the base tick in nanoseconds (2^17 ns ≈ 131 µs).
+const TICK_BITS: u32 = 17;
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels.
+const LEVELS: usize = 4;
+
+/// A generation-stamped handle to a scheduled entry.
+///
+/// Cancelling through a stale handle (the entry already fired, or was
+/// re-armed) is a harmless no-op: the slab slot's generation has moved
+/// on and the handle no longer matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryId {
+    slot: u32,
+    gen: u32,
+}
+
+/// One slab slot: the payload of a live entry, or a free-list link.
+#[derive(Debug)]
+enum Slot<T> {
+    Free,
+    Live { due: SimTime, seq: u64, payload: T },
+}
+
+/// A reference to a slab entry stored in a wheel slot (or overflow).
+/// The `(due, seq)` key is duplicated here so min-scans and cascades
+/// never touch the slab for dead references.
+#[derive(Clone, Copy, Debug)]
+struct EntryRef {
+    due: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// Hierarchical timer wheel over payloads `T`, keyed by `(due, seq)`.
+#[derive(Debug)]
+pub struct Wheel<T> {
+    slab: Vec<(u32, Slot<T>)>, // (generation, slot)
+    free: Vec<u32>,
+    levels: Vec<Vec<Vec<EntryRef>>>, // [level][slot] -> refs
+    occ: [u64; LEVELS],              // per-level slot occupancy bitmaps
+    overflow: Vec<EntryRef>,
+    base_tick: u64,
+    live: usize,
+    /// Memoized location of the minimum entry (`key`, slab slot,
+    /// level, wheel slot, index in the slot vector). Inserts behind the
+    /// cached key, cancels of the cached entry and pops invalidate it;
+    /// everything else leaves locations untouched (slot vectors only
+    /// append outside of pops).
+    cached_min: Option<CachedMin>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CachedMin {
+    due: SimTime,
+    seq: u64,
+    slab_slot: u32,
+    level: usize,
+    slot: usize,
+    idx: usize,
+}
+
+impl<T> Default for Wheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Wheel<T> {
+    /// An empty wheel with its cursor at time zero.
+    pub fn new() -> Self {
+        Wheel {
+            slab: Vec::new(),
+            free: Vec::new(),
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occ: [0; LEVELS],
+            overflow: Vec::new(),
+            base_tick: 0,
+            live: 0,
+            cached_min: None,
+        }
+    }
+
+    /// Number of live (scheduled, not cancelled) entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live entries are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `payload` at key `(due, seq)` and returns a handle for
+    /// O(1) cancellation. `due` earlier than the wheel cursor is clamped
+    /// to the cursor's slot (it pops next, in `seq` order).
+    pub fn insert(&mut self, due: SimTime, seq: u64, payload: T) -> EntryId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slab.push((0, Slot::Free));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let gen = self.slab[slot as usize].0;
+        self.slab[slot as usize].1 = Slot::Live { due, seq, payload };
+        self.live += 1;
+        if self.cached_min.is_some_and(|c| (due, seq) < (c.due, c.seq)) {
+            self.cached_min = None;
+        }
+        self.place(EntryRef {
+            due,
+            seq,
+            slot,
+            gen,
+        });
+        EntryId { slot, gen }
+    }
+
+    /// Cancels the entry behind `id` if it is still scheduled. Returns
+    /// whether a live entry was removed. O(1): the slab slot is freed and
+    /// its generation bumped; the wheel-slot reference dies lazily.
+    pub fn cancel(&mut self, id: EntryId) -> bool {
+        match self.slab.get_mut(id.slot as usize) {
+            Some((gen, slot @ Slot::Live { .. })) if *gen == id.gen => {
+                *slot = Slot::Free;
+                *gen = gen.wrapping_add(1);
+                self.free.push(id.slot);
+                self.live -= 1;
+                if self.cached_min.is_some_and(|c| c.slab_slot == id.slot) {
+                    self.cached_min = None;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The `(due, seq)` key of the next entry to pop, if any. May cascade
+    /// internally (hence `&mut`), which never changes pop order.
+    pub fn peek(&mut self) -> Option<(SimTime, u64)> {
+        let (l, s, i) = self.find_min()?;
+        let r = self.levels[l][s][i];
+        Some((r.due, r.seq))
+    }
+
+    /// Pops the minimum entry only if it comes due exactly at `t`
+    /// (single scan for the drain loop that forms an instant).
+    pub fn pop_due(&mut self, t: SimTime) -> Option<(u64, T)> {
+        let (due, _) = self.peek()?;
+        if due != t {
+            return None;
+        }
+        self.pop().map(|(_, seq, payload)| (seq, payload))
+    }
+
+    /// Removes and returns the entry with the minimum `(due, seq)` key,
+    /// advancing the wheel cursor to its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let (l, s, i) = self.find_min()?;
+        self.cached_min = None;
+        let r = self.levels[l][s].swap_remove(i);
+        if self.levels[l][s].is_empty() {
+            self.occ[l] &= !(1u64 << s);
+        }
+        let (gen, slot) = &mut self.slab[r.slot as usize];
+        debug_assert_eq!(*gen, r.gen, "find_min returned a dead ref");
+        let Slot::Live { due, seq, payload } = std::mem::replace(slot, Slot::Free) else {
+            unreachable!("find_min returned a free slot");
+        };
+        *gen = gen.wrapping_add(1);
+        self.free.push(r.slot);
+        self.live -= 1;
+        self.base_tick = self.base_tick.max(due.as_ns() >> TICK_BITS);
+        Some((due, seq, payload))
+    }
+
+    /// Files a reference into the level/slot its distance from the
+    /// cursor selects (or overflow). A due time at or before the cursor
+    /// files under the cursor's own level-0 slot (it pops next, in `seq`
+    /// order).
+    ///
+    /// Level selection uses the highest 6-bit group in which the due
+    /// tick differs from the cursor tick. This is what makes cascades
+    /// terminate: entries in a level-`L` slot share all groups above `L`
+    /// with the cursor, so once the cursor advances into their slot they
+    /// re-file strictly lower.
+    fn place(&mut self, r: EntryRef) {
+        let due_tick = (r.due.as_ns() >> TICK_BITS).max(self.base_tick);
+        let diff = due_tick ^ self.base_tick;
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        };
+        if level >= LEVELS {
+            self.overflow.push(r);
+            return;
+        }
+        let slot = ((due_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level][slot].push(r);
+        self.occ[level] |= 1u64 << slot;
+    }
+
+    /// Locates the live entry with the minimum `(due, seq)` key,
+    /// cascading higher-level slots down (and folding overflow in) until
+    /// that entry sits in level 0. Dead references encountered along the
+    /// way are dropped.
+    fn find_min(&mut self) -> Option<(usize, usize, usize)> {
+        if let Some(c) = self.cached_min {
+            return Some((c.level, c.slot, c.idx));
+        }
+        loop {
+            // The first occupied slot per level, scanning circularly from
+            // the cursor position, as an absolute start tick.
+            let mut best: Option<(usize, usize, u64)> = None; // (level, slot, start_tick)
+            for level in 0..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let pos = ((self.base_tick >> shift) & (SLOTS as u64 - 1)) as u32;
+                let rotated = self.occ[level].rotate_right(pos);
+                if rotated == 0 {
+                    continue;
+                }
+                let dist = rotated.trailing_zeros() as u64;
+                let slot = ((u64::from(pos) + dist) & (SLOTS as u64 - 1)) as usize;
+                let aligned = (self.base_tick >> shift) << shift;
+                let start = (aligned + (dist << shift)).max(self.base_tick);
+                if best.is_none_or(|(_, _, s)| start < s) {
+                    best = Some((level, slot, start));
+                }
+            }
+            if !self.overflow.is_empty() {
+                let omin = self
+                    .overflow
+                    .iter()
+                    .map(|r| r.due.as_ns() >> TICK_BITS)
+                    .min()
+                    .unwrap();
+                if best.is_none_or(|(_, _, s)| omin < s) {
+                    // The overflow minimum precedes every level entry
+                    // (level entries never lie before their slot start),
+                    // so the cursor may jump straight to it — after which
+                    // it and its neighbours become placeable.
+                    self.base_tick = self.base_tick.max(omin);
+                    let base = self.base_tick;
+                    let (refile, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.overflow)
+                        .into_iter()
+                        .partition(|r| {
+                            let tick = (r.due.as_ns() >> TICK_BITS).max(base);
+                            (tick ^ base) >> (SLOT_BITS * LEVELS as u32) == 0
+                        });
+                    self.overflow = keep;
+                    for r in refile {
+                        if self.ref_alive(&r) {
+                            self.place(r);
+                        }
+                    }
+                    continue;
+                }
+            }
+            let (level, slot, start_tick) = best?;
+            // Drop dead references before deciding anything.
+            let slab = &self.slab;
+            self.levels[level][slot].retain(|r| {
+                let (gen, s) = &slab[r.slot as usize];
+                *gen == r.gen && matches!(s, Slot::Live { .. })
+            });
+            if self.levels[level][slot].is_empty() {
+                self.occ[level] &= !(1u64 << slot);
+                continue;
+            }
+            if level == 0 {
+                let mut min_i = 0;
+                for (i, r) in self.levels[0][slot].iter().enumerate().skip(1) {
+                    let m = &self.levels[0][slot][min_i];
+                    if (r.due, r.seq) < (m.due, m.seq) {
+                        min_i = i;
+                    }
+                }
+                let m = &self.levels[0][slot][min_i];
+                self.cached_min = Some(CachedMin {
+                    due: m.due,
+                    seq: m.seq,
+                    slab_slot: m.slot,
+                    level: 0,
+                    slot,
+                    idx: min_i,
+                });
+                return Some((0, slot, min_i));
+            }
+            // Cascade: advance the cursor to the slot's window (nothing
+            // live lies before it) and refile its entries lower down.
+            self.base_tick = self.base_tick.max(start_tick);
+            let refs = std::mem::take(&mut self.levels[level][slot]);
+            self.occ[level] &= !(1u64 << slot);
+            for r in refs {
+                self.place(r);
+            }
+        }
+    }
+
+    fn ref_alive(&self, r: &EntryRef) -> bool {
+        let (gen, s) = &self.slab[r.slot as usize];
+        *gen == r.gen && matches!(s, Slot::Live { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn pops_in_due_then_seq_order() {
+        let mut w: Wheel<&str> = Wheel::new();
+        w.insert(t(5_000_000), 2, "b");
+        w.insert(t(1_000), 1, "a");
+        w.insert(t(5_000_000), 3, "c");
+        w.insert(t(90_000_000_000), 4, "far");
+        assert_eq!(w.peek(), Some((t(1_000), 1)));
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c", "far"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_orders_by_seq() {
+        let mut w: Wheel<u32> = Wheel::new();
+        // All three in one level-0 slot (well inside a 131 µs tick).
+        w.insert(t(100), 30, 3);
+        w.insert(t(90), 20, 2);
+        w.insert(t(90), 10, 1);
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_is_o1_and_stale_cancel_is_noop() {
+        let mut w: Wheel<u32> = Wheel::new();
+        let a = w.insert(t(1_000), 1, 1);
+        let b = w.insert(t(2_000), 2, 2);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "double cancel must be a no-op");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop().map(|(_, _, p)| p), Some(2));
+        assert!(!w.cancel(b), "cancel after pop must be a no-op");
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut w: Wheel<u32> = Wheel::new();
+        let a = w.insert(t(1_000), 1, 1);
+        w.cancel(a);
+        let b = w.insert(t(2_000), 2, 2); // reuses the slab slot
+        assert!(!w.cancel(a), "stale handle must not hit the new entry");
+        assert_eq!(w.len(), 1);
+        assert!(w.cancel(b));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        let mut w: Wheel<&str> = Wheel::new();
+        // One entry per level, plus overflow.
+        w.insert(t(1 << 18), 1, "l0");
+        w.insert(t(1 << 25), 2, "l1");
+        w.insert(t(1 << 31), 3, "l2");
+        w.insert(t(1 << 37), 4, "l3");
+        w.insert(t(1 << 43), 5, "overflow");
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, ["l0", "l1", "l2", "l3", "overflow"]);
+    }
+
+    /// Property sweep: random arm/cancel/re-arm interleavings across all
+    /// level distances must pop in exactly the `(due, seq)` order a
+    /// sorted reference produces — the semantics the engine's former
+    /// all-in-one heap (plus per-node token `HashMap`) realized.
+    #[test]
+    fn random_ops_match_sorted_reference() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(0xA11CE + seed);
+            let mut w: Wheel<u64> = Wheel::new();
+            let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+            let mut handles: Vec<(EntryId, (u64, u64))> = Vec::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+
+            for _ in 0..400 {
+                match rng.gen_range(0u32..10) {
+                    // Arm at a random distance: same tick, level 0..3 or
+                    // overflow are all reachable.
+                    0..=5 => {
+                        let delta = match rng.gen_range(0u32..5) {
+                            0 => rng.gen_range(0u64..1 << 17),
+                            1 => rng.gen_range(0u64..1 << 23),
+                            2 => rng.gen_range(0u64..1 << 29),
+                            3 => rng.gen_range(0u64..1 << 35),
+                            _ => rng.gen_range(0u64..1 << 44),
+                        };
+                        seq += 1;
+                        let due = now + delta;
+                        let id = w.insert(t(due), seq, seq);
+                        model.insert((due, seq), seq);
+                        handles.push((id, (due, seq)));
+                    }
+                    // Cancel (possibly stale — the model mirrors).
+                    6..=7 => {
+                        if !handles.is_empty() {
+                            let i = rng.gen_range(0..handles.len());
+                            let (id, key) = handles.swap_remove(i);
+                            let live = model.remove(&key).is_some();
+                            assert_eq!(w.cancel(id), live);
+                        }
+                    }
+                    // Pop a few (advances the cursor → forces cascades).
+                    _ => {
+                        for _ in 0..rng.gen_range(1usize..4) {
+                            let got = w.pop().map(|(d, s, p)| ((d.as_ns(), s), p));
+                            let want = model.pop_first();
+                            assert_eq!(got, want, "seed {seed}: pop order diverged");
+                            if let Some(((d, _), _)) = got {
+                                now = now.max(d);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(w.len(), model.len(), "seed {seed}: live count diverged");
+            }
+            // Drain.
+            while let Some(want) = model.pop_first() {
+                let got = w.pop().map(|(d, s, p)| ((d.as_ns(), s), p)).unwrap();
+                assert_eq!(got, want, "seed {seed}: drain order diverged");
+            }
+            assert!(w.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn empty_wheel_behaves() {
+        let mut w: Wheel<u32> = Wheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.peek(), None);
+        assert_eq!(w.pop().map(|(_, _, p)| p), None);
+    }
+}

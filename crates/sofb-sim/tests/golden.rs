@@ -1,0 +1,326 @@
+//! Golden event-trace determinism tests.
+//!
+//! These pin the exact `(time, node, kind)` observation sequence a fixed
+//! seed produces on a representative world — messages, timers (arm,
+//! re-arm, cancel), crashes, jittered links and per-node CPU cost all
+//! exercised at once. The scheduler may be reworked internally (heap
+//! layout, timer wheel, event batching) but the schedule it realizes is a
+//! bit-for-bit property of the seed: any divergence fails here first.
+//!
+//! The constants were captured from the pre-timer-wheel engine
+//! (`BinaryHeap` of Deliver/TimerFire/ProcessNext events) and are
+//! deliberately kept unchanged across the scheduler overhaul: the new
+//! engine must realize the identical schedule.
+
+use sofb_sim::cpu::CpuModel;
+use sofb_sim::delay::{DelayModel, LinkModel, NetworkModel};
+use sofb_sim::engine::{Actor, Ctx, WireSize, World};
+use sofb_sim::time::{SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+struct Msg {
+    hop: u32,
+    len: usize,
+}
+
+impl WireSize for Msg {
+    fn wire_len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Observation kinds, encoded as small integers for hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Got(u32),
+    Tick(u64),
+}
+
+impl Kind {
+    fn code(self) -> u64 {
+        match self {
+            Kind::Got(h) => 1 << 32 | u64::from(h),
+            Kind::Tick(t) => 2 << 32 | t,
+        }
+    }
+}
+
+/// A node that echoes messages to a ring neighbour with random payload
+/// sizes (exercising the world RNG from inside callbacks), arms a
+/// periodic tick it keeps re-arming, and cancels/re-arms a second tag.
+struct Worker {
+    next: usize,
+    limit: u32,
+    period: SimDuration,
+}
+
+const TAG_TICK: u64 = 1;
+const TAG_AUX: u64 = 2;
+
+impl Actor for Worker {
+    type Msg = Msg;
+    type Event = Kind;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, Kind>) {
+        if ctx.me() == 0 {
+            ctx.send(self.next, Msg { hop: 0, len: 64 });
+        }
+        ctx.set_timer(self.period, TAG_TICK);
+        // Arm-then-cancel: must never fire.
+        ctx.set_timer(SimDuration::from_ms(3), TAG_AUX);
+        ctx.cancel_timer(TAG_AUX);
+    }
+
+    fn on_message(&mut self, _from: usize, msg: Msg, ctx: &mut Ctx<'_, Msg, Kind>) {
+        ctx.emit(Kind::Got(msg.hop));
+        if msg.hop < self.limit {
+            use rand::Rng;
+            let len = ctx.rng().gen_range(32usize..256);
+            ctx.send(
+                self.next,
+                Msg {
+                    hop: msg.hop + 1,
+                    len,
+                },
+            );
+        }
+        // Re-arm supersedes the pending tick, shifting its phase.
+        ctx.set_timer(self.period, TAG_TICK);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg, Kind>) {
+        ctx.emit(Kind::Tick(tag));
+        if tag == TAG_TICK {
+            ctx.set_timer(self.period, TAG_TICK);
+            // Periodically re-arm the aux tag at a jittered delay, then
+            // sometimes cancel it right away (exercises cancel-of-armed).
+            use rand::Rng;
+            let ms = ctx.rng().gen_range(1u64..6);
+            ctx.set_timer(SimDuration::from_ms(ms), TAG_AUX);
+            if ms % 2 == 0 {
+                ctx.cancel_timer(TAG_AUX);
+            }
+        }
+    }
+}
+
+fn golden_world(seed: u64) -> World<Msg, Kind> {
+    let net = NetworkModel::uniform(LinkModel {
+        delay: DelayModel::Lan {
+            base: SimDuration::from_us(120),
+            jitter: SimDuration::from_us(60),
+        },
+        per_byte_ns: 80,
+    })
+    .with_bidi_link(
+        0,
+        1,
+        LinkModel {
+            delay: DelayModel::Uniform(SimDuration::from_us(30), SimDuration::from_us(90)),
+            per_byte_ns: 8,
+        },
+    );
+    let mut w: World<Msg, Kind> = World::new(net, seed);
+    let cpu = CpuModel {
+        per_event_ns: 200_000,
+        per_byte_ns: 50,
+        overload_threshold: 8,
+        overload_penalty: 0.01,
+    };
+    for i in 0..4 {
+        w.add_node(
+            Box::new(Worker {
+                next: (i + 1) % 4,
+                limit: 40,
+                period: SimDuration::from_ms(7 + i as u64),
+            }),
+            cpu,
+        );
+    }
+    // Fault plan: node 3 crashes mid-run, node 2's uplink degrades.
+    w.crash_at(3, SimTime::from_ms(45));
+    w.delay_sends_from(2, SimTime::from_ms(20), SimDuration::from_us(500));
+    w.mute_from(1, SimTime::from_ms(70));
+    w
+}
+
+/// FNV-1a over the full `(time, node, kind)` sequence.
+fn trace_hash(trace: &[(u64, usize, Kind)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &(t, n, k) in trace {
+        mix(t);
+        mix(n as u64);
+        mix(k.code());
+    }
+    h
+}
+
+fn run_golden(seed: u64) -> (Vec<(u64, usize, Kind)>, u64, u64) {
+    let mut w = golden_world(seed);
+    w.start();
+    w.run_until(SimTime::from_ms(90));
+    let trace: Vec<(u64, usize, Kind)> = w
+        .drain_events()
+        .into_iter()
+        .map(|e| (e.time.as_ns(), e.node, e.event))
+        .collect();
+    let processed = w.processed();
+    let msgs = w.messages_sent();
+    (trace, processed, msgs)
+}
+
+#[test]
+fn golden_trace_seed_1701_is_pinned() {
+    let (trace, _processed, messages) = run_golden(1701);
+
+    // Head of the sequence, spelled out for debuggability.
+    let head: Vec<(u64, usize, Kind)> = trace.iter().take(4).copied().collect();
+    assert_eq!(
+        head,
+        vec![
+            (54_538, 1, Kind::Got(0)),
+            (404_874, 2, Kind::Got(1)),
+            (750_620, 3, Kind::Got(2)),
+            (1_126_129, 0, Kind::Got(3)),
+        ],
+        "trace head diverged"
+    );
+
+    assert_eq!(trace.len(), 88, "trace length diverged");
+    assert_eq!(messages, 41, "messages_sent diverged");
+    assert_eq!(
+        trace_hash(&trace),
+        0xc30d_5530_61b5_c6f5,
+        "full (time, node, kind) trace diverged"
+    );
+}
+
+#[test]
+fn golden_trace_is_seed_sensitive() {
+    let (a, ..) = run_golden(1701);
+    let (b, ..) = run_golden(1702);
+    assert_ne!(trace_hash(&a), trace_hash(&b));
+}
+
+#[test]
+fn golden_trace_is_rerun_stable() {
+    let (a, pa, ma) = run_golden(1701);
+    let (b, pb, mb) = run_golden(1701);
+    assert_eq!(a, b);
+    assert_eq!((pa, ma), (pb, mb));
+}
+
+/// Random arm/cancel/re-arm interleavings under load and crash must
+/// uphold the one-shot timer contract the old per-node token `HashMap`
+/// implemented: a firing is delivered only for the *latest* arming of a
+/// tag, each arming fires at most once, and a cancelled arming never
+/// fires. The actor is its own model: it tracks which tags it believes
+/// are armed and asserts every delivery against that belief.
+#[test]
+fn random_timer_interleavings_uphold_one_shot_semantics() {
+    use std::collections::HashSet;
+
+    struct Chaos {
+        armed: HashSet<u64>,
+        fired: u64,
+    }
+
+    impl Chaos {
+        fn random_ops(&mut self, ctx: &mut Ctx<'_, Msg, Kind>) {
+            use rand::Rng;
+            for _ in 0..ctx.rng().gen_range(1u32..4) {
+                let tag = ctx.rng().gen_range(1u64..6);
+                match ctx.rng().gen_range(0u32..4) {
+                    // Arm or re-arm (supersedes any pending firing).
+                    0..=1 => {
+                        let us = ctx.rng().gen_range(50u64..20_000);
+                        ctx.set_timer(SimDuration::from_us(us), tag);
+                        self.armed.insert(tag);
+                    }
+                    2 => {
+                        ctx.cancel_timer(tag);
+                        self.armed.remove(&tag);
+                    }
+                    // Keep some cross-node traffic in flight so firings
+                    // queue behind message service and go stale.
+                    _ => {
+                        let to = ctx.rng().gen_range(0usize..3);
+                        ctx.send(to, Msg { hop: 0, len: 48 });
+                    }
+                }
+            }
+        }
+    }
+
+    impl Actor for Chaos {
+        type Msg = Msg;
+        type Event = Kind;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, Kind>) {
+            self.random_ops(ctx);
+        }
+
+        fn on_message(&mut self, _from: usize, _msg: Msg, ctx: &mut Ctx<'_, Msg, Kind>) {
+            self.random_ops(ctx);
+        }
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg, Kind>) {
+            assert!(
+                self.armed.remove(&tag),
+                "tag {tag} fired without a live arming (cancelled, superseded or double fire)"
+            );
+            self.fired += 1;
+            ctx.emit(Kind::Tick(tag));
+            self.random_ops(ctx);
+        }
+    }
+
+    fn run(seed: u64) -> Vec<(u64, usize, Kind)> {
+        let net = NetworkModel::uniform(LinkModel {
+            delay: DelayModel::Uniform(SimDuration::from_us(80), SimDuration::from_us(400)),
+            per_byte_ns: 20,
+        });
+        let mut w: World<Msg, Kind> = World::new(net, seed);
+        let cpu = CpuModel {
+            per_event_ns: 400_000,
+            per_byte_ns: 10,
+            overload_threshold: 16,
+            overload_penalty: 0.01,
+        };
+        for _ in 0..3 {
+            w.add_node(
+                Box::new(Chaos {
+                    armed: HashSet::new(),
+                    fired: 0,
+                }),
+                cpu,
+            );
+        }
+        w.crash_at(2, SimTime::from_ms(120));
+        w.start();
+        w.run_until(SimTime::from_ms(250));
+        w.drain_events()
+            .into_iter()
+            .map(|e| (e.time.as_ns(), e.node, e.event))
+            .collect()
+    }
+
+    for seed in 0..8u64 {
+        let a = run(seed);
+        assert!(!a.is_empty(), "seed {seed}: no timer ever fired");
+        // No observation from the crashed node after its crash time.
+        assert!(
+            a.iter()
+                .all(|(t, node, _)| *node != 2 || *t <= 120_000_000 + 1_000_000),
+            "seed {seed}: crashed node kept firing"
+        );
+        // Bit-for-bit determinism of the whole interleaving.
+        assert_eq!(a, run(seed), "seed {seed}: schedule not reproducible");
+    }
+}
