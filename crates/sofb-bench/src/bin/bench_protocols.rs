@@ -1,7 +1,8 @@
 //! Machine-readable protocol smoke benchmark: one fixed-seed run per
-//! variant (SC, SCR, BFT, CT) through the unified harness, written to
-//! `BENCH_protocols.json` so successive changes have a perf trajectory to
-//! compare against.
+//! variant (SC, SCR, BFT, CT) through the unified harness, plus a
+//! sharded section (SC at 1 and 2 ordering groups, fixed per-shard
+//! load) through the sharded harness, written to `BENCH_protocols.json`
+//! so successive changes have a perf trajectory to compare against.
 //!
 //! ```sh
 //! cargo run --release -p sofb-bench --bin bench_protocols [out.json]
@@ -16,7 +17,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sofb_bench::experiments::{protocol_point, Window};
+use sofb_bench::experiments::{protocol_point, sharded_point, Window};
 use sofb_crypto::scheme::SchemeId;
 use sofb_harness::ProtocolKind;
 
@@ -28,6 +29,19 @@ const WINDOW: Window = Window {
     warmup_s: 2,
     run_s: 10,
     drain_s: 15,
+};
+
+/// The sharded smoke points: SC at fixed per-shard load (three clients ×
+/// 100 req/s per shard), 1 vs 2 ordering groups. `f = 1` keeps the
+/// 2-shard world at 8 processes; the shorter window keeps the smoke
+/// cheap while still straddling warm-up and drain.
+const SHARD_COUNTS: [usize; 2] = [1, 2];
+const SHARD_F: u32 = 1;
+const SHARD_RATE_PER_CLIENT: f64 = 100.0;
+const SHARD_WINDOW: Window = Window {
+    warmup_s: 2,
+    run_s: 8,
+    drain_s: 10,
 };
 
 /// Metric drift beyond this fails `--check`.
@@ -76,7 +90,54 @@ fn measure() -> Vec<VariantRow> {
         .collect()
 }
 
-fn render(rows: &[VariantRow]) -> String {
+struct ShardedRow {
+    name: String,
+    shards: usize,
+    aggregate_throughput: f64,
+    mean_ms: Option<f64>,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
+    msgs_per_batch: f64,
+    wall_ms: f64,
+}
+
+fn measure_sharded() -> Vec<ShardedRow> {
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let wall = Instant::now();
+            let p = sharded_point(
+                ProtocolKind::Sc,
+                shards,
+                SHARD_F,
+                SCHEME,
+                INTERVAL_MS,
+                SHARD_RATE_PER_CLIENT,
+                SEED,
+                SHARD_WINDOW,
+            );
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "SC×{shards}: aggregate {:.1} req/s, global p50 {} / p99 {} ms ({wall_ms:.0} ms wall)",
+                p.aggregate_throughput,
+                json_num(p.global_p50_ms),
+                json_num(p.global_p99_ms),
+            );
+            ShardedRow {
+                name: format!("SC/{shards}"),
+                shards,
+                aggregate_throughput: p.aggregate_throughput,
+                mean_ms: p.global_mean_ms,
+                p50_ms: p.global_p50_ms,
+                p99_ms: p.global_p99_ms,
+                msgs_per_batch: p.msgs_per_batch,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+fn render(rows: &[VariantRow], sharded: &[ShardedRow]) -> String {
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
     writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v1\",").unwrap();
@@ -109,7 +170,39 @@ fn render(rows: &[VariantRow]) -> String {
         writeln!(body, "      \"wall_ms\": {:.1}", r.wall_ms).unwrap();
         writeln!(body, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }
-    writeln!(body, "  ]").unwrap();
+    writeln!(body, "  ],").unwrap();
+    writeln!(
+        body,
+        "  \"sharded\": {{\"f\": {SHARD_F}, \"rate_per_client_per_shard\": {SHARD_RATE_PER_CLIENT}, \
+         \"window_s\": {{\"warmup\": {}, \"run\": {}, \"drain\": {}}}, \"points\": [",
+        SHARD_WINDOW.warmup_s, SHARD_WINDOW.run_s, SHARD_WINDOW.drain_s
+    )
+    .unwrap();
+    for (i, r) in sharded.iter().enumerate() {
+        writeln!(body, "    {{").unwrap();
+        writeln!(body, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(body, "      \"shards\": {},", r.shards).unwrap();
+        writeln!(
+            body,
+            "      \"aggregate_throughput_req_s\": {:.3},",
+            r.aggregate_throughput
+        )
+        .unwrap();
+        writeln!(body, "      \"latency_ms\": {{").unwrap();
+        writeln!(body, "        \"mean\": {},", json_num(r.mean_ms)).unwrap();
+        writeln!(body, "        \"p50\": {},", json_num(r.p50_ms)).unwrap();
+        writeln!(body, "        \"p99\": {}", json_num(r.p99_ms)).unwrap();
+        writeln!(body, "      }},").unwrap();
+        writeln!(body, "      \"msgs_per_batch\": {:.3},", r.msgs_per_batch).unwrap();
+        writeln!(body, "      \"wall_ms\": {:.1}", r.wall_ms).unwrap();
+        writeln!(
+            body,
+            "    }}{}",
+            if i + 1 < sharded.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(body, "  ]}}").unwrap();
     writeln!(body, "}}").unwrap();
     body
 }
@@ -128,6 +221,7 @@ fn extract_metrics(json: &str) -> Vec<(String, f64)> {
         }
         for key in [
             "throughput_req_per_proc_s",
+            "aggregate_throughput_req_s",
             "mean",
             "p50",
             "p99",
@@ -147,11 +241,11 @@ fn extract_metrics(json: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn check(rows: &[VariantRow], committed_path: &str) -> Result<(), String> {
+fn check(rows: &[VariantRow], sharded: &[ShardedRow], committed_path: &str) -> Result<(), String> {
     let committed = std::fs::read_to_string(committed_path)
         .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
     let want = extract_metrics(&committed);
-    let got = extract_metrics(&render(rows));
+    let got = extract_metrics(&render(rows, sharded));
     if want.is_empty() {
         return Err(format!("{committed_path}: no metrics found"));
     }
@@ -203,8 +297,16 @@ fn main() {
     let path = path.unwrap_or_else(|| "BENCH_protocols.json".to_string());
 
     let rows = measure();
+    let sharded = measure_sharded();
+    if sharded.len() >= 2 && sharded[0].aggregate_throughput > 0.0 {
+        let scale = sharded[1].aggregate_throughput / sharded[0].aggregate_throughput;
+        eprintln!(
+            "sharded scaling 1 → {} shards: {scale:.2}× aggregate throughput",
+            sharded[1].shards
+        );
+    }
     if checking {
-        match check(&rows, &path) {
+        match check(&rows, &sharded, &path) {
             Ok(()) => eprintln!("check passed: regenerated metrics match {path}"),
             Err(e) => {
                 eprintln!("check FAILED against {path}:\n{e}");
@@ -213,7 +315,7 @@ fn main() {
         }
         return;
     }
-    if let Err(e) = std::fs::write(&path, render(&rows)) {
+    if let Err(e) = std::fs::write(&path, render(&rows, &sharded)) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     }

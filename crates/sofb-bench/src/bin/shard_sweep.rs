@@ -1,0 +1,62 @@
+//! Horizontal-scaling sweep: shard count × offered load for all four
+//! protocol variants through the sharded harness.
+//!
+//! ```sh
+//! cargo run --release -p sofb-bench --bin shard_sweep
+//! ```
+//!
+//! For every variant and per-shard offered load, the sweep reports the
+//! aggregate ordered-request throughput (req/s, each request counted
+//! once) and the global p99 order latency at 1, 2 and 4 ordering groups
+//! — the "one group" assumption of the paper's testbed turned into a
+//! parameter. At fixed per-shard load the aggregate column should scale
+//! near-linearly with the shard count while the latency column stays
+//! flat: groups are independent, so the saturation point moves with the
+//! world, not the coordinator.
+
+use sofb_bench::experiments::{sharded_point, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_harness::ProtocolKind;
+use sofb_sim::metrics::{render_table, Series};
+
+const F: u32 = 1;
+const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
+const INTERVAL_MS: u64 = 100;
+const SEED: u64 = 7;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Per-shard offered load per client (three clients per world): the low
+/// point sits well under a group's saturation, the high one near it.
+const RATES: [f64; 2] = [60.0, 140.0];
+const WINDOW: Window = Window {
+    warmup_s: 2,
+    run_s: 8,
+    drain_s: 10,
+};
+
+fn main() {
+    for rate in RATES {
+        let offered = 3.0 * rate;
+        let mut tput: Vec<Series> = Vec::new();
+        let mut p99: Vec<Series> = Vec::new();
+        for kind in ProtocolKind::ALL {
+            let mut t = Series::new(kind.to_string());
+            let mut l = Series::new(kind.to_string());
+            for shards in SHARD_COUNTS {
+                let p = sharded_point(kind, shards, F, SCHEME, INTERVAL_MS, rate, SEED, WINDOW);
+                t.push(shards as f64, p.aggregate_throughput);
+                l.push(shards as f64, p.global_p99_ms.unwrap_or(f64::NAN));
+            }
+            tput.push(t);
+            p99.push(l);
+        }
+        println!("## offered load {offered:.0} req/s per shard");
+        println!(
+            "{}",
+            render_table("shards", "aggregate throughput (req/s)", &tput)
+        );
+        println!(
+            "{}",
+            render_table("shards", "global p99 latency (ms)", &p99)
+        );
+    }
+}

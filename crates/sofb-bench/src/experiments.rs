@@ -13,10 +13,14 @@ use sofb_core::config::Fault;
 use sofb_core::sim::ScProtocol;
 use sofb_crypto::scheme::SchemeId;
 use sofb_ct::sim::CtProtocol;
-use sofb_harness::{ClientSpec, FaultSpec, Protocol, ProtocolKind, WorldBuilder};
+use sofb_harness::{
+    Arrival, ClientSpec, FaultSpec, Protocol, ProtocolKind, ShardLoad, ShardedWorldBuilder,
+    WorldBuilder,
+};
 use sofb_proto::ids::{ProcessId, SeqNo};
 use sofb_proto::topology::Variant;
 use sofb_sim::engine::TimedEvent;
+use sofb_sim::metrics::GroupRollup;
 use sofb_sim::time::{SimDuration, SimTime};
 
 pub use sofb_harness::ProtocolEvent;
@@ -174,6 +178,201 @@ pub fn protocol_point(
     }
 }
 
+/// One shard's measurements inside a sharded sweep point. Network
+/// counters are world-global, so the per-shard view reports latency and
+/// throughput only; message cost lives in the rollup.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPoint {
+    /// Mean order latency (ms) within the shard, censored like [`Point`].
+    pub latency_ms: Option<f64>,
+    /// Median order latency (ms).
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile order latency (ms).
+    pub p99_ms: Option<f64>,
+    /// Committed requests per process per second within the shard.
+    pub throughput: f64,
+    /// Requests first-committed inside the measurement window (each
+    /// counted once).
+    pub committed_requests: usize,
+}
+
+/// One sharded sweep-point result: per-shard measurements plus the
+/// cross-shard rollup.
+#[derive(Clone, Debug)]
+pub struct ShardedPoint {
+    /// Per-shard measurements, in shard order.
+    pub per_shard: Vec<ShardPoint>,
+    /// Globally ordered requests per second across all shards (every
+    /// request counted once, at its first commit inside the window) —
+    /// the horizontal-scaling metric.
+    pub aggregate_throughput: f64,
+    /// Global mean order latency (ms) over the exact merged per-shard
+    /// distributions.
+    pub global_mean_ms: Option<f64>,
+    /// Global median (exact merged distribution, not an average of
+    /// per-shard medians).
+    pub global_p50_ms: Option<f64>,
+    /// Global 99th percentile (exact merged distribution).
+    pub global_p99_ms: Option<f64>,
+    /// Messages transmitted per committed batch, world-wide.
+    pub msgs_per_batch: f64,
+}
+
+/// One pass over a shard's commit events: the number of distinct batches
+/// committed overall, and the requests first-committed in `[from, to]`
+/// (each counted once, at the earliest commit of its batch's sequence
+/// number).
+fn batches_and_requests_committed(
+    events: &[TimedEvent<ProtocolEvent>],
+    from: SimTime,
+    to: SimTime,
+) -> (usize, usize) {
+    use std::collections::BTreeMap;
+    let mut first: BTreeMap<SeqNo, (SimTime, usize)> = BTreeMap::new();
+    for ev in events {
+        if let ProtocolEvent::Committed { o, requests, .. } = &ev.event {
+            first
+                .entry(*o)
+                .and_modify(|(t, _)| {
+                    if ev.time < *t {
+                        *t = ev.time;
+                    }
+                })
+                .or_insert((ev.time, *requests));
+        }
+    }
+    let requests = first
+        .values()
+        .filter(|(t, _)| *t >= from && *t <= to)
+        .map(|(_, r)| r)
+        .sum();
+    (first.len(), requests)
+}
+
+/// The generic sharded runner: `shards` independent groups of `P`, three
+/// multi-shard clients at `rate_per_client` requests/s *per shard*
+/// (constant arrivals, round-robin dealt — the fixed-per-shard-load
+/// shape of horizontal-scaling sweeps), measured per shard and rolled up
+/// across shards.
+fn run_sharded<P: Protocol>(
+    mut builder: ShardedWorldBuilder<P>,
+    shards: usize,
+    interval_ms: u64,
+    rate_per_client: f64,
+    seed: u64,
+    window: Window,
+) -> ShardedPoint {
+    // Clients stop where the measurement window ends; the drain period
+    // after it lets saturated batches still commit and report latency.
+    let end = SimTime::from_secs(window.run_s);
+    let horizon = SimTime::from_secs(window.run_s + window.drain_s);
+    let warmup = SimTime::from_secs(window.warmup_s);
+    builder = builder
+        .batching_interval(SimDuration::from_ms(interval_ms))
+        .seed(seed);
+    for _ in 0..3 {
+        builder = builder.client_with(
+            ClientSpec::new(rate_per_client, 100, end),
+            Arrival::Constant,
+            ShardLoad::PerShard,
+        );
+    }
+    let mut d = builder.build();
+    d.start();
+    d.run_until(horizon);
+    let events = d.world.drain_events();
+    let parts = d.partition_events(&events);
+
+    let mut rollup = GroupRollup::new(shards);
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut aggregate_requests = 0usize;
+    let mut batches = 0usize;
+    for (s, shard_events) in parts.iter().enumerate() {
+        // Safety is a per-shard property: each group runs its own
+        // sequence space, so the total-order check applies within it.
+        analysis::check_total_order(shard_events)
+            .unwrap_or_else(|e| panic!("shard {s}: safety violated: {e}"));
+        let lat = analysis::latency_histogram_censored(shard_events, warmup, end, horizon);
+        rollup.merge_into(s, &lat);
+        let (latency_ms, p50_ms, p99_ms) = if lat.is_empty() {
+            (None, None, None)
+        } else {
+            let ps = lat.percentiles(&[50.0, 99.0]);
+            (Some(lat.mean()), Some(ps[0]), Some(ps[1]))
+        };
+        let (shard_batches, committed) = batches_and_requests_committed(shard_events, warmup, end);
+        aggregate_requests += committed;
+        batches += shard_batches;
+        per_shard.push(ShardPoint {
+            latency_ms,
+            p50_ms,
+            p99_ms,
+            throughput: analysis::throughput_per_process(shard_events, warmup, end),
+            committed_requests: committed,
+        });
+    }
+
+    let window_s = (end - warmup).as_ns() as f64 / 1e9;
+    let merged = rollup.merged();
+    let (global_mean_ms, global_p50_ms, global_p99_ms) = if merged.is_empty() {
+        (None, None, None)
+    } else {
+        let ps = merged.percentiles(&[50.0, 99.0]);
+        (Some(merged.mean()), Some(ps[0]), Some(ps[1]))
+    };
+    ShardedPoint {
+        per_shard,
+        aggregate_throughput: aggregate_requests as f64 / window_s,
+        global_mean_ms,
+        global_p50_ms,
+        global_p99_ms,
+        msgs_per_batch: if batches == 0 {
+            0.0
+        } else {
+            d.world.messages_sent() as f64 / batches as f64
+        },
+    }
+}
+
+/// One sharded sweep point for any protocol variant: `shards` ordering
+/// groups at fixed per-shard offered load (three clients ×
+/// `rate_per_client` req/s per shard). The sharded counterpart of
+/// [`protocol_point`].
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_point(
+    kind: ProtocolKind,
+    shards: usize,
+    f: u32,
+    scheme: SchemeId,
+    interval_ms: u64,
+    rate_per_client: f64,
+    seed: u64,
+    window: Window,
+) -> ShardedPoint {
+    match kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => {
+            let variant = if kind == ProtocolKind::Sc {
+                Variant::Sc
+            } else {
+                Variant::Scr
+            };
+            let builder = ShardedWorldBuilder::<ScProtocol>::new(shards, f)
+                .variant(variant)
+                .scheme(scheme)
+                .time_checks(false);
+            run_sharded(builder, shards, interval_ms, rate_per_client, seed, window)
+        }
+        ProtocolKind::Bft => {
+            let builder = ShardedWorldBuilder::<BftProtocol>::new(shards, f).scheme(scheme);
+            run_sharded(builder, shards, interval_ms, rate_per_client, seed, window)
+        }
+        ProtocolKind::Ct => {
+            let builder = ShardedWorldBuilder::<CtProtocol>::new(shards, f).scheme(scheme);
+            run_sharded(builder, shards, interval_ms, rate_per_client, seed, window)
+        }
+    }
+}
+
 /// One SC (or SCR) sweep point.
 pub fn sc_point(
     f: u32,
@@ -314,6 +513,69 @@ mod tests {
         for kind in ProtocolKind::ALL {
             let p = protocol_point(kind, 1, SchemeId::Md5Rsa1024, 200, 9, FAST);
             assert!(p.latency_ms.is_some(), "{kind}: nothing committed");
+        }
+    }
+
+    /// The headline sharding property: at fixed per-shard offered load,
+    /// doubling the shard count must scale SC's aggregate throughput by
+    /// ≥ 1.7× (independent groups — near-linear by construction, with
+    /// headroom for dealer-seed variation).
+    #[test]
+    fn sharded_sc_aggregate_throughput_scales() {
+        let one = sharded_point(
+            ProtocolKind::Sc,
+            1,
+            1,
+            SchemeId::Md5Rsa1024,
+            200,
+            100.0,
+            5,
+            FAST,
+        );
+        let two = sharded_point(
+            ProtocolKind::Sc,
+            2,
+            1,
+            SchemeId::Md5Rsa1024,
+            200,
+            100.0,
+            5,
+            FAST,
+        );
+        assert!(
+            one.aggregate_throughput > 0.0,
+            "1-shard world ordered nothing"
+        );
+        let scale = two.aggregate_throughput / one.aggregate_throughput;
+        assert!(
+            scale >= 1.7,
+            "aggregate throughput scaled only {scale:.2}× from 1 → 2 shards \
+             ({:.1} → {:.1} req/s)",
+            one.aggregate_throughput,
+            two.aggregate_throughput
+        );
+    }
+
+    /// Every variant runs sharded through the one sharded code path, and
+    /// the rollup's global percentiles cover every shard's commits.
+    #[test]
+    fn all_four_kinds_run_sharded() {
+        for kind in ProtocolKind::ALL {
+            let p = sharded_point(kind, 2, 1, SchemeId::Md5Rsa1024, 200, 60.0, 9, FAST);
+            assert_eq!(p.per_shard.len(), 2, "{kind}");
+            for (s, sp) in p.per_shard.iter().enumerate() {
+                assert!(
+                    sp.latency_ms.is_some(),
+                    "{kind}: shard {s} committed nothing"
+                );
+                assert!(sp.throughput > 0.0, "{kind}: shard {s} idle");
+            }
+            assert!(
+                p.global_p50_ms.is_some() && p.global_p99_ms.is_some(),
+                "{kind}"
+            );
+            assert!(p.aggregate_throughput > 0.0, "{kind}");
+            assert!(p.msgs_per_batch > 0.0, "{kind}");
         }
     }
 }

@@ -23,7 +23,15 @@ use crate::events::ScEvent;
 use crate::messages::{FailSignalPayload, ScMsg};
 use crate::process::ScProcess;
 
-pub use sofb_harness::{Arrival, ClientActor, ClientSpec};
+pub use sofb_harness::{
+    Arrival, ClientActor, ClientSpec, RouterConfigError, ShardLoad, ShardRouter, ShardedDeployment,
+    ShardedWorldBuilder,
+};
+
+/// A sharded SC/SCR deployment: `S` independent SC ordering groups in
+/// one world (choose SC vs SCR via
+/// [`ShardedWorldBuilder::variant`]).
+pub type ShardedScWorld = ShardedDeployment<ScProtocol>;
 
 /// The SC/SCR protocol, as hosted by the generic harness.
 ///

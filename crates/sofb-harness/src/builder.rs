@@ -175,16 +175,12 @@ impl<P: Protocol> WorldBuilder<P> {
             client_nodes.push(world.add_node(Box::new(client), CpuModel::zero()));
         }
 
-        // Engine-level faults apply to order processes only.
+        // Engine-level faults apply to order processes only (Byzantine
+        // entries were consumed by build_nodes).
         for (p, spec) in self.faults.entries() {
             let node = p.0 as usize;
             assert!(node < n, "fault target {p} outside process set");
-            match spec {
-                FaultSpec::Crash { at } => world.crash_at(node, *at),
-                FaultSpec::Mute { from } => world.mute_from(node, *from),
-                FaultSpec::Delay { from, extra } => world.delay_sends_from(node, *from, *extra),
-                FaultSpec::Byzantine(_) => {} // consumed by build_nodes
-            }
+            crate::fault::apply_engine_fault(&mut world, node, spec);
         }
 
         Deployment {

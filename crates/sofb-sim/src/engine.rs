@@ -98,7 +98,11 @@ pub struct TimedEvent<E> {
 pub struct Ctx<'a, M, E> {
     now: SimTime,
     fired: Option<SimTime>,
+    /// The hosting node's index as the actor sees it (relative to its
+    /// index-namespace base; equals `world_node` in a flat world).
     me: usize,
+    /// The hosting node's absolute world index (event attribution).
+    world_node: usize,
     rng: &'a mut StdRng,
     sends: Vec<(usize, M)>,
     timer_ops: Vec<TimerOp>,
@@ -127,7 +131,9 @@ impl<M, E> Ctx<'_, M, E> {
         self.fired
     }
 
-    /// The hosting node's index.
+    /// The hosting node's index, relative to its index-namespace base
+    /// (the identity the actor was built with; in a flat world this is
+    /// the absolute world index).
     pub fn me(&self) -> usize {
         self.me
     }
@@ -165,11 +171,12 @@ impl<M, E> Ctx<'_, M, E> {
         self.timer_ops.push(TimerOp::Cancel(tag));
     }
 
-    /// Emits an observation for the harness.
+    /// Emits an observation for the harness (attributed to the node's
+    /// absolute world index).
     pub fn emit(&mut self, event: E) {
         self.events.push(TimedEvent {
             time: self.now,
-            node: self.me,
+            node: self.world_node,
             event,
         });
     }
@@ -215,6 +222,7 @@ impl<'a, M, E> Ctx<'a, M, E> {
             now,
             fired: None,
             me,
+            world_node: me,
             rng,
             sends: Vec::new(),
             timer_ops: Vec::new(),
@@ -311,6 +319,12 @@ struct ArmedTimer {
 
 struct NodeState<M, E> {
     actor: Box<dyn Actor<Msg = M, Event = E>>,
+    /// Index-namespace base: the actor addresses peers relative to this
+    /// offset (`ctx.send(to)` transmits to world node `base + to`, and
+    /// incoming `from` values are reported relative to it). A base of 0
+    /// is the flat world; sharded worlds place each ordering group at its
+    /// own base so unmodified protocol actors can cohabit one world.
+    base: usize,
     inbox: VecDeque<Incoming<M>>,
     /// True while a Ready event for this node is scheduled.
     busy: bool,
@@ -325,8 +339,10 @@ struct NodeState<M, E> {
     reservation: Option<(SimTime, u64)>,
     next_token: u64,
     crashed: bool,
-    muted_from: Option<SimTime>,
-    send_delay: Option<(SimTime, SimDuration)>,
+    /// Mute window `[from, until)`; `until = None` means forever.
+    mute: Option<(SimTime, Option<SimTime>)>,
+    /// Send-delay window `(from, until, extra)`; `until = None` forever.
+    send_delay: Option<(SimTime, Option<SimTime>, SimDuration)>,
     cpu: CpuModel,
     stats: NodeStats,
 }
@@ -348,6 +364,16 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Folds another node's counters into this one (used by sharded
+    /// worlds to report per-group aggregates): counts and busy time add,
+    /// high-water marks take the maximum.
+    pub fn absorb(&mut self, other: &NodeStats) {
+        self.callbacks += other.callbacks;
+        self.busy_ns += other.busy_ns;
+        self.busy_until = self.busy_until.max(other.busy_until);
+        self.max_queue = self.max_queue.max(other.max_queue);
+    }
+
     /// Fraction of `[0, now]` this node's CPU was busy.
     ///
     /// `busy_ns` accrues a callback's full service time when the
@@ -414,10 +440,27 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     }
 
     /// Adds a node hosting `actor` with the given CPU model; returns its
-    /// index.
+    /// index. The actor addresses peers by absolute world index (base 0).
     pub fn add_node(&mut self, actor: Box<dyn Actor<Msg = M, Event = E>>, cpu: CpuModel) -> usize {
+        self.add_node_at_base(actor, cpu, 0)
+    }
+
+    /// Adds a node whose actor lives in the index namespace starting at
+    /// `base`: every index the actor sends to is offset by `base` on the
+    /// wire, and every `from` it observes is reported relative to `base`.
+    /// This is what lets several independent ordering groups — each built
+    /// from actors that believe their world is `0..n` — share one
+    /// simulated world (see the harness's sharded builder). Messages
+    /// must never arrive from below `base`.
+    pub fn add_node_at_base(
+        &mut self,
+        actor: Box<dyn Actor<Msg = M, Event = E>>,
+        cpu: CpuModel,
+        base: usize,
+    ) -> usize {
         self.nodes.push(NodeState {
             actor,
+            base,
             inbox: VecDeque::new(),
             busy: false,
             busy_until: SimTime::ZERO,
@@ -425,7 +468,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             reservation: None,
             next_token: 0,
             crashed: false,
-            muted_from: None,
+            mute: None,
             send_delay: None,
             cpu,
             stats: NodeStats::default(),
@@ -516,8 +559,29 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// times (the node can only be "mute from the first moment either
     /// plan applies").
     pub fn mute_from(&mut self, node: usize, from: SimTime) {
-        let slot = &mut self.nodes[node].muted_from;
-        *slot = Some(slot.map_or(from, |existing| existing.min(from)));
+        self.mute_between(node, from, None);
+    }
+
+    /// Mutes `node` for the window `[from, until)`; `until = None` means
+    /// forever. Bounded mutes express partial-synchrony scenarios: a
+    /// process silent before the Global Stabilization Time whose sends
+    /// pass again afterwards.
+    ///
+    /// Installing a second mute merges windows conservatively: the
+    /// earlier of the two start times and the later of the two end
+    /// times (an unbounded window absorbs any bounded one).
+    pub fn mute_between(&mut self, node: usize, from: SimTime, until: Option<SimTime>) {
+        let slot = &mut self.nodes[node].mute;
+        *slot = Some(match *slot {
+            None => (from, until),
+            Some((f0, u0)) => {
+                let merged_until = match (u0, until) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                (f0.min(from), merged_until)
+            }
+        });
     }
 
     /// Adds `extra` latency to every message `node` sends from `from`
@@ -526,7 +590,21 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// One delay plan per node: installing a second replaces the first
     /// (escalating degradation schedules are not supported).
     pub fn delay_sends_from(&mut self, node: usize, from: SimTime, extra: SimDuration) {
-        self.nodes[node].send_delay = Some((from, extra));
+        self.delay_sends_between(node, from, None, extra);
+    }
+
+    /// Adds `extra` send latency during the window `[from, until)`;
+    /// `until = None` means forever. The bounded form models pre-GST
+    /// asynchrony that lifts at the Global Stabilization Time. Replaces
+    /// any earlier delay plan on the node.
+    pub fn delay_sends_between(
+        &mut self,
+        node: usize,
+        from: SimTime,
+        until: Option<SimTime>,
+        extra: SimDuration,
+    ) {
+        self.nodes[node].send_delay = Some((from, until, extra));
     }
 
     /// Invokes `on_start` on every node (in index order, at time zero).
@@ -798,13 +876,15 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             Some(Incoming::Timer { fired, .. }) => Some(*fired),
             _ => None,
         };
+        let base = self.nodes[idx].base;
         let mut events_buf = std::mem::take(&mut self.events);
         let (sends, timer_ops, cost_ns) = {
             let node = &mut self.nodes[idx];
             let mut ctx = Ctx {
                 now: start,
                 fired,
-                me: idx,
+                me: idx - base,
+                world_node: idx,
                 rng: &mut self.rng,
                 sends: Vec::new(),
                 timer_ops: Vec::new(),
@@ -812,7 +892,13 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             };
             match incoming {
                 None => node.actor.on_start(&mut ctx),
-                Some(Incoming::Message { from, msg }) => node.actor.on_message(from, msg, &mut ctx),
+                Some(Incoming::Message { from, msg }) => {
+                    // `from` is a world index; the actor sees it relative
+                    // to its base (clients and cross-group senders land
+                    // beyond the group's own range, exactly as external
+                    // senders do in a flat world).
+                    node.actor.on_message(from - base, msg, &mut ctx)
+                }
                 Some(Incoming::Timer { tag, .. }) => node.actor.on_timer(tag, &mut ctx),
             }
             let cost = node.actor.take_cost_ns();
@@ -836,13 +922,20 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         stats.busy_until = done;
 
         // Transmit queued sends at completion time (unless a fault plan
-        // has muted or degraded this node's uplink by then).
-        let muted = self.nodes[idx].muted_from.is_some_and(|from| done >= from);
+        // has muted or degraded this node's uplink by then). Windows are
+        // half-open `[from, until)`; `until = None` means forever.
+        let in_window =
+            |from: SimTime, until: Option<SimTime>| done >= from && until.is_none_or(|u| done < u);
+        let muted = self.nodes[idx]
+            .mute
+            .is_some_and(|(from, until)| in_window(from, until));
         let extra_delay = self.nodes[idx]
             .send_delay
-            .and_then(|(from, extra)| (done >= from).then_some(extra))
+            .and_then(|(from, until, extra)| in_window(from, until).then_some(extra))
             .unwrap_or(SimDuration::ZERO);
         for (to, msg) in sends {
+            // The actor addresses peers relative to its base.
+            let to = to + base;
             // Self-addressed messages never traverse the uplink, so the
             // mute/delay faults (which model a cut or degraded network
             // interface) do not apply to them.

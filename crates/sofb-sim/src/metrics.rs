@@ -135,6 +135,82 @@ impl Histogram {
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
+
+    /// Folds another histogram's samples into this one (cross-group
+    /// rollups: per-shard latency distributions merge into one global
+    /// distribution whose percentiles are exact, not averaged).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Per-group sample collection with a cross-group rollup: one
+/// [`Histogram`] per group (e.g. one ordering shard) plus an exact
+/// merged view for global percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use sofb_sim::metrics::GroupRollup;
+///
+/// let mut r = GroupRollup::new(2);
+/// r.record(0, 1.0);
+/// r.record(1, 9.0);
+/// assert_eq!(r.group(1).mean(), 9.0);
+/// assert_eq!(r.merged().count(), 2);
+/// assert_eq!(r.merged().percentile(100.0), 9.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GroupRollup {
+    groups: Vec<Histogram>,
+}
+
+impl GroupRollup {
+    /// An empty rollup over `groups` groups.
+    pub fn new(groups: usize) -> Self {
+        GroupRollup {
+            groups: vec![Histogram::new(); groups],
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Records a sample for one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn record(&mut self, group: usize, v: f64) {
+        self.groups[group].record(v);
+    }
+
+    /// Folds a whole histogram into one group (e.g. a shard's censored
+    /// latency distribution computed elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn merge_into(&mut self, group: usize, h: &Histogram) {
+        self.groups[group].merge(h);
+    }
+
+    /// One group's distribution.
+    pub fn group(&self, group: usize) -> &Histogram {
+        &self.groups[group]
+    }
+
+    /// The exact cross-group distribution (all samples of all groups),
+    /// from which global p50/p99 are computed.
+    pub fn merged(&self) -> Histogram {
+        let mut all = Histogram::new();
+        for g in &self.groups {
+            all.merge(g);
+        }
+        all
+    }
 }
 
 /// One (x, y) point of an experiment series.
@@ -292,6 +368,47 @@ mod tests {
         assert_eq!(h.percentile(0.0), 1.0);
         assert_eq!(h.percentile(50.0), 2.0);
         assert!(h.percentile(100.0).is_nan());
+    }
+
+    #[test]
+    fn histogram_merge_concatenates_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = Histogram::new();
+        b.record(10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 10.0);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    /// Rollup percentiles are exact over the union of the groups, not an
+    /// average of per-group percentiles.
+    #[test]
+    fn group_rollup_merged_is_exact() {
+        let mut r = GroupRollup::new(3);
+        for v in [1.0, 2.0, 3.0] {
+            r.record(0, v);
+        }
+        for v in [100.0, 200.0, 300.0] {
+            r.record(1, v);
+        }
+        // Group 2 stays empty: it must not perturb the rollup.
+        assert_eq!(r.group_count(), 3);
+        assert!(r.group(2).is_empty());
+        assert_eq!(r.group(0).mean(), 2.0);
+        let merged = r.merged();
+        assert_eq!(merged.count(), 6);
+        assert_eq!(merged.percentile(50.0), 3.0);
+        assert_eq!(merged.percentile(100.0), 300.0);
+
+        let mut h = Histogram::new();
+        h.record(1000.0);
+        r.merge_into(2, &h);
+        assert_eq!(r.merged().count(), 7);
     }
 
     #[test]

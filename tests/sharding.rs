@@ -1,0 +1,211 @@
+//! Sharded-world correctness: seeded sweeps over {2, 4, 8} ordering
+//! groups × all four protocol variants through the one
+//! `ShardedWorldBuilder` code path, asserting the three sharding
+//! invariants —
+//!
+//! 1. **per-shard total order** (each group is a safe total-order
+//!    instance of its protocol),
+//! 2. **no cross-shard request leakage** (every request commits only in
+//!    the shard the router assigned it to), and
+//! 3. **exactly-once delivery per request id** (no request is ordered
+//!    twice, in one shard or across shards) —
+//!
+//! plus the headline scaling property the sharded layer exists for.
+
+use std::collections::HashMap;
+
+use sofbyz::bft::sim::BftProtocol;
+use sofbyz::core::analysis;
+use sofbyz::core::sim::ScProtocol;
+use sofbyz::ct::sim::CtProtocol;
+use sofbyz::harness::{
+    ClientSpec, Protocol, ProtocolEvent, ShardRouter, ShardedDeployment, ShardedWorldBuilder,
+};
+use sofbyz::proto::ids::SeqNo;
+use sofbyz::proto::request::RequestId;
+use sofbyz::proto::topology::Variant;
+use sofbyz::sim::engine::TimedEvent;
+use sofbyz::sim::time::{SimDuration, SimTime};
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// The identical workload every sharded variant is subjected to: one
+/// client whose *total* offered load is spread over the shards by the
+/// hash router.
+fn workload(stop_s: u64) -> ClientSpec {
+    ClientSpec {
+        rate_per_sec: 120.0,
+        request_size: 100,
+        stop_at: SimTime::from_secs(stop_s),
+    }
+}
+
+fn base<P: Protocol>(shards: usize, seed: u64) -> ShardedWorldBuilder<P> {
+    ShardedWorldBuilder::<P>::new(shards, 1)
+        .seed(seed)
+        .batching_interval(SimDuration::from_ms(80))
+        .client(workload(2))
+}
+
+/// Builds, runs and drains one sharded deployment of `P`, returning the
+/// deployment (for shard geometry and the router) plus its events.
+fn run<P: Protocol>(
+    builder: ShardedWorldBuilder<P>,
+    until_s: u64,
+) -> (ShardedDeployment<P>, Vec<TimedEvent<ProtocolEvent>>) {
+    let mut d = builder.build();
+    d.start();
+    d.run_until(SimTime::from_secs(until_s));
+    let events = d.world.drain_events();
+    (d, events)
+}
+
+/// Checks the three sharding invariants on one run.
+fn check_invariants<P: Protocol>(
+    name: &str,
+    shards: usize,
+    d: &ShardedDeployment<P>,
+    events: &[TimedEvent<ProtocolEvent>],
+) {
+    assert_eq!(d.shard_count(), shards, "{name}");
+    let parts = d.partition_events(events);
+
+    // (1) Per-shard total order, and every shard made progress.
+    let mut total_committed = 0usize;
+    for (s, shard_events) in parts.iter().enumerate() {
+        analysis::check_total_order(shard_events)
+            .unwrap_or_else(|e| panic!("{name} {shards} shards: shard {s}: {e}"));
+        let committed: usize = shard_events
+            .iter()
+            .filter_map(|e| match &e.event {
+                ProtocolEvent::Committed { requests, .. } => Some(*requests),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            committed > 0,
+            "{name} {shards} shards: shard {s} committed nothing"
+        );
+        total_committed += committed;
+    }
+    assert!(
+        total_committed >= 100,
+        "{name} {shards} shards: only {total_committed} commits"
+    );
+
+    // (2) + (3) Per request id: the set of (shard, seqno) bindings it was
+    // committed under. Exactly-once means one binding; no leakage means
+    // that binding's shard is the router's.
+    let mut bindings: HashMap<RequestId, (usize, SeqNo)> = HashMap::new();
+    for (s, shard_events) in parts.iter().enumerate() {
+        for ev in shard_events {
+            if let ProtocolEvent::Committed { o, request_ids, .. } = &ev.event {
+                for rid in request_ids {
+                    match bindings.get(rid) {
+                        None => {
+                            bindings.insert(*rid, (s, *o));
+                        }
+                        Some((s0, o0)) => assert_eq!(
+                            (*s0, *o0),
+                            (s, *o),
+                            "{name} {shards} shards: request {rid} ordered twice \
+                             (shard {s0} seq {o0:?} and shard {s} seq {o:?})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(!bindings.is_empty(), "{name}: no requests ordered at all");
+    let router = d.router();
+    for (rid, (s, _)) in &bindings {
+        let expected = router.route_request(rid.client, rid.seq);
+        assert_eq!(
+            *s, expected,
+            "{name} {shards} shards: request {rid} leaked into shard {s} \
+             (router assigns shard {expected})"
+        );
+    }
+}
+
+#[test]
+fn sc_sharded_invariants_hold() {
+    for (i, shards) in SHARD_COUNTS.into_iter().enumerate() {
+        let seed = 51 + i as u64;
+        let (d, events) = run(base::<ScProtocol>(shards, seed).variant(Variant::Sc), 6);
+        check_invariants("SC", shards, &d, &events);
+    }
+}
+
+#[test]
+fn scr_sharded_invariants_hold() {
+    for (i, shards) in SHARD_COUNTS.into_iter().enumerate() {
+        let seed = 61 + i as u64;
+        let (d, events) = run(base::<ScProtocol>(shards, seed).variant(Variant::Scr), 6);
+        check_invariants("SCR", shards, &d, &events);
+    }
+}
+
+#[test]
+fn bft_sharded_invariants_hold() {
+    for (i, shards) in SHARD_COUNTS.into_iter().enumerate() {
+        let seed = 71 + i as u64;
+        let (d, events) = run(base::<BftProtocol>(shards, seed), 6);
+        check_invariants("BFT", shards, &d, &events);
+    }
+}
+
+#[test]
+fn ct_sharded_invariants_hold() {
+    for (i, shards) in SHARD_COUNTS.into_iter().enumerate() {
+        let seed = 81 + i as u64;
+        let (d, events) = run(base::<CtProtocol>(shards, seed), 6);
+        check_invariants("CT", shards, &d, &events);
+    }
+}
+
+/// The explicit-range policy routes and isolates exactly like the hash
+/// policy (same invariants, different key→shard map).
+#[test]
+fn range_router_isolates_shards_too() {
+    let shards = 4;
+    let (d, events) = run(
+        base::<CtProtocol>(shards, 91).router(ShardRouter::even_ranges(shards)),
+        6,
+    );
+    check_invariants("CT/ranges", shards, &d, &events);
+}
+
+/// Sharded worlds are deterministic end to end: two identical builds
+/// realize the identical `(time, node)` observation sequence.
+#[test]
+fn sharded_world_is_deterministic() {
+    let trace = |seed| {
+        let (_, events) = run(base::<ScProtocol>(4, seed), 5);
+        events
+            .into_iter()
+            .map(|e| (e.time, e.node, e.event))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(trace(13), trace(13));
+    assert_ne!(trace(13), trace(14));
+}
+
+/// Per-shard node-counter aggregation: every shard burned CPU, and the
+/// per-shard aggregates sum to the process-wide totals.
+#[test]
+fn shard_stats_aggregate_per_group() {
+    let (d, _) = run(base::<CtProtocol>(4, 23), 5);
+    let mut callbacks = 0;
+    for s in 0..d.shard_count() {
+        let stats = d.shard_stats(s);
+        assert!(stats.callbacks > 0, "shard {s} never ran");
+        assert!(stats.busy_ns > 0, "shard {s} burned no CPU");
+        callbacks += stats.callbacks;
+    }
+    let process_total: u64 = (0..d.shard_count())
+        .flat_map(|s| d.shard_range(s))
+        .map(|n| d.world.node_stats(n).callbacks)
+        .sum();
+    assert_eq!(callbacks, process_total);
+}
