@@ -1,6 +1,7 @@
 //! Criterion end-to-end benches: one short fail-free run per protocol
 //! (wall-clock cost of simulating the deployment — also a regression
 //! guard on simulator performance).
+#![allow(deprecated)] // the point-function facades stay the stable bench surface
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -1,4 +1,5 @@
 //! Exhaustive fail-over configuration scan (development aid).
+#![allow(deprecated)] // scans through the legacy facade on purpose
 fn main() {
     use sofb_bench::experiments::failover_point;
     use sofb_crypto::scheme::SchemeId;

@@ -1,8 +1,13 @@
 //! Machine-readable protocol smoke benchmark: one fixed-seed run per
-//! variant (SC, SCR, BFT, CT) through the unified harness, plus a
-//! sharded section (SC at 1 and 2 ordering groups, fixed per-shard
-//! load) through the sharded harness, written to `BENCH_protocols.json`
-//! so successive changes have a perf trajectory to compare against.
+//! variant (SC, SCR, BFT, CT), plus a sharded section (SC at 1 and 2
+//! ordering groups, fixed per-shard load), written to
+//! `BENCH_protocols.json` so successive changes have a perf trajectory
+//! to compare against.
+//!
+//! Both sections are declarative `SweepGrid`s over `Scenario`
+//! values — the flat grid sweeps the protocol-kind axis, the sharded
+//! grid the shard-count axis — executed in parallel with deterministic
+//! output.
 //!
 //! ```sh
 //! cargo run --release -p sofb-bench --bin bench_protocols [out.json]
@@ -15,11 +20,11 @@
 //! is machine-dependent and excluded.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
-use sofb_bench::experiments::{protocol_point, sharded_point, Window};
+use sofb_bench::experiments::{bench_scenario, default_workers, sharded_scenario, Window};
 use sofb_crypto::scheme::SchemeId;
 use sofb_harness::ProtocolKind;
+use sofbyz::scenario::{run_grid, Axis, GridPoint, SweepGrid};
 
 const F: u32 = 2;
 const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
@@ -65,26 +70,36 @@ struct VariantRow {
 }
 
 fn measure() -> Vec<VariantRow> {
-    ProtocolKind::ALL
+    let grid = SweepGrid::new(bench_scenario(
+        ProtocolKind::Sc,
+        F,
+        SCHEME,
+        INTERVAL_MS,
+        SEED,
+        WINDOW,
+    ))
+    .axis(Axis::kinds(&ProtocolKind::ALL));
+    let report = run_grid(&grid, default_workers()).expect("flat smoke grid is valid");
+    report
+        .points
         .iter()
-        .map(|kind| {
-            let wall = Instant::now();
-            let p = protocol_point(*kind, F, SCHEME, INTERVAL_MS, SEED, WINDOW);
-            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        .map(|p: &GridPoint| {
+            let name = p.label("kind").expect("kind axis").to_string();
             eprintln!(
-                "{kind}: throughput {:.1} req/proc/s, latency p50 {} / p99 {} ms ({wall_ms:.0} ms wall)",
-                p.throughput,
-                json_num(p.p50_ms),
-                json_num(p.p99_ms),
+                "{name}: throughput {:.1} req/proc/s, latency p50 {} / p99 {} ms ({:.0} ms wall)",
+                p.report.throughput_per_process,
+                json_num(p.report.global.p50_ms),
+                json_num(p.report.global.p99_ms),
+                p.wall_ms,
             );
             VariantRow {
-                name: kind.to_string(),
-                throughput: p.throughput,
-                mean_ms: p.latency_ms,
-                p50_ms: p.p50_ms,
-                p99_ms: p.p99_ms,
-                msgs_per_batch: p.msgs_per_batch,
-                wall_ms,
+                name,
+                throughput: p.report.throughput_per_process,
+                mean_ms: p.report.global.mean_ms,
+                p50_ms: p.report.global.p50_ms,
+                p99_ms: p.report.global.p99_ms,
+                msgs_per_batch: p.report.msgs_per_batch,
+                wall_ms: p.wall_ms,
             }
         })
         .collect()
@@ -102,36 +117,39 @@ struct ShardedRow {
 }
 
 fn measure_sharded() -> Vec<ShardedRow> {
-    SHARD_COUNTS
+    let grid = SweepGrid::new(sharded_scenario(
+        ProtocolKind::Sc,
+        1,
+        SHARD_F,
+        SCHEME,
+        INTERVAL_MS,
+        SHARD_RATE_PER_CLIENT,
+        SEED,
+        SHARD_WINDOW,
+    ))
+    .axis(Axis::shard_counts(&SHARD_COUNTS));
+    let report = run_grid(&grid, default_workers()).expect("sharded smoke grid is valid");
+    report
+        .points
         .iter()
-        .map(|&shards| {
-            let wall = Instant::now();
-            let p = sharded_point(
-                ProtocolKind::Sc,
-                shards,
-                SHARD_F,
-                SCHEME,
-                INTERVAL_MS,
-                SHARD_RATE_PER_CLIENT,
-                SEED,
-                SHARD_WINDOW,
-            );
-            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        .map(|p| {
+            let shards: usize = p.label("shards").expect("shards axis").parse().unwrap();
             eprintln!(
-                "SC×{shards}: aggregate {:.1} req/s, global p50 {} / p99 {} ms ({wall_ms:.0} ms wall)",
-                p.aggregate_throughput,
-                json_num(p.global_p50_ms),
-                json_num(p.global_p99_ms),
+                "SC×{shards}: aggregate {:.1} req/s, global p50 {} / p99 {} ms ({:.0} ms wall)",
+                p.report.aggregate_throughput,
+                json_num(p.report.global.p50_ms),
+                json_num(p.report.global.p99_ms),
+                p.wall_ms,
             );
             ShardedRow {
                 name: format!("SC/{shards}"),
                 shards,
-                aggregate_throughput: p.aggregate_throughput,
-                mean_ms: p.global_mean_ms,
-                p50_ms: p.global_p50_ms,
-                p99_ms: p.global_p99_ms,
-                msgs_per_batch: p.msgs_per_batch,
-                wall_ms,
+                aggregate_throughput: p.report.aggregate_throughput,
+                mean_ms: p.report.global.mean_ms,
+                p50_ms: p.report.global.p50_ms,
+                p99_ms: p.report.global.p99_ms,
+                msgs_per_batch: p.report.msgs_per_batch,
+                wall_ms: p.wall_ms,
             }
         })
         .collect()

@@ -3,40 +3,59 @@
 //! latencies in the steady state increase" (each process authenticates
 //! and processes more messages as n grows).
 //!
-//! This sweep reruns the Figure-4 latency measurement at f = 2 and f = 3
-//! under MD5+RSA-1024 so the two claims can be checked side by side.
+//! One declarative `SweepGrid` (f × kind × interval) reruns the
+//! Figure-4 latency measurement at f = 2 and f = 3 under MD5+RSA-1024 so
+//! the two claims can be checked side by side.
 
-use sofb_bench::experiments::{bft_point, sc_point, Window};
+use sofb_bench::experiments::{bench_scenario, default_workers, Window};
 use sofb_crypto::scheme::SchemeId;
-use sofb_proto::topology::Variant;
+use sofb_harness::ProtocolKind;
 use sofb_sim::metrics::{render_table, Series};
+use sofbyz::scenario::{run_grid, Axis, SweepGrid};
+
+const KINDS: [ProtocolKind; 2] = [ProtocolKind::Sc, ProtocolKind::Bft];
 
 fn main() {
-    let intervals: Vec<u64> = vec![40, 60, 80, 100, 150, 200, 300, 400, 500];
+    let intervals: [u64; 9] = [40, 60, 80, 100, 150, 200, 300, 400, 500];
     let window = Window::default();
     let scheme = SchemeId::Md5Rsa1024;
 
+    // The historical seeding varies with interval *and* f; the interval
+    // axis runs after the f axis, so its patch can read the f already
+    // written into the scenario.
+    let mut interval_axis = Axis::new("interval_ms");
+    for ms in intervals {
+        interval_axis = interval_axis.value(ms.to_string(), move |s| {
+            s.knobs.batching_interval = sofb_sim::time::SimDuration::from_ms(ms);
+            s.knobs.seed = 242 + ms + u64::from(s.knobs.f);
+        });
+    }
+    let grid = SweepGrid::new(bench_scenario(
+        ProtocolKind::Sc,
+        2,
+        scheme,
+        intervals[0],
+        242,
+        window,
+    ))
+    .axis(Axis::resiliences(&[2, 3]))
+    .axis(Axis::kinds(&KINDS))
+    .axis(interval_axis);
+    let report = run_grid(&grid, default_workers()).expect("f=3 sweep grid is valid");
+
     let mut series = Vec::new();
     for f in [2u32, 3] {
-        let mut sc = Series::new(format!("SC f={f}"));
-        let mut bft = Series::new(format!("BFT f={f}"));
-        for &ms in &intervals {
-            let seed = 242 + ms + u64::from(f);
-            sc.push(
-                ms as f64,
-                sc_point(f, Variant::Sc, scheme, ms, seed, window)
-                    .latency_ms
-                    .unwrap_or(f64::NAN),
-            );
-            bft.push(
-                ms as f64,
-                bft_point(f, scheme, ms, seed, window)
-                    .latency_ms
-                    .unwrap_or(f64::NAN),
-            );
+        for kind in KINDS {
+            let mut s = Series::new(format!("{kind} f={f}"));
+            for p in report
+                .points_where("f", &f.to_string())
+                .filter(|p| p.label("kind") == Some(&kind.to_string()))
+            {
+                let ms: f64 = p.label("interval_ms").unwrap().parse().unwrap();
+                s.push(ms, p.report.global.mean_ms.unwrap_or(f64::NAN));
+            }
+            series.push(s);
         }
-        series.push(sc);
-        series.push(bft);
     }
     println!("## §5 f=3 trend — order latency, {scheme}\n");
     println!(

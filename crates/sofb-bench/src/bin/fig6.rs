@@ -1,27 +1,62 @@
 //! Figure 6 regenerator: fail-over latency vs BackLog size for SC and SCR
-//! at f = 2, all three crypto techniques.
+//! at f = 2, all three crypto techniques — one declarative `SweepGrid`
+//! (scheme × variant × pad), replicated across 20 seeds, executed on
+//! worker threads.
 //!
 //! A single value-domain fault is injected at the rank-1 coordinator
-//! replica; fail-over latency is the interval between the fail-signal
-//! issuance and the new coordinator's Start with its f+1
-//! identifier-signature tuples. Expected shape: linear growth with
-//! BackLog size; SCR ≥ SC.
+//! replica (the scenario fault plan's `CorruptOrderAt`); fail-over
+//! latency is the interval between the fail-signal issuance and the new
+//! coordinator's Start with its f+1 identifier-signature tuples.
+//! Expected shape: linear growth with BackLog size; SCR ≥ SC.
 
-use sofb_bench::experiments::failover_avg;
+use sofb_bench::experiments::{default_workers, failover_scenario};
 use sofb_crypto::scheme::SchemeId;
+use sofb_harness::ProtocolKind;
 use sofb_proto::topology::Variant;
 use sofb_sim::metrics::{render_table, Series};
+use sofbyz::scenario::{run_grid, Axis, SweepGrid};
 
 fn main() {
-    let pads_kb: Vec<usize> = vec![1, 2, 3, 4, 5];
-    let runs = 20;
+    let pads_kb: [usize; 5] = [1, 2, 3, 4, 5];
+    let runs = 20u64;
+    let seeds: Vec<u64> = (0..runs).map(|s| 1000 + s).collect();
+
+    let mut pad_axis = Axis::new("backlog_kb");
+    for kb in pads_kb {
+        pad_axis = pad_axis.value(kb.to_string(), move |s| {
+            s.knobs.backlog_pad = kb * 1024;
+        });
+    }
+    let grid = SweepGrid::new(failover_scenario(
+        Variant::Sc,
+        SchemeId::Md5Rsa1024,
+        1024,
+        1000,
+    ))
+    .axis(Axis::schemes(&SchemeId::PAPER))
+    .axis(Axis::kinds(&[ProtocolKind::Sc, ProtocolKind::Scr]))
+    .axis(pad_axis)
+    .seeds(&seeds);
+    let report = run_grid(&grid, default_workers()).expect("figure 6 grid is valid");
 
     let mut series: Vec<Series> = Vec::new();
     for scheme in SchemeId::PAPER {
-        for (variant, label) in [(Variant::Sc, "SC"), (Variant::Scr, "SCR")] {
-            let mut s = Series::new(format!("{label}/{scheme}"));
-            for &kb in &pads_kb {
-                let ms = failover_avg(variant, scheme, kb * 1024, runs).unwrap_or(f64::NAN);
+        for kind in [ProtocolKind::Sc, ProtocolKind::Scr] {
+            let mut s = Series::new(format!("{kind}/{scheme}"));
+            for kb in pads_kb {
+                // Average the fail-over latency over the seed replicates
+                // that measured one (the paper averages per point).
+                let samples: Vec<f64> = report
+                    .points_where("scheme", &scheme.to_string())
+                    .filter(|p| p.label("kind") == Some(&kind.to_string()))
+                    .filter(|p| p.label("backlog_kb") == Some(&kb.to_string()))
+                    .filter_map(|p| p.report.failover_ms)
+                    .collect();
+                let ms = if samples.is_empty() {
+                    f64::NAN
+                } else {
+                    samples.iter().sum::<f64>() / samples.len() as f64
+                };
                 s.push(kb as f64, ms);
             }
             series.push(s);

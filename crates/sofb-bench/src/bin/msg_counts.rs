@@ -1,13 +1,17 @@
 //! Ablation for the Figure 3 discussion: messages transmitted per
-//! committed batch under each protocol.
+//! committed batch under each protocol — one declarative `SweepGrid`
+//! (f × kind) at a fixed 200 ms interval.
 //!
 //! SC's phases are 1→1, 2→n, n→n; BFT's are 1→n, n→n, n→n; CT's are 1→n,
 //! n→n. The endorsement phase replacing BFT's prepare phase is the
 //! paper's claimed message-overhead win — this binary quantifies it.
 
-use sofb_bench::experiments::{bft_point, ct_point, sc_point, Window};
+use sofb_bench::experiments::{bench_scenario, default_workers, Window};
 use sofb_crypto::scheme::SchemeId;
-use sofb_proto::topology::Variant;
+use sofb_harness::ProtocolKind;
+use sofbyz::scenario::{run_grid, Axis, SweepGrid};
+
+const KINDS: [ProtocolKind; 3] = [ProtocolKind::Sc, ProtocolKind::Bft, ProtocolKind::Ct];
 
 fn main() {
     let window = Window {
@@ -17,21 +21,28 @@ fn main() {
     };
     let interval = 200;
     let scheme = SchemeId::Md5Rsa1024;
+
+    let grid = SweepGrid::new(bench_scenario(
+        ProtocolKind::Sc,
+        2,
+        scheme,
+        interval,
+        7,
+        window,
+    ))
+    .axis(Axis::resiliences(&[2, 3]))
+    .axis(Axis::kinds(&KINDS));
+    let report = run_grid(&grid, default_workers()).expect("msg-count grid is valid");
+
     println!("## Messages per committed batch (f = 2, interval {interval} ms, {scheme})\n");
     println!("{:>10} {:>16} {:>10}", "protocol", "msgs/batch", "n");
     for f in [2u32, 3] {
-        let sc = sc_point(f, Variant::Sc, scheme, interval, 7, window);
-        let bft = bft_point(f, scheme, interval, 7, window);
-        let ct = ct_point(f, interval, 7, window);
         println!("# f = {f}");
-        println!("{:>10} {:>16.1} {:>10}", "SC", sc.msgs_per_batch, 3 * f + 1);
-        println!(
-            "{:>10} {:>16.1} {:>10}",
-            "BFT",
-            bft.msgs_per_batch,
-            3 * f + 1
-        );
-        println!("{:>10} {:>16.1} {:>10}", "CT", ct.msgs_per_batch, 2 * f + 1);
+        for p in report.points_where("f", &f.to_string()) {
+            let kind = p.label("kind").unwrap();
+            let n = p.scenario.nodes_per_shard();
+            println!("{:>10} {:>16.1} {:>10}", kind, p.report.msgs_per_batch, n);
+        }
     }
     println!("\nExpected ordering: CT < SC < BFT at equal f (BFT's prepare phase\nis an extra n-to-n exchange that SC's 1-to-1 endorsement replaces).");
 }

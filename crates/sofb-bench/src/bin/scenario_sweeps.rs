@@ -1,0 +1,237 @@
+//! The two grids the declarative Scenario API unlocked (ROADMAP:
+//! "multi-client scaling" and "partial-synchrony scenarios everywhere"):
+//!
+//! * **Multi-client saturation** — offered load × client count across
+//!   all four variants at f = 2..4 (§5's observation that saturation
+//!   thresholds move with n). Each point is the standard measurement
+//!   scenario with the client set swapped; the tables report per-process
+//!   throughput and p99 latency against total offered load.
+//! * **Partial-synchrony sensitivity** — delivery ratio and mean order
+//!   latency vs the Global Stabilization Time for the BFT and CT
+//!   baselines: the coordinator's uplink carries ~10 batching intervals
+//!   of extra latency until GST (the scenario fault plan's bounded
+//!   `Delay` window), then stabilizes. The later GST falls, the more of
+//!   the offered load misses the measurement window.
+//!
+//! Both sweeps are declarative `SweepGrid`s executed on worker
+//! threads with deterministic output.
+//!
+//! ```sh
+//! cargo run --release -p sofb-bench --bin scenario_sweeps            # full grids
+//! cargo run --release -p sofb-bench --bin scenario_sweeps -- --smoke # CI-sized
+//! ```
+
+use sofb_bench::experiments::{bench_scenario, default_workers, Window};
+use sofb_crypto::scheme::SchemeId;
+use sofb_harness::ProtocolKind;
+use sofb_proto::ids::ProcessId;
+use sofb_sim::metrics::{render_table, Series};
+use sofb_sim::time::{SimDuration, SimTime};
+use sofbyz::scenario::{run_grid, Axis, GridReport, ScenarioFault, SweepGrid};
+
+const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
+
+struct Shape {
+    saturation_fs: Vec<u32>,
+    saturation_counts: Vec<usize>,
+    saturation_rates: Vec<f64>,
+    saturation_window: Window,
+    gst_offsets_ms: Vec<u64>,
+    gst_window: Window,
+}
+
+impl Shape {
+    fn full() -> Self {
+        Shape {
+            saturation_fs: vec![2, 3, 4],
+            saturation_counts: vec![1, 3, 5],
+            saturation_rates: vec![60.0, 120.0, 240.0],
+            saturation_window: Window {
+                warmup_s: 2,
+                run_s: 10,
+                drain_s: 20,
+            },
+            gst_offsets_ms: vec![0, 1_000, 2_000, 3_000, 4_000],
+            gst_window: Window {
+                warmup_s: 0,
+                run_s: 6,
+                drain_s: 4,
+            },
+        }
+    }
+
+    /// The CI smoke shape: same axes, drastically fewer values and a
+    /// short window — exercises the full grid path on every push.
+    fn smoke() -> Self {
+        Shape {
+            saturation_fs: vec![2],
+            saturation_counts: vec![1, 3],
+            saturation_rates: vec![120.0],
+            saturation_window: Window {
+                warmup_s: 1,
+                run_s: 4,
+                drain_s: 4,
+            },
+            gst_offsets_ms: vec![1_000, 3_000],
+            gst_window: Window {
+                warmup_s: 0,
+                run_s: 4,
+                drain_s: 3,
+            },
+        }
+    }
+}
+
+fn saturation_grid(shape: &Shape) -> SweepGrid {
+    SweepGrid::new(bench_scenario(
+        ProtocolKind::Sc,
+        2,
+        SCHEME,
+        100,
+        7,
+        shape.saturation_window,
+    ))
+    .axis(Axis::resiliences(&shape.saturation_fs))
+    .axis(Axis::kinds(&ProtocolKind::ALL))
+    .axis(Axis::client_counts(&shape.saturation_counts))
+    .axis(Axis::rates_per_client(&shape.saturation_rates))
+}
+
+fn print_saturation(shape: &Shape, report: &GridReport) {
+    for &f in &shape.saturation_fs {
+        for &count in &shape.saturation_counts {
+            let mut tput: Vec<Series> = Vec::new();
+            let mut p99: Vec<Series> = Vec::new();
+            for kind in ProtocolKind::ALL {
+                let mut t = Series::new(kind.to_string());
+                let mut l = Series::new(kind.to_string());
+                for p in report
+                    .points_where("f", &f.to_string())
+                    .filter(|p| p.label("kind") == Some(&kind.to_string()))
+                    .filter(|p| p.label("clients") == Some(&count.to_string()))
+                {
+                    let rate: f64 = p.label("rate").unwrap().parse().unwrap();
+                    let offered = rate * count as f64;
+                    t.push(offered, p.report.throughput_per_process);
+                    l.push(offered, p.report.global.p99_ms.unwrap_or(f64::NAN));
+                }
+                tput.push(t);
+                p99.push(l);
+            }
+            println!("## saturation — f = {f}, {count} client(s), {SCHEME}");
+            println!(
+                "{}",
+                render_table(
+                    "offered_req_s",
+                    "throughput (committed requests / process / s)",
+                    &tput
+                )
+            );
+            println!(
+                "{}",
+                render_table("offered_req_s", "p99 order latency (ms)", &p99)
+            );
+        }
+    }
+}
+
+fn gst_grid(shape: &Shape) -> SweepGrid {
+    // ~10 batching intervals of extra one-way latency on the
+    // coordinator's uplink until GST: every pre-GST round crawls.
+    let extra = SimDuration::from_ms(800);
+    let mut gst_axis = Axis::new("gst_ms");
+    for &ms in &shape.gst_offsets_ms {
+        gst_axis = gst_axis.value(ms.to_string(), move |s| {
+            s.faults = if ms == 0 {
+                Vec::new() // GST at origin: the network is timely throughout.
+            } else {
+                vec![ScenarioFault::delay_until(
+                    ProcessId(0),
+                    SimTime::ZERO,
+                    SimTime::from_ms(ms),
+                    extra,
+                )]
+            };
+        });
+    }
+    SweepGrid::new(
+        bench_scenario(ProtocolKind::Bft, 1, SCHEME, 80, 31, shape.gst_window)
+            .clients(1, sofbyz::scenario::ClientLoad::constant(120.0, 100)),
+    )
+    .axis(Axis::kinds(&[ProtocolKind::Bft, ProtocolKind::Ct]))
+    .axis(gst_axis)
+}
+
+fn print_gst(shape: &Shape, report: &GridReport) {
+    let mut delivery: Vec<Series> = Vec::new();
+    let mut latency: Vec<Series> = Vec::new();
+    for kind in [ProtocolKind::Bft, ProtocolKind::Ct] {
+        let mut d = Series::new(kind.to_string());
+        let mut l = Series::new(kind.to_string());
+        for p in report.points_where("kind", &kind.to_string()) {
+            let gst_ms: f64 = p.label("gst_ms").unwrap().parse().unwrap();
+            let offered = p.scenario.offered_requests();
+            let ratio = p.report.committed_requests() as f64 / offered;
+            d.push(gst_ms, ratio);
+            l.push(gst_ms, p.report.global.mean_ms.unwrap_or(f64::NAN));
+        }
+        delivery.push(d);
+        latency.push(l);
+    }
+    println!(
+        "## partial-synchrony sensitivity — delay-until-GST on the \
+         coordinator, f = 1, window {} s",
+        shape.gst_window.run_s
+    );
+    println!(
+        "{}",
+        render_table(
+            "gst_ms",
+            "delivery ratio (committed / offered in window)",
+            &delivery
+        )
+    );
+    println!(
+        "{}",
+        render_table("gst_ms", "mean order latency (ms)", &latency)
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let shape = if smoke { Shape::smoke() } else { Shape::full() };
+    let workers = default_workers();
+
+    let saturation = run_grid(&saturation_grid(&shape), workers).expect("saturation grid is valid");
+    print_saturation(&shape, &saturation);
+
+    let gst = run_grid(&gst_grid(&shape), workers).expect("GST sensitivity grid is valid");
+    print_gst(&shape, &gst);
+
+    if smoke {
+        // The CI smoke asserts the grids stay meaningful, not just alive.
+        for p in &saturation.points {
+            assert!(
+                p.report.committed_requests() > 0,
+                "saturation point {} ({:?}) committed nothing",
+                p.index,
+                p.labels
+            );
+        }
+        let worst = |kind: &str| {
+            let last = shape.gst_offsets_ms.last().unwrap().to_string();
+            gst.points
+                .iter()
+                .find(|p| p.label("kind") == Some(kind) && p.label("gst_ms") == Some(&last))
+                .map(|p| p.report.committed_requests())
+                .unwrap_or(0)
+        };
+        assert!(worst("BFT") > 0, "BFT never recovered after GST");
+        assert!(worst("CT") > 0, "CT never recovered after GST");
+        eprintln!(
+            "smoke grids passed: {} saturation points, {} GST points",
+            saturation.points.len(),
+            gst.points.len()
+        );
+    }
+}

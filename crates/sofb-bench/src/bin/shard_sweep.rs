@@ -1,5 +1,6 @@
 //! Horizontal-scaling sweep: shard count × offered load for all four
-//! protocol variants through the sharded harness.
+//! protocol variants — one declarative `SweepGrid` over the sharded
+//! scenario (rate × kind × shard count), executed on worker threads.
 //!
 //! ```sh
 //! cargo run --release -p sofb-bench --bin shard_sweep
@@ -14,10 +15,11 @@
 //! flat: groups are independent, so the saturation point moves with the
 //! world, not the coordinator.
 
-use sofb_bench::experiments::{sharded_point, Window};
+use sofb_bench::experiments::{default_workers, sharded_scenario, Window};
 use sofb_crypto::scheme::SchemeId;
 use sofb_harness::ProtocolKind;
 use sofb_sim::metrics::{render_table, Series};
+use sofbyz::scenario::{run_grid, Axis, SweepGrid};
 
 const F: u32 = 1;
 const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
@@ -34,6 +36,21 @@ const WINDOW: Window = Window {
 };
 
 fn main() {
+    let grid = SweepGrid::new(sharded_scenario(
+        ProtocolKind::Sc,
+        1,
+        F,
+        SCHEME,
+        INTERVAL_MS,
+        RATES[0],
+        SEED,
+        WINDOW,
+    ))
+    .axis(Axis::rates_per_client(&RATES))
+    .axis(Axis::kinds(&ProtocolKind::ALL))
+    .axis(Axis::shard_counts(&SHARD_COUNTS));
+    let report = run_grid(&grid, default_workers()).expect("shard sweep grid is valid");
+
     for rate in RATES {
         let offered = 3.0 * rate;
         let mut tput: Vec<Series> = Vec::new();
@@ -41,10 +58,13 @@ fn main() {
         for kind in ProtocolKind::ALL {
             let mut t = Series::new(kind.to_string());
             let mut l = Series::new(kind.to_string());
-            for shards in SHARD_COUNTS {
-                let p = sharded_point(kind, shards, F, SCHEME, INTERVAL_MS, rate, SEED, WINDOW);
-                t.push(shards as f64, p.aggregate_throughput);
-                l.push(shards as f64, p.global_p99_ms.unwrap_or(f64::NAN));
+            for p in report
+                .points_where("rate", &format!("{rate}"))
+                .filter(|p| p.label("kind") == Some(&kind.to_string()))
+            {
+                let shards: f64 = p.label("shards").unwrap().parse().unwrap();
+                t.push(shards, p.report.aggregate_throughput);
+                l.push(shards, p.report.global.p99_ms.unwrap_or(f64::NAN));
             }
             tput.push(t);
             p99.push(l);

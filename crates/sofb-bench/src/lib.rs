@@ -1,14 +1,20 @@
 //! # sofb-bench — the §5 evaluation harness
 //!
-//! One runner per measurement ([`experiments`]) and one binary per figure:
+//! Measurements are declarative scenarios ([`experiments`] holds the
+//! canonical scenario shapes plus the deprecated legacy point
+//! functions); every sweep is a `SweepGrid` over scenario values, one
+//! binary per figure or study:
 //!
-//! | Binary      | Paper artifact | Output |
+//! | Binary      | Artifact | Output |
 //! |-------------|----------------|--------|
 //! | `fig4`      | Figure 4 (a,b,c) | order latency vs batching interval, SC/BFT/CT × 3 schemes, f = 2 |
 //! | `fig5`      | Figure 5 (a,b,c) | throughput vs batching interval, same matrix |
 //! | `fig6`      | Figure 6 | fail-over latency vs BackLog size, SC and SCR × 3 schemes |
 //! | `f3_sweep`  | §5 text (f = 3) | the Figure-4 sweep at f = 3 |
 //! | `msg_counts`| Fig. 3 discussion | messages per committed batch, SC vs BFT vs CT |
+//! | `shard_sweep` | beyond the paper | aggregate throughput and p99 vs shard count, all variants |
+//! | `scenario_sweeps` | beyond the paper | multi-client saturation (f = 2..4) and GST-sensitivity grids |
+//! | `bench_protocols` | perf trajectory | `BENCH_protocols.json` smoke + the CI `--check` gate |
 //!
 //! Run with `--release`; each figure takes a few minutes of wall time.
 

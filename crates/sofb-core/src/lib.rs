@@ -15,9 +15,10 @@
 //! # Examples
 //!
 //! ```
-//! use sofb_core::sim::{ClientSpec, ScWorldBuilder};
 //! use sofb_core::analysis;
+//! use sofb_core::sim::ScWorldBuilder;
 //! use sofb_crypto::scheme::SchemeId;
+//! use sofb_harness::ClientSpec; // one client-spec shape for every variant
 //! use sofb_proto::topology::Variant;
 //! use sofb_sim::time::SimTime;
 //!

@@ -23,6 +23,10 @@ use crate::events::ScEvent;
 use crate::messages::{FailSignalPayload, ScMsg};
 use crate::process::ScProcess;
 
+// The client-spec shape is the harness type — `sofb_core::sim::ClientSpec`
+// is the same struct as `sofb_harness::ClientSpec`, re-exported here only
+// so historical call sites keep compiling. New code should name the
+// harness path (or go through `Scenario`).
 pub use sofb_harness::{
     Arrival, ClientActor, ClientSpec, RouterConfigError, ShardLoad, ShardRouter, ShardedDeployment,
     ShardedWorldBuilder,
@@ -122,6 +126,14 @@ impl Protocol for ScProtocol {
 
     fn request_msg(req: sofb_proto::request::Request) -> ScMsg {
         ScMsg::Request(req)
+    }
+
+    fn value_fault(o: sofb_proto::ids::SeqNo) -> Option<Fault> {
+        // The Figure-6 trigger: the coordinator corrupts the order
+        // carrying sequence `o`, and its shadow fail-signals on the
+        // value-domain check. This is what lets declarative scenarios
+        // express the fail-over sweeps.
+        Some(Fault::CorruptOrderAt(o))
     }
 }
 

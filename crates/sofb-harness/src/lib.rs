@@ -21,7 +21,14 @@
 //!   [`protocol::Protocol::Byz`];
 //! * [`event::ProtocolEvent`] — the uniform observation vocabulary all
 //!   variants emit, which is what lets one analysis module measure every
-//!   §5 metric for every protocol.
+//!   §5 metric for every protocol;
+//! * [`analysis`] — that analysis module: the §5 measurements and the
+//!   safety checks, over [`event::ProtocolEvent`] logs of any variant;
+//! * [`scenario`] — the declarative layer on top of both builders: a
+//!   validated [`scenario::Scenario`] value lowers onto the flat or
+//!   sharded path and yields a uniform [`scenario::Report`], and a
+//!   [`scenario::SweepGrid`] expands axes over any scenario field into a
+//!   deterministic, parallel-executed experiment matrix.
 //!
 //! Protocol crates implement [`protocol::Protocol`] and keep their
 //! historical `ScWorldBuilder` / `BftWorldBuilder` / `CtWorldBuilder`
@@ -32,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod client;
 pub mod event;
 pub mod fault;
 pub mod protocol;
+pub mod scenario;
 pub mod shard;
 
 pub use builder::{Deployment, WorldBuilder};
@@ -44,6 +53,10 @@ pub use client::{Arrival, ClientActor, ClientSpec};
 pub use event::ProtocolEvent;
 pub use fault::{FaultPlan, FaultSpec};
 pub use protocol::{Knobs, Links, Protocol, ProtocolKind};
+pub use scenario::{
+    Axis, ClientLoad, GridPoint, GridReport, LatencySummary, Report, RouterPolicy, Scenario,
+    ScenarioError, ScenarioFault, ScenarioFaultKind, ShardReport, SweepGrid, Window,
+};
 pub use shard::{
     RouterConfigError, ShardLoad, ShardRouter, ShardedDeployment, ShardedWorldBuilder,
 };

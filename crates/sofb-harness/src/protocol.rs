@@ -36,6 +36,30 @@ impl ProtocolKind {
         ProtocolKind::Bft,
         ProtocolKind::Ct,
     ];
+
+    /// The SC layout flavour this kind implies, if it is an SC variant
+    /// (what keeps `Knobs::variant` in sync when scenarios switch kind).
+    pub fn variant(&self) -> Option<Variant> {
+        match self {
+            ProtocolKind::Sc => Some(Variant::Sc),
+            ProtocolKind::Scr => Some(Variant::Scr),
+            ProtocolKind::Bft | ProtocolKind::Ct => None,
+        }
+    }
+
+    /// Order processes per ordering group at resilience `f` — the kind's
+    /// layout formula, mirrored here so protocol-agnostic code (scenario
+    /// validation) can bounds-check fault targets without naming a
+    /// protocol crate. The scenario runner cross-checks it against
+    /// [`Protocol::node_count`] at lowering.
+    pub fn node_count(&self, f: u32) -> usize {
+        let f = f as usize;
+        match self {
+            ProtocolKind::Sc | ProtocolKind::Bft => 3 * f + 1,
+            ProtocolKind::Scr => 3 * f + 2,
+            ProtocolKind::Ct => 2 * f + 1,
+        }
+    }
 }
 
 impl fmt::Display for ProtocolKind {
@@ -162,4 +186,13 @@ pub trait Protocol {
 
     /// Wraps a client request into this protocol's wire message.
     fn request_msg(req: Request) -> Self::Msg;
+
+    /// The scripted misbehaviour that corrupts the order carrying
+    /// sequence number `o` in the value domain (the Figure-6 fail-over
+    /// trigger), if this protocol scripts one. Default: none — scenario
+    /// validation rejects value-domain fault plans for such protocols.
+    fn value_fault(o: sofb_proto::ids::SeqNo) -> Option<Self::Byz> {
+        let _ = o;
+        None
+    }
 }

@@ -1,95 +1,64 @@
-//! The unified harness: run the identical workload on all four protocol
-//! variants through one generic builder, then inject the same crash
-//! fault into each and watch every variant keep ordering.
+//! The declarative Scenario API: run the identical workload on all four
+//! protocol variants from one spec, then inject the same crash fault
+//! into each and watch every variant keep ordering.
 //!
 //! ```sh
 //! cargo run --release --example unified_harness
 //! ```
 
-use sofbyz::bft::sim::BftProtocol;
-use sofbyz::core::analysis;
-use sofbyz::core::sim::ScProtocol;
-use sofbyz::ct::sim::CtProtocol;
-use sofbyz::harness::{ClientSpec, FaultSpec, Protocol, ProtocolEvent, WorldBuilder};
+use sofbyz::harness::ProtocolKind;
 use sofbyz::proto::ids::ProcessId;
-use sofbyz::proto::topology::Variant;
-use sofbyz::sim::engine::TimedEvent;
-use sofbyz::sim::time::{SimDuration, SimTime};
+use sofbyz::scenario::{ClientLoad, RunScenario, Scenario, ScenarioFault, Window};
+use sofbyz::sim::time::SimTime;
 
-fn workload() -> ClientSpec {
-    ClientSpec {
-        rate_per_sec: 100.0,
-        request_size: 100,
-        stop_at: SimTime::from_secs(3),
+/// The identical experiment for every variant: one spec, with only the
+/// kind (and, under fault, the crashed follower's id) varying.
+fn scenario(kind: ProtocolKind, faulty: Option<ProcessId>) -> Scenario {
+    let mut s = Scenario::new(kind)
+        .seed(1)
+        .interval_ms(100)
+        .client(ClientLoad::constant(100.0, 100))
+        .window(Window {
+            warmup_s: 0,
+            run_s: 3,
+            drain_s: 5,
+        });
+    if let Some(p) = faulty {
+        s = s.fault(ScenarioFault::crash(p, SimTime::from_secs(1)));
     }
+    s
 }
 
-/// One generic run — the same code drives every variant.
-fn measure<P: Protocol>(
-    name: &str,
-    builder: WorldBuilder<P>,
-    faulty: Option<ProcessId>,
-) -> (String, usize, Option<f64>) {
-    let mut builder = builder
-        .seed(1)
-        .batching_interval(SimDuration::from_ms(100))
-        .client(workload());
-    if let Some(p) = faulty {
-        builder = builder.fault(p, FaultSpec::crash(SimTime::from_secs(1)));
+/// A non-coordinator process of each layout at f = 1 (the survivor set
+/// still holds a quorum).
+fn crash_target(kind: ProtocolKind) -> ProcessId {
+    match kind {
+        ProtocolKind::Bft => ProcessId(3),
+        _ => ProcessId(2),
     }
-    let mut d = builder.build();
-    d.start();
-    d.run_until(SimTime::from_secs(8));
-    let events: Vec<TimedEvent<ProtocolEvent>> = d.world.drain_events();
-    analysis::check_total_order(&events).expect("total order");
-    let committed: usize = events
-        .iter()
-        .filter_map(|e| match &e.event {
-            ProtocolEvent::Committed { requests, .. } => Some(*requests),
-            _ => None,
-        })
-        .sum();
-    let mean = analysis::mean_latency_ms(&events, SimTime::from_ms(500));
-    (name.to_string(), committed, mean)
 }
 
 fn main() {
-    println!("Unified harness — identical workload, four protocol variants\n");
+    println!("Declarative scenarios — identical workload, four protocol variants\n");
     println!(
         "{:>6} {:>10} {:>22} {:>18}",
         "proto", "fault", "committed requests", "mean latency (ms)"
     );
 
-    for faulty in [None, Some(())] {
-        let rows = [
-            measure(
-                "SC",
-                WorldBuilder::<ScProtocol>::new(1).variant(Variant::Sc),
-                faulty.map(|_| ProcessId(2)),
-            ),
-            measure(
-                "SCR",
-                WorldBuilder::<ScProtocol>::new(1).variant(Variant::Scr),
-                faulty.map(|_| ProcessId(2)),
-            ),
-            measure(
-                "BFT",
-                WorldBuilder::<BftProtocol>::new(1),
-                faulty.map(|_| ProcessId(3)),
-            ),
-            measure(
-                "CT",
-                WorldBuilder::<CtProtocol>::new(1),
-                faulty.map(|_| ProcessId(2)),
-            ),
-        ];
-        for (name, committed, mean) in rows {
+    for faulty in [false, true] {
+        for kind in ProtocolKind::ALL {
+            let report = scenario(kind, faulty.then(|| crash_target(kind)))
+                .run()
+                .expect("a valid scenario runs on any variant");
             println!(
                 "{:>6} {:>10} {:>22} {:>18}",
-                name,
-                if faulty.is_some() { "crash@1s" } else { "none" },
-                committed,
-                mean.map_or("-".into(), |m| format!("{m:.2}")),
+                kind.to_string(),
+                if faulty { "crash@1s" } else { "none" },
+                report.committed_requests(),
+                report
+                    .global
+                    .mean_ms
+                    .map_or("-".into(), |m| format!("{m:.2}")),
             );
         }
         println!();

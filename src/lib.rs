@@ -29,36 +29,44 @@
 //! `ct::sim::CtProtocol`), so any variant is constructible through the
 //! same generic builder and measured by the same analysis pass; the
 //! historical `ScWorldBuilder`/`BftWorldBuilder`/`CtWorldBuilder` types
-//! remain as thin facades. See `DESIGN.md` for the layer map.
+//! remain as thin facades. On top of it all sits the declarative
+//! [`scenario`] layer: one [`scenario::Scenario`] spec and one runner for
+//! every experiment, flat or sharded, and the [`scenario::SweepGrid`]
+//! engine that turns experiment matrices into data. See `DESIGN.md` for
+//! the layer map.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use sofbyz::core::sim::{ClientSpec, ScWorldBuilder};
-//! use sofbyz::core::analysis;
-//! use sofbyz::crypto::scheme::SchemeId;
-//! use sofbyz::proto::topology::Variant;
-//! use sofbyz::sim::time::SimTime;
+//! A deployment is a declarative [`scenario::Scenario`] value: pick the
+//! protocol kind, describe the workload and window, and run — the same
+//! four lines deploy SC, SCR, BFT or CT, one ordering group or many.
 //!
-//! // Seven processes (f = 2): five replicas, two shadows, one client.
-//! let mut deployment = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
-//!     .client(ClientSpec {
-//!         rate_per_sec: 100.0,
-//!         request_size: 100,
-//!         stop_at: SimTime::from_secs(1),
-//!     })
-//!     .build();
-//! deployment.start();
-//! deployment.run_until(SimTime::from_secs(3));
-//! let events = deployment.world.drain_events();
-//! analysis::check_total_order(&events).expect("total order holds");
-//! assert!(!analysis::order_latencies(&events).is_empty());
 //! ```
+//! use sofbyz::harness::ProtocolKind;
+//! use sofbyz::scenario::{ClientLoad, RunScenario, Scenario, Window};
+//!
+//! // Seven order processes (f = 2): five replicas, two shadows — plus
+//! // one 100 req/s client, measured over a 1 s window with 2 s of drain.
+//! let report = Scenario::new(ProtocolKind::Sc)
+//!     .f(2)
+//!     .client(ClientLoad::constant(100.0, 100))
+//!     .window(Window { warmup_s: 0, run_s: 1, drain_s: 2 })
+//!     .run()
+//!     .expect("valid scenarios run; malformed ones are typed errors");
+//! assert!(report.committed_requests() > 0);
+//! assert!(report.global.mean_ms.is_some());
+//! ```
+//!
+//! Sweeps are [`scenario::SweepGrid`]s — axes over any scenario field,
+//! executed in parallel with deterministic output (see
+//! [`scenario::run_grid`]). The lower-level [`harness::WorldBuilder`]
+//! remains available when a test needs to drive the world directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod runtime;
+pub mod scenario;
 pub mod service;
 
 pub use sofb_app as app;

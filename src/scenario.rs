@@ -1,0 +1,79 @@
+//! Running declarative scenarios: the [`ProtocolKind`] →
+//! [`Protocol`](sofb_harness::Protocol) dispatch.
+//!
+//! The [`Scenario`] value and the [`SweepGrid`] engine live in the
+//! protocol-agnostic harness layer ([`sofb_harness::scenario`], re-exported
+//! here), but mapping a scenario's *kind* onto its concrete protocol
+//! implementation requires seeing every protocol crate — which only this
+//! umbrella crate does. [`run`] is that dispatch; [`RunScenario`] offers
+//! it as the method the tentpole API reads as, `scenario.run()?`; and
+//! [`run_grid`] threads it into a grid execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofbyz::scenario::{ClientLoad, RunScenario, Scenario, Window};
+//! use sofbyz::harness::ProtocolKind;
+//!
+//! let report = Scenario::new(ProtocolKind::Ct)
+//!     .client(ClientLoad::constant(100.0, 100))
+//!     .window(Window { warmup_s: 0, run_s: 1, drain_s: 1 })
+//!     .run()
+//!     .expect("a valid scenario runs");
+//! assert!(report.committed_requests() > 0);
+//! ```
+
+use sofb_bft::sim::BftProtocol;
+use sofb_core::sim::ScProtocol;
+use sofb_ct::sim::CtProtocol;
+use sofb_harness::ProtocolKind;
+use sofb_sim::engine::TimedEvent;
+
+pub use sofb_harness::scenario::{
+    Axis, ClientLoad, GridCell, GridPoint, GridReport, LatencySummary, Report, RouterPolicy,
+    Scenario, ScenarioError, ScenarioFault, ScenarioFaultKind, ScenarioPatch, ShardReport,
+    SweepGrid, Window,
+};
+pub use sofb_harness::ProtocolEvent;
+
+/// Validates and runs `scenario` on the protocol its `kind` names,
+/// returning the uniform [`Report`].
+pub fn run(scenario: &Scenario) -> Result<Report, ScenarioError> {
+    match scenario.kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => scenario.run_as::<ScProtocol>(),
+        ProtocolKind::Bft => scenario.run_as::<BftProtocol>(),
+        ProtocolKind::Ct => scenario.run_as::<CtProtocol>(),
+    }
+}
+
+/// [`run`], additionally returning the raw observation log (what the
+/// golden-equivalence tests compare against the legacy builders bit for
+/// bit).
+#[allow(clippy::type_complexity)]
+pub fn run_traced(
+    scenario: &Scenario,
+) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
+    match scenario.kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => scenario.run_traced_as::<ScProtocol>(),
+        ProtocolKind::Bft => scenario.run_traced_as::<BftProtocol>(),
+        ProtocolKind::Ct => scenario.run_traced_as::<CtProtocol>(),
+    }
+}
+
+/// Executes a [`SweepGrid`] on up to `workers` threads with the
+/// kind-dispatching runner — the one-liner every sweep binary uses.
+pub fn run_grid(grid: &SweepGrid, workers: usize) -> Result<GridReport, ScenarioError> {
+    grid.run_with(workers, run)
+}
+
+/// Method-call sugar for [`run`]: `scenario.run()?`.
+pub trait RunScenario {
+    /// Validates and runs the scenario on the protocol its kind names.
+    fn run(&self) -> Result<Report, ScenarioError>;
+}
+
+impl RunScenario for Scenario {
+    fn run(&self) -> Result<Report, ScenarioError> {
+        run(self)
+    }
+}
