@@ -1,13 +1,13 @@
 //! Criterion end-to-end benches: one short fail-free run per protocol
 //! (wall-clock cost of simulating the deployment — also a regression
-//! guard on simulator performance).
-#![allow(deprecated)] // the point-function facades stay the stable bench surface
+//! guard on simulator performance), driven through the declarative
+//! scenario runner like everything else.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use sofb_bench::experiments::{bft_point, ct_point, sc_point, Window};
+use sofb_bench::experiments::{bench_scenario, ProtocolKind, Window};
 use sofb_crypto::scheme::SchemeId;
-use sofb_proto::topology::Variant;
+use sofbyz::scenario::run;
 
 const FAST: Window = Window {
     warmup_s: 1,
@@ -18,16 +18,22 @@ const FAST: Window = Window {
 fn bench_protocol_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("end-to-end-3s-virtual");
     g.sample_size(10);
+    let point = |kind, scheme| {
+        let s = bench_scenario(kind, 1, scheme, 100, 5, FAST);
+        move || run(&s).expect("benchmark scenario is valid")
+    };
     g.bench_function("sc-f1", |b| {
-        b.iter(|| sc_point(1, Variant::Sc, SchemeId::Md5Rsa1024, 100, 5, FAST))
+        b.iter(point(ProtocolKind::Sc, SchemeId::Md5Rsa1024))
     });
     g.bench_function("scr-f1", |b| {
-        b.iter(|| sc_point(1, Variant::Scr, SchemeId::Md5Rsa1024, 100, 5, FAST))
+        b.iter(point(ProtocolKind::Scr, SchemeId::Md5Rsa1024))
     });
     g.bench_function("bft-f1", |b| {
-        b.iter(|| bft_point(1, SchemeId::Md5Rsa1024, 100, 5, FAST))
+        b.iter(point(ProtocolKind::Bft, SchemeId::Md5Rsa1024))
     });
-    g.bench_function("ct-f1", |b| b.iter(|| ct_point(1, 100, 5, FAST)));
+    g.bench_function("ct-f1", |b| {
+        b.iter(point(ProtocolKind::Ct, SchemeId::NoCrypto))
+    });
     g.finish();
 }
 

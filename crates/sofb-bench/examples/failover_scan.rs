@@ -1,16 +1,17 @@
 //! Exhaustive fail-over configuration scan (development aid).
-#![allow(deprecated)] // scans through the legacy facade on purpose
 fn main() {
-    use sofb_bench::experiments::failover_point;
+    use sofb_bench::experiments::failover_scenario;
     use sofb_crypto::scheme::SchemeId;
     use sofb_proto::topology::Variant;
+    use sofbyz::scenario::run;
     let mut bad = 0;
     for scheme in SchemeId::PAPER {
         for variant in [Variant::Sc, Variant::Scr] {
             for pad_kb in [1usize, 2, 3, 4, 5] {
                 for seed in 1000..1020 {
+                    let s = failover_scenario(variant, scheme, pad_kb * 1024, seed);
                     let r = std::panic::catch_unwind(|| {
-                        failover_point(variant, scheme, pad_kb * 1024, seed)
+                        run(&s).expect("fail-over scenario is valid").failover_ms
                     });
                     match r {
                         Err(_) => {

@@ -21,33 +21,13 @@
 
 use std::fmt::Write as _;
 
-use sofb_bench::experiments::{bench_scenario, default_workers, sharded_scenario, Window};
-use sofb_crypto::scheme::SchemeId;
-use sofb_harness::ProtocolKind;
-use sofbyz::scenario::{run_grid, Axis, GridPoint, SweepGrid};
-
-const F: u32 = 2;
-const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
-const INTERVAL_MS: u64 = 100;
-const SEED: u64 = 7;
-const WINDOW: Window = Window {
-    warmup_s: 2,
-    run_s: 10,
-    drain_s: 15,
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{
+    bench_flat, bench_sharded, BENCH_F as F, BENCH_INTERVAL_MS as INTERVAL_MS, BENCH_SEED as SEED,
+    BENCH_SHARD_F as SHARD_F, BENCH_SHARD_RATE_PER_CLIENT as SHARD_RATE_PER_CLIENT,
+    BENCH_SHARD_WINDOW as SHARD_WINDOW, BENCH_WINDOW as WINDOW, SCHEME,
 };
-
-/// The sharded smoke points: SC at fixed per-shard load (three clients ×
-/// 100 req/s per shard), 1 vs 2 ordering groups. `f = 1` keeps the
-/// 2-shard world at 8 processes; the shorter window keeps the smoke
-/// cheap while still straddling warm-up and drain.
-const SHARD_COUNTS: [usize; 2] = [1, 2];
-const SHARD_F: u32 = 1;
-const SHARD_RATE_PER_CLIENT: f64 = 100.0;
-const SHARD_WINDOW: Window = Window {
-    warmup_s: 2,
-    run_s: 8,
-    drain_s: 10,
-};
+use sofbyz::scenario::{run_grid, GridPoint};
 
 /// Metric drift beyond this fails `--check`.
 const TOLERANCE: f64 = 1e-9;
@@ -70,16 +50,7 @@ struct VariantRow {
 }
 
 fn measure() -> Vec<VariantRow> {
-    let grid = SweepGrid::new(bench_scenario(
-        ProtocolKind::Sc,
-        F,
-        SCHEME,
-        INTERVAL_MS,
-        SEED,
-        WINDOW,
-    ))
-    .axis(Axis::kinds(&ProtocolKind::ALL));
-    let report = run_grid(&grid, default_workers()).expect("flat smoke grid is valid");
+    let report = run_grid(&bench_flat(), default_workers()).expect("flat smoke grid is valid");
     report
         .points
         .iter()
@@ -117,18 +88,8 @@ struct ShardedRow {
 }
 
 fn measure_sharded() -> Vec<ShardedRow> {
-    let grid = SweepGrid::new(sharded_scenario(
-        ProtocolKind::Sc,
-        1,
-        SHARD_F,
-        SCHEME,
-        INTERVAL_MS,
-        SHARD_RATE_PER_CLIENT,
-        SEED,
-        SHARD_WINDOW,
-    ))
-    .axis(Axis::shard_counts(&SHARD_COUNTS));
-    let report = run_grid(&grid, default_workers()).expect("sharded smoke grid is valid");
+    let report =
+        run_grid(&bench_sharded(), default_workers()).expect("sharded smoke grid is valid");
     report
         .points
         .iter()

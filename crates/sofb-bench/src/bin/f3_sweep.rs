@@ -7,41 +7,14 @@
 //! Figure-4 latency measurement at f = 2 and f = 3 under MD5+RSA-1024 so
 //! the two claims can be checked side by side.
 
-use sofb_bench::experiments::{bench_scenario, default_workers, Window};
-use sofb_crypto::scheme::SchemeId;
-use sofb_harness::ProtocolKind;
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{f3_sweep, F3_KINDS as KINDS, SCHEME};
 use sofb_sim::metrics::{render_table, Series};
-use sofbyz::scenario::{run_grid, Axis, SweepGrid};
-
-const KINDS: [ProtocolKind; 2] = [ProtocolKind::Sc, ProtocolKind::Bft];
+use sofbyz::scenario::run_grid;
 
 fn main() {
-    let intervals: [u64; 9] = [40, 60, 80, 100, 150, 200, 300, 400, 500];
-    let window = Window::default();
-    let scheme = SchemeId::Md5Rsa1024;
-
-    // The historical seeding varies with interval *and* f; the interval
-    // axis runs after the f axis, so its patch can read the f already
-    // written into the scenario.
-    let mut interval_axis = Axis::new("interval_ms");
-    for ms in intervals {
-        interval_axis = interval_axis.value(ms.to_string(), move |s| {
-            s.knobs.batching_interval = sofb_sim::time::SimDuration::from_ms(ms);
-            s.knobs.seed = 242 + ms + u64::from(s.knobs.f);
-        });
-    }
-    let grid = SweepGrid::new(bench_scenario(
-        ProtocolKind::Sc,
-        2,
-        scheme,
-        intervals[0],
-        242,
-        window,
-    ))
-    .axis(Axis::resiliences(&[2, 3]))
-    .axis(Axis::kinds(&KINDS))
-    .axis(interval_axis);
-    let report = run_grid(&grid, default_workers()).expect("f=3 sweep grid is valid");
+    let scheme = SCHEME;
+    let report = run_grid(&f3_sweep(), default_workers()).expect("f=3 sweep grid is valid");
 
     let mut series = Vec::new();
     for f in [2u32, 3] {

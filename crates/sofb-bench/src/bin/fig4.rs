@@ -7,40 +7,15 @@
 //! larger interval than SC's; steady-state BFT latency exceeds SC, with
 //! the gap widening under DSA.
 
-use sofb_bench::experiments::{bench_scenario, default_workers, Window};
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{fig4, FIG_KINDS as KINDS};
 use sofb_crypto::scheme::SchemeId;
-use sofb_harness::ProtocolKind;
 use sofb_sim::metrics::{render_table, Series};
-use sofbyz::scenario::{run_grid, Axis, SweepGrid};
-
-const KINDS: [ProtocolKind; 3] = [ProtocolKind::Sc, ProtocolKind::Bft, ProtocolKind::Ct];
+use sofbyz::scenario::run_grid;
 
 fn main() {
-    let intervals: [u64; 10] = [40, 60, 80, 100, 150, 200, 250, 300, 400, 500];
-    let window = Window::default();
     let f = 2;
-
-    // Seeds vary with the interval (the figure's historical seeding), so
-    // the interval axis patches both fields at once.
-    let mut interval_axis = Axis::new("interval_ms");
-    for ms in intervals {
-        interval_axis = interval_axis.value(ms.to_string(), move |s| {
-            s.knobs.batching_interval = sofb_sim::time::SimDuration::from_ms(ms);
-            s.knobs.seed = 42 + ms;
-        });
-    }
-    let grid = SweepGrid::new(bench_scenario(
-        ProtocolKind::Sc,
-        f,
-        SchemeId::Md5Rsa1024,
-        intervals[0],
-        42,
-        window,
-    ))
-    .axis(Axis::schemes(&SchemeId::PAPER))
-    .axis(Axis::kinds(&KINDS))
-    .axis(interval_axis);
-    let report = run_grid(&grid, default_workers()).expect("figure 4 grid is valid");
+    let report = run_grid(&fig4(), default_workers()).expect("figure 4 grid is valid");
 
     for (panel, scheme) in SchemeId::PAPER.iter().enumerate() {
         let mut series: Vec<Series> = Vec::new();

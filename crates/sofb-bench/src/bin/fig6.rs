@@ -9,35 +9,17 @@
 //! coordinator's Start with its f+1 identifier-signature tuples.
 //! Expected shape: linear growth with BackLog size; SCR ≥ SC.
 
-use sofb_bench::experiments::{default_workers, failover_scenario};
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{fig6, FIG6_PADS_KB, FIG6_RUNS};
 use sofb_crypto::scheme::SchemeId;
 use sofb_harness::ProtocolKind;
-use sofb_proto::topology::Variant;
 use sofb_sim::metrics::{render_table, Series};
-use sofbyz::scenario::{run_grid, Axis, SweepGrid};
+use sofbyz::scenario::run_grid;
 
 fn main() {
-    let pads_kb: [usize; 5] = [1, 2, 3, 4, 5];
-    let runs = 20u64;
-    let seeds: Vec<u64> = (0..runs).map(|s| 1000 + s).collect();
-
-    let mut pad_axis = Axis::new("backlog_kb");
-    for kb in pads_kb {
-        pad_axis = pad_axis.value(kb.to_string(), move |s| {
-            s.knobs.backlog_pad = kb * 1024;
-        });
-    }
-    let grid = SweepGrid::new(failover_scenario(
-        Variant::Sc,
-        SchemeId::Md5Rsa1024,
-        1024,
-        1000,
-    ))
-    .axis(Axis::schemes(&SchemeId::PAPER))
-    .axis(Axis::kinds(&[ProtocolKind::Sc, ProtocolKind::Scr]))
-    .axis(pad_axis)
-    .seeds(&seeds);
-    let report = run_grid(&grid, default_workers()).expect("figure 6 grid is valid");
+    let pads_kb = FIG6_PADS_KB;
+    let runs = FIG6_RUNS;
+    let report = run_grid(&fig6(), default_workers()).expect("figure 6 grid is valid");
 
     let mut series: Vec<Series> = Vec::new();
     for scheme in SchemeId::PAPER {

@@ -6,33 +6,14 @@
 //! n→n. The endorsement phase replacing BFT's prepare phase is the
 //! paper's claimed message-overhead win — this binary quantifies it.
 
-use sofb_bench::experiments::{bench_scenario, default_workers, Window};
-use sofb_crypto::scheme::SchemeId;
-use sofb_harness::ProtocolKind;
-use sofbyz::scenario::{run_grid, Axis, SweepGrid};
-
-const KINDS: [ProtocolKind; 3] = [ProtocolKind::Sc, ProtocolKind::Bft, ProtocolKind::Ct];
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{msg_counts, MSG_COUNT_INTERVAL_MS, SCHEME};
+use sofbyz::scenario::run_grid;
 
 fn main() {
-    let window = Window {
-        warmup_s: 2,
-        run_s: 10,
-        drain_s: 20,
-    };
-    let interval = 200;
-    let scheme = SchemeId::Md5Rsa1024;
-
-    let grid = SweepGrid::new(bench_scenario(
-        ProtocolKind::Sc,
-        2,
-        scheme,
-        interval,
-        7,
-        window,
-    ))
-    .axis(Axis::resiliences(&[2, 3]))
-    .axis(Axis::kinds(&KINDS));
-    let report = run_grid(&grid, default_workers()).expect("msg-count grid is valid");
+    let interval = MSG_COUNT_INTERVAL_MS;
+    let scheme = SCHEME;
+    let report = run_grid(&msg_counts(), default_workers()).expect("msg-count grid is valid");
 
     println!("## Messages per committed batch (f = 2, interval {interval} ms, {scheme})\n");
     println!("{:>10} {:>16} {:>10}", "protocol", "msgs/batch", "n");

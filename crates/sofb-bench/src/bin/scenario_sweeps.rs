@@ -21,81 +21,11 @@
 //! cargo run --release -p sofb-bench --bin scenario_sweeps -- --smoke # CI-sized
 //! ```
 
-use sofb_bench::experiments::{bench_scenario, default_workers, Window};
-use sofb_crypto::scheme::SchemeId;
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{gst, saturation, SweepShape as Shape, SCHEME};
 use sofb_harness::ProtocolKind;
-use sofb_proto::ids::ProcessId;
 use sofb_sim::metrics::{render_table, Series};
-use sofb_sim::time::{SimDuration, SimTime};
-use sofbyz::scenario::{run_grid, Axis, GridReport, ScenarioFault, SweepGrid};
-
-const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
-
-struct Shape {
-    saturation_fs: Vec<u32>,
-    saturation_counts: Vec<usize>,
-    saturation_rates: Vec<f64>,
-    saturation_window: Window,
-    gst_offsets_ms: Vec<u64>,
-    gst_window: Window,
-}
-
-impl Shape {
-    fn full() -> Self {
-        Shape {
-            saturation_fs: vec![2, 3, 4],
-            saturation_counts: vec![1, 3, 5],
-            saturation_rates: vec![60.0, 120.0, 240.0],
-            saturation_window: Window {
-                warmup_s: 2,
-                run_s: 10,
-                drain_s: 20,
-            },
-            gst_offsets_ms: vec![0, 1_000, 2_000, 3_000, 4_000],
-            gst_window: Window {
-                warmup_s: 0,
-                run_s: 6,
-                drain_s: 4,
-            },
-        }
-    }
-
-    /// The CI smoke shape: same axes, drastically fewer values and a
-    /// short window — exercises the full grid path on every push.
-    fn smoke() -> Self {
-        Shape {
-            saturation_fs: vec![2],
-            saturation_counts: vec![1, 3],
-            saturation_rates: vec![120.0],
-            saturation_window: Window {
-                warmup_s: 1,
-                run_s: 4,
-                drain_s: 4,
-            },
-            gst_offsets_ms: vec![1_000, 3_000],
-            gst_window: Window {
-                warmup_s: 0,
-                run_s: 4,
-                drain_s: 3,
-            },
-        }
-    }
-}
-
-fn saturation_grid(shape: &Shape) -> SweepGrid {
-    SweepGrid::new(bench_scenario(
-        ProtocolKind::Sc,
-        2,
-        SCHEME,
-        100,
-        7,
-        shape.saturation_window,
-    ))
-    .axis(Axis::resiliences(&shape.saturation_fs))
-    .axis(Axis::kinds(&ProtocolKind::ALL))
-    .axis(Axis::client_counts(&shape.saturation_counts))
-    .axis(Axis::rates_per_client(&shape.saturation_rates))
-}
+use sofbyz::scenario::{run_grid, GridReport};
 
 fn print_saturation(shape: &Shape, report: &GridReport) {
     for &f in &shape.saturation_fs {
@@ -133,33 +63,6 @@ fn print_saturation(shape: &Shape, report: &GridReport) {
             );
         }
     }
-}
-
-fn gst_grid(shape: &Shape) -> SweepGrid {
-    // ~10 batching intervals of extra one-way latency on the
-    // coordinator's uplink until GST: every pre-GST round crawls.
-    let extra = SimDuration::from_ms(800);
-    let mut gst_axis = Axis::new("gst_ms");
-    for &ms in &shape.gst_offsets_ms {
-        gst_axis = gst_axis.value(ms.to_string(), move |s| {
-            s.faults = if ms == 0 {
-                Vec::new() // GST at origin: the network is timely throughout.
-            } else {
-                vec![ScenarioFault::delay_until(
-                    ProcessId(0),
-                    SimTime::ZERO,
-                    SimTime::from_ms(ms),
-                    extra,
-                )]
-            };
-        });
-    }
-    SweepGrid::new(
-        bench_scenario(ProtocolKind::Bft, 1, SCHEME, 80, 31, shape.gst_window)
-            .clients(1, sofbyz::scenario::ClientLoad::constant(120.0, 100)),
-    )
-    .axis(Axis::kinds(&[ProtocolKind::Bft, ProtocolKind::Ct]))
-    .axis(gst_axis)
 }
 
 fn print_gst(shape: &Shape, report: &GridReport) {
@@ -202,15 +105,16 @@ fn main() {
     let shape = if smoke { Shape::smoke() } else { Shape::full() };
     let workers = default_workers();
 
-    let saturation = run_grid(&saturation_grid(&shape), workers).expect("saturation grid is valid");
-    print_saturation(&shape, &saturation);
+    let saturation_report =
+        run_grid(&saturation(&shape), workers).expect("saturation grid is valid");
+    print_saturation(&shape, &saturation_report);
 
-    let gst = run_grid(&gst_grid(&shape), workers).expect("GST sensitivity grid is valid");
-    print_gst(&shape, &gst);
+    let gst_report = run_grid(&gst(&shape), workers).expect("GST sensitivity grid is valid");
+    print_gst(&shape, &gst_report);
 
     if smoke {
         // The CI smoke asserts the grids stay meaningful, not just alive.
-        for p in &saturation.points {
+        for p in &saturation_report.points {
             assert!(
                 p.report.committed_requests() > 0,
                 "saturation point {} ({:?}) committed nothing",
@@ -220,7 +124,8 @@ fn main() {
         }
         let worst = |kind: &str| {
             let last = shape.gst_offsets_ms.last().unwrap().to_string();
-            gst.points
+            gst_report
+                .points
                 .iter()
                 .find(|p| p.label("kind") == Some(kind) && p.label("gst_ms") == Some(&last))
                 .map(|p| p.report.committed_requests())
@@ -230,8 +135,8 @@ fn main() {
         assert!(worst("CT") > 0, "CT never recovered after GST");
         eprintln!(
             "smoke grids passed: {} saturation points, {} GST points",
-            saturation.points.len(),
-            gst.points.len()
+            saturation_report.points.len(),
+            gst_report.points.len()
         );
     }
 }

@@ -15,41 +15,14 @@
 //! flat: groups are independent, so the saturation point moves with the
 //! world, not the coordinator.
 
-use sofb_bench::experiments::{default_workers, sharded_scenario, Window};
-use sofb_crypto::scheme::SchemeId;
+use sofb_bench::experiments::default_workers;
+use sofb_bench::grids::{shard_sweep, SHARD_SWEEP_RATES as RATES};
 use sofb_harness::ProtocolKind;
 use sofb_sim::metrics::{render_table, Series};
-use sofbyz::scenario::{run_grid, Axis, SweepGrid};
-
-const F: u32 = 1;
-const SCHEME: SchemeId = SchemeId::Md5Rsa1024;
-const INTERVAL_MS: u64 = 100;
-const SEED: u64 = 7;
-const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
-/// Per-shard offered load per client (three clients per world): the low
-/// point sits well under a group's saturation, the high one near it.
-const RATES: [f64; 2] = [60.0, 140.0];
-const WINDOW: Window = Window {
-    warmup_s: 2,
-    run_s: 8,
-    drain_s: 10,
-};
+use sofbyz::scenario::run_grid;
 
 fn main() {
-    let grid = SweepGrid::new(sharded_scenario(
-        ProtocolKind::Sc,
-        1,
-        F,
-        SCHEME,
-        INTERVAL_MS,
-        RATES[0],
-        SEED,
-        WINDOW,
-    ))
-    .axis(Axis::rates_per_client(&RATES))
-    .axis(Axis::kinds(&ProtocolKind::ALL))
-    .axis(Axis::shard_counts(&SHARD_COUNTS));
-    let report = run_grid(&grid, default_workers()).expect("shard sweep grid is valid");
+    let report = run_grid(&shard_sweep(), default_workers()).expect("shard sweep grid is valid");
 
     for rate in RATES {
         let offered = 3.0 * rate;

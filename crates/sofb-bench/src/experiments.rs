@@ -2,62 +2,24 @@
 //!
 //! Every measurement is a declarative [`Scenario`] executed through the
 //! kind-dispatching runner ([`sofbyz::scenario::run`]); sweeps are
-//! [`SweepGrid`](sofbyz::scenario::SweepGrid)s over scenario values
-//! (see the figure binaries). The
-//! historical point functions ([`protocol_point`], [`sharded_point`],
-//! [`failover_point`], …) remain as deprecated facades: each one builds
-//! the equivalent scenario and reshapes the uniform
-//! [`Report`] into its legacy return type, so
-//! existing callers keep compiling — and keep measuring the *identical*
-//! numbers, since a one-shard scenario lowers onto the same flat builder
-//! bit for bit.
+//! [`SweepGrid`](sofbyz::scenario::SweepGrid)s over scenario values (the
+//! canonical grids live in [`crate::grids`], their data-file
+//! counterparts under `specs/`). This module holds the canonical
+//! *scenario shapes* the grids patch — the standard measurement posture,
+//! the sharded-load posture and the fail-over posture. The PR-4-era
+//! deprecated point-function facades (`protocol_point`, `sharded_point`,
+//! `failover_point`, …) are gone; build the scenario and read the
+//! uniform [`Report`](sofbyz::scenario::Report) instead.
 
 use sofb_crypto::scheme::SchemeId;
 use sofb_proto::ids::{ProcessId, SeqNo};
-use sofb_proto::topology::Variant;
-use sofbyz::scenario::{self, ClientLoad, Report, Scenario, ScenarioFault};
+use sofbyz::scenario::{ClientLoad, Scenario, ScenarioFault};
 use sofbyz::sim::time::SimDuration;
 
 pub use sofb_harness::scenario::Window;
 pub use sofb_harness::{ProtocolEvent, ProtocolKind};
 
-/// Worker threads for grid execution: enough to overlap sweep points,
-/// capped so laptops and CI machines stay responsive. Grid results are
-/// identical at any worker count (pinned by the determinism tests), so
-/// this only changes wall time.
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(1)
-}
-
-/// One sweep point result (legacy shape; the scenario runner's
-/// [`Report`] is the uniform superset).
-#[derive(Clone, Copy, Debug)]
-pub struct Point {
-    /// Mean order latency (ms), if anything committed in the window.
-    pub latency_ms: Option<f64>,
-    /// Median order latency (ms) over the same censored distribution.
-    pub p50_ms: Option<f64>,
-    /// 99th-percentile order latency (ms).
-    pub p99_ms: Option<f64>,
-    /// Committed requests per process per second.
-    pub throughput: f64,
-    /// Messages transmitted per committed batch (network cost).
-    pub msgs_per_batch: f64,
-}
-
-impl From<&Report> for Point {
-    fn from(r: &Report) -> Self {
-        Point {
-            latency_ms: r.global.mean_ms,
-            p50_ms: r.global.p50_ms,
-            p99_ms: r.global.p99_ms,
-            throughput: r.throughput_per_process,
-            msgs_per_batch: r.msgs_per_batch,
-        }
-    }
-}
+pub use sofbyz::scenario::default_workers;
 
 /// The standard §5 measurement scenario: protocol `kind` at resilience
 /// `f` under `scheme`, the paper's offered load (three 100 req/s
@@ -78,88 +40,11 @@ pub fn bench_scenario(
         .window(window)
 }
 
-/// One sweep point for any protocol variant.
-#[deprecated(note = "build a `Scenario` (see `bench_scenario`) and run it instead")]
-pub fn protocol_point(
-    kind: ProtocolKind,
-    f: u32,
-    scheme: SchemeId,
-    interval_ms: u64,
-    seed: u64,
-    window: Window,
-) -> Point {
-    let s = bench_scenario(kind, f, scheme, interval_ms, seed, window);
-    Point::from(&scenario::run(&s).expect("benchmark scenario is valid"))
-}
-
-/// One shard's measurements inside a sharded sweep point. Network
-/// counters are world-global, so the per-shard view reports latency and
-/// throughput only; message cost lives in the rollup.
-#[derive(Clone, Copy, Debug)]
-pub struct ShardPoint {
-    /// Mean order latency (ms) within the shard, censored like [`Point`].
-    pub latency_ms: Option<f64>,
-    /// Median order latency (ms).
-    pub p50_ms: Option<f64>,
-    /// 99th-percentile order latency (ms).
-    pub p99_ms: Option<f64>,
-    /// Committed requests per process per second within the shard.
-    pub throughput: f64,
-    /// Requests first-committed inside the measurement window (each
-    /// counted once).
-    pub committed_requests: usize,
-}
-
-/// One sharded sweep-point result: per-shard measurements plus the
-/// cross-shard rollup (legacy shape of the uniform report).
-#[derive(Clone, Debug)]
-pub struct ShardedPoint {
-    /// Per-shard measurements, in shard order.
-    pub per_shard: Vec<ShardPoint>,
-    /// Globally ordered requests per second across all shards (every
-    /// request counted once, at its first commit inside the window) —
-    /// the horizontal-scaling metric.
-    pub aggregate_throughput: f64,
-    /// Global mean order latency (ms) over the exact merged per-shard
-    /// distributions.
-    pub global_mean_ms: Option<f64>,
-    /// Global median (exact merged distribution, not an average of
-    /// per-shard medians).
-    pub global_p50_ms: Option<f64>,
-    /// Global 99th percentile (exact merged distribution).
-    pub global_p99_ms: Option<f64>,
-    /// Messages transmitted per committed batch, world-wide.
-    pub msgs_per_batch: f64,
-}
-
-impl From<&Report> for ShardedPoint {
-    fn from(r: &Report) -> Self {
-        ShardedPoint {
-            per_shard: r
-                .per_shard
-                .iter()
-                .map(|s| ShardPoint {
-                    latency_ms: s.latency.mean_ms,
-                    p50_ms: s.latency.p50_ms,
-                    p99_ms: s.latency.p99_ms,
-                    throughput: s.throughput_per_process,
-                    committed_requests: s.committed_requests,
-                })
-                .collect(),
-            aggregate_throughput: r.aggregate_throughput,
-            global_mean_ms: r.global.mean_ms,
-            global_p50_ms: r.global.p50_ms,
-            global_p99_ms: r.global.p99_ms,
-            msgs_per_batch: r.msgs_per_batch,
-        }
-    }
-}
-
 /// The standard horizontal-scaling scenario: `shards` ordering groups of
 /// `kind`, three constant-rate clients at `rate_per_client` requests/s
 /// *per shard* (round-robin dealt) — the base every sharded sweep
 /// patches.
-#[allow(clippy::too_many_arguments)] // mirrors the legacy sharded_point signature
+#[allow(clippy::too_many_arguments)] // one knob per swept dimension
 pub fn sharded_scenario(
     kind: ProtocolKind,
     shards: usize,
@@ -175,85 +60,20 @@ pub fn sharded_scenario(
         .clients(3, ClientLoad::constant(rate_per_client, 100).per_shard())
 }
 
-/// One sharded sweep point for any protocol variant.
-#[deprecated(note = "build a `Scenario` (see `sharded_scenario`) and run it instead")]
-#[allow(clippy::too_many_arguments)]
-pub fn sharded_point(
-    kind: ProtocolKind,
-    shards: usize,
-    f: u32,
-    scheme: SchemeId,
-    interval_ms: u64,
-    rate_per_client: f64,
-    seed: u64,
-    window: Window,
-) -> ShardedPoint {
-    let s = sharded_scenario(
-        kind,
-        shards,
-        f,
-        scheme,
-        interval_ms,
-        rate_per_client,
-        seed,
-        window,
-    );
-    ShardedPoint::from(&scenario::run(&s).expect("sharded benchmark scenario is valid"))
-}
-
-/// One SC (or SCR) sweep point.
-#[deprecated(note = "build a `Scenario` (see `bench_scenario`) and run it instead")]
-pub fn sc_point(
-    f: u32,
-    variant: Variant,
-    scheme: SchemeId,
-    interval_ms: u64,
-    seed: u64,
-    window: Window,
-) -> Point {
-    let kind = match variant {
-        Variant::Sc => ProtocolKind::Sc,
-        Variant::Scr => ProtocolKind::Scr,
-    };
-    #[allow(deprecated)]
-    protocol_point(kind, f, scheme, interval_ms, seed, window)
-}
-
-/// One BFT sweep point.
-#[deprecated(note = "build a `Scenario` (see `bench_scenario`) and run it instead")]
-pub fn bft_point(f: u32, scheme: SchemeId, interval_ms: u64, seed: u64, window: Window) -> Point {
-    #[allow(deprecated)]
-    protocol_point(ProtocolKind::Bft, f, scheme, interval_ms, seed, window)
-}
-
-/// One CT sweep point.
-#[deprecated(note = "build a `Scenario` (see `bench_scenario`) and run it instead")]
-pub fn ct_point(f: u32, interval_ms: u64, seed: u64, window: Window) -> Point {
-    #[allow(deprecated)]
-    protocol_point(
-        ProtocolKind::Ct,
-        f,
-        SchemeId::NoCrypto,
-        interval_ms,
-        seed,
-        window,
-    )
-}
-
 /// The Figure-6 fail-over scenario: a single value-domain fault at the
 /// rank-1 coordinator, BackLogs padded to `backlog_pad` bytes, one
 /// 80 req/s client over an 8 s run — the base the fail-over sweeps
 /// patch. Time-domain detection stays on (`Scenario::new` defaults): the
 /// fail-over is the measurement, not noise.
 pub fn failover_scenario(
-    variant: Variant,
+    variant: sofb_proto::topology::Variant,
     scheme: SchemeId,
     backlog_pad: usize,
     seed: u64,
 ) -> Scenario {
     let kind = match variant {
-        Variant::Sc => ProtocolKind::Sc,
-        Variant::Scr => ProtocolKind::Scr,
+        sofb_proto::topology::Variant::Sc => ProtocolKind::Sc,
+        sofb_proto::topology::Variant::Scr => ProtocolKind::Scr,
     };
     Scenario::new(kind)
         .f(2)
@@ -271,46 +91,10 @@ pub fn failover_scenario(
         .fault(ScenarioFault::corrupt_order_at(ProcessId(0), SeqNo(4)))
 }
 
-/// One fail-over measurement (Figure 6); returns fail-over latency in
-/// ms.
-#[deprecated(note = "build a `Scenario` (see `failover_scenario`) and read `Report::failover_ms`")]
-pub fn failover_point(
-    variant: Variant,
-    scheme: SchemeId,
-    backlog_pad: usize,
-    seed: u64,
-) -> Option<f64> {
-    let s = failover_scenario(variant, scheme, backlog_pad, seed);
-    scenario::run(&s)
-        .expect("fail-over scenario is valid")
-        .failover_ms
-}
-
-/// Averages `runs` fail-over measurements over distinct seeds (the paper
-/// averages 100 experimental results per point).
-#[deprecated(note = "sweep `failover_scenario` seeds through a `SweepGrid` instead")]
-pub fn failover_avg(
-    variant: Variant,
-    scheme: SchemeId,
-    backlog_pad: usize,
-    runs: u64,
-) -> Option<f64> {
-    let mut total = 0.0;
-    let mut n = 0u64;
-    for seed in 0..runs {
-        #[allow(deprecated)]
-        if let Some(ms) = failover_point(variant, scheme, backlog_pad, 1000 + seed) {
-            total += ms;
-            n += 1;
-        }
-    }
-    (n > 0).then(|| total / n as f64)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the facades stay covered until they are removed
 mod tests {
     use super::*;
+    use sofbyz::scenario::{run, RunScenario};
 
     const FAST: Window = Window {
         warmup_s: 2,
@@ -319,36 +103,68 @@ mod tests {
     };
 
     #[test]
-    fn sc_point_produces_sane_metrics() {
-        let p = sc_point(2, Variant::Sc, SchemeId::Md5Rsa1024, 200, 1, FAST);
-        let lat = p.latency_ms.expect("commits in window");
+    fn sc_scenario_produces_sane_metrics() {
+        let r = bench_scenario(ProtocolKind::Sc, 2, SchemeId::Md5Rsa1024, 200, 1, FAST)
+            .run()
+            .expect("benchmark scenario is valid");
+        let lat = r.global.mean_ms.expect("commits in window");
         assert!(lat > 1.0 && lat < 1_000.0, "latency {lat}");
-        assert!(p.throughput > 1.0, "throughput {}", p.throughput);
-        assert!(p.msgs_per_batch > 5.0, "msgs/batch {}", p.msgs_per_batch);
+        assert!(
+            r.throughput_per_process > 1.0,
+            "{}",
+            r.throughput_per_process
+        );
+        assert!(r.msgs_per_batch > 5.0, "msgs/batch {}", r.msgs_per_batch);
     }
 
     #[test]
     fn ct_flat_and_fast() {
-        let p = ct_point(2, 200, 1, FAST);
-        let lat = p.latency_ms.expect("commits");
+        let r = bench_scenario(ProtocolKind::Ct, 2, SchemeId::NoCrypto, 200, 1, FAST)
+            .run()
+            .expect("CT scenario is valid");
+        let lat = r.global.mean_ms.expect("commits");
         assert!(lat < 20.0, "CT must be fast: {lat} ms");
     }
 
     #[test]
     fn bft_slower_than_sc_in_steady_state() {
-        let sc = sc_point(2, Variant::Sc, SchemeId::Md5Rsa1024, 300, 2, FAST);
-        let bft = bft_point(2, SchemeId::Md5Rsa1024, 300, 2, FAST);
-        let (sc_l, bft_l) = (sc.latency_ms.unwrap(), bft.latency_ms.unwrap());
+        let sc = bench_scenario(ProtocolKind::Sc, 2, SchemeId::Md5Rsa1024, 300, 2, FAST)
+            .run()
+            .unwrap();
+        let bft = bench_scenario(ProtocolKind::Bft, 2, SchemeId::Md5Rsa1024, 300, 2, FAST)
+            .run()
+            .unwrap();
+        let (sc_l, bft_l) = (sc.global.mean_ms.unwrap(), bft.global.mean_ms.unwrap());
         assert!(
             bft_l > sc_l,
             "paper's headline: BFT steady-state latency ({bft_l}) > SC ({sc_l})"
         );
     }
 
+    /// Averages fail-over latency over seed replicates, as the figures
+    /// do (the paper averages 100 experimental results per point).
+    fn failover_avg(pad: usize, runs: u64) -> f64 {
+        let (mut total, mut n) = (0.0, 0u64);
+        for seed in 0..runs {
+            let s = failover_scenario(
+                sofb_proto::topology::Variant::Sc,
+                SchemeId::Md5Rsa1024,
+                pad,
+                1000 + seed,
+            );
+            if let Some(ms) = run(&s).expect("fail-over scenario is valid").failover_ms {
+                total += ms;
+                n += 1;
+            }
+        }
+        assert!(n > 0, "no fail-over measured across {runs} seeds");
+        total / n as f64
+    }
+
     #[test]
     fn failover_measurable_and_grows_with_pad() {
-        let small = failover_avg(Variant::Sc, SchemeId::Md5Rsa1024, 1024, 3).unwrap();
-        let large = failover_avg(Variant::Sc, SchemeId::Md5Rsa1024, 5120, 3).unwrap();
+        let small = failover_avg(1024, 3);
+        let large = failover_avg(5120, 3);
         assert!(small > 0.0);
         assert!(
             large > small,
@@ -359,8 +175,10 @@ mod tests {
     #[test]
     fn all_four_kinds_run_through_one_path() {
         for kind in ProtocolKind::ALL {
-            let p = protocol_point(kind, 1, SchemeId::Md5Rsa1024, 200, 9, FAST);
-            assert!(p.latency_ms.is_some(), "{kind}: nothing committed");
+            let r = bench_scenario(kind, 1, SchemeId::Md5Rsa1024, 200, 9, FAST)
+                .run()
+                .expect("scenario is valid");
+            assert!(r.global.mean_ms.is_some(), "{kind}: nothing committed");
         }
     }
 
@@ -370,26 +188,22 @@ mod tests {
     /// headroom for dealer-seed variation).
     #[test]
     fn sharded_sc_aggregate_throughput_scales() {
-        let one = sharded_point(
-            ProtocolKind::Sc,
-            1,
-            1,
-            SchemeId::Md5Rsa1024,
-            200,
-            100.0,
-            5,
-            FAST,
-        );
-        let two = sharded_point(
-            ProtocolKind::Sc,
-            2,
-            1,
-            SchemeId::Md5Rsa1024,
-            200,
-            100.0,
-            5,
-            FAST,
-        );
+        let point = |shards| {
+            sharded_scenario(
+                ProtocolKind::Sc,
+                shards,
+                1,
+                SchemeId::Md5Rsa1024,
+                200,
+                100.0,
+                5,
+                FAST,
+            )
+            .run()
+            .expect("sharded scenario is valid")
+        };
+        let one = point(1);
+        let two = point(2);
         assert!(
             one.aggregate_throughput > 0.0,
             "1-shard world ordered nothing"
@@ -409,21 +223,23 @@ mod tests {
     #[test]
     fn all_four_kinds_run_sharded() {
         for kind in ProtocolKind::ALL {
-            let p = sharded_point(kind, 2, 1, SchemeId::Md5Rsa1024, 200, 60.0, 9, FAST);
-            assert_eq!(p.per_shard.len(), 2, "{kind}");
-            for (s, sp) in p.per_shard.iter().enumerate() {
+            let r = sharded_scenario(kind, 2, 1, SchemeId::Md5Rsa1024, 200, 60.0, 9, FAST)
+                .run()
+                .expect("sharded scenario is valid");
+            assert_eq!(r.per_shard.len(), 2, "{kind}");
+            for (s, sp) in r.per_shard.iter().enumerate() {
                 assert!(
-                    sp.latency_ms.is_some(),
+                    sp.latency.mean_ms.is_some(),
                     "{kind}: shard {s} committed nothing"
                 );
-                assert!(sp.throughput > 0.0, "{kind}: shard {s} idle");
+                assert!(sp.throughput_per_process > 0.0, "{kind}: shard {s} idle");
             }
             assert!(
-                p.global_p50_ms.is_some() && p.global_p99_ms.is_some(),
+                r.global.p50_ms.is_some() && r.global.p99_ms.is_some(),
                 "{kind}"
             );
-            assert!(p.aggregate_throughput > 0.0, "{kind}");
-            assert!(p.msgs_per_batch > 0.0, "{kind}");
+            assert!(r.aggregate_throughput > 0.0, "{kind}");
+            assert!(r.msgs_per_batch > 0.0, "{kind}");
         }
     }
 }

@@ -1,9 +1,12 @@
 //! # sofb-bench — the §5 evaluation harness
 //!
 //! Measurements are declarative scenarios ([`experiments`] holds the
-//! canonical scenario shapes plus the deprecated legacy point
-//! functions); every sweep is a `SweepGrid` over scenario values, one
-//! binary per figure or study:
+//! canonical scenario shapes); every sweep is a `SweepGrid` over
+//! scenario values, constructed once in [`grids`] and consumed three
+//! ways — by the figure binaries below, by the data-file counterparts
+//! under `specs/` (run them with `sofb run specs/<name>.scn`), and by
+//! the spec-equivalence tests that pin the two representations
+//! bit-identical. One binary per figure or study:
 //!
 //! | Binary      | Artifact | Output |
 //! |-------------|----------------|--------|
@@ -22,3 +25,4 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod grids;

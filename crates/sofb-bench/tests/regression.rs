@@ -1,23 +1,28 @@
-//! Regression tests pinned to bugs found by the experiment sweeps.
-//!
-//! Deliberately exercised through the deprecated point-function facades:
-//! they must keep reproducing the scenario runner's exact numbers until
-//! they are removed.
-#![allow(deprecated)]
+//! Regression tests pinned to bugs found by the experiment sweeps,
+//! exercised through the declarative scenario runner (the same path the
+//! figure grids take).
 
-use sofb_bench::experiments::{failover_point, sc_point, Window};
+use sofb_bench::experiments::{bench_scenario, failover_scenario, ProtocolKind, Window};
 use sofb_crypto::scheme::SchemeId;
 use sofb_proto::topology::Variant;
+use sofbyz::scenario::RunScenario;
+
+fn failover_ms(variant: Variant, scheme: SchemeId, pad: usize, seed: u64) -> Option<f64> {
+    failover_scenario(variant, scheme, pad, seed)
+        .run()
+        .expect("fail-over scenario is valid")
+        .failover_ms
+}
 
 /// The Figure-6 sweep at RSA-1536 / 5 KB BackLogs found divergent commits:
 /// processes kept acking stored orders during the view-change window, so
 /// an order invisible to the view-change quorum could commit concurrently
-/// with a Start that reused its sequence number. `failover_point` panics
-/// on any total-order violation, so this simply must return a value.
+/// with a Start that reused its sequence number. The runner panics on any
+/// total-order violation, so this simply must return a value.
 #[test]
 fn scr_large_backlog_failover_is_safe() {
     for seed in [1000u64, 1001, 1006, 1012] {
-        let ms = failover_point(Variant::Scr, SchemeId::Md5Rsa1536, 5 * 1024, seed)
+        let ms = failover_ms(Variant::Scr, SchemeId::Md5Rsa1536, 5 * 1024, seed)
             .expect("fail-over completes");
         assert!(ms > 0.0 && ms < 5_000.0, "seed {seed}: {ms} ms");
     }
@@ -28,7 +33,7 @@ fn scr_large_backlog_failover_is_safe() {
 #[test]
 fn sc_large_backlog_failover_is_safe() {
     for seed in [1000u64, 1010] {
-        failover_point(Variant::Sc, SchemeId::Md5Rsa1536, 5 * 1024, seed)
+        failover_ms(Variant::Sc, SchemeId::Md5Rsa1536, 5 * 1024, seed)
             .expect("fail-over completes");
     }
 }
@@ -42,18 +47,18 @@ fn headline_orderings_hold() {
         run_s: 6,
         drain_s: 10,
     };
-    let sc_rsa = sc_point(2, Variant::Sc, SchemeId::Md5Rsa1024, 300, 3, w)
-        .latency_ms
-        .unwrap();
-    let bft_rsa = sofb_bench::experiments::bft_point(2, SchemeId::Md5Rsa1024, 300, 3, w)
-        .latency_ms
-        .unwrap();
-    let sc_dsa = sc_point(2, Variant::Sc, SchemeId::Sha1Dsa1024, 300, 3, w)
-        .latency_ms
-        .unwrap();
-    let bft_dsa = sofb_bench::experiments::bft_point(2, SchemeId::Sha1Dsa1024, 300, 3, w)
-        .latency_ms
-        .unwrap();
+    let mean = |kind, scheme| {
+        bench_scenario(kind, 2, scheme, 300, 3, w)
+            .run()
+            .expect("benchmark scenario is valid")
+            .global
+            .mean_ms
+            .unwrap()
+    };
+    let sc_rsa = mean(ProtocolKind::Sc, SchemeId::Md5Rsa1024);
+    let bft_rsa = mean(ProtocolKind::Bft, SchemeId::Md5Rsa1024);
+    let sc_dsa = mean(ProtocolKind::Sc, SchemeId::Sha1Dsa1024);
+    let bft_dsa = mean(ProtocolKind::Bft, SchemeId::Sha1Dsa1024);
     assert!(bft_rsa > sc_rsa, "RSA: BFT {bft_rsa} ≤ SC {sc_rsa}");
     assert!(bft_dsa > sc_dsa, "DSA: BFT {bft_dsa} ≤ SC {sc_dsa}");
     assert!(

@@ -78,7 +78,7 @@ impl fmt::Display for ProtocolKind {
 /// Each protocol reads the subset that applies to it (CT ignores the
 /// crypto scheme, BFT ignores the SC pair-link knobs, …) so one knob
 /// struct can drive any variant through one sweep loop.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Knobs {
     /// Resilience parameter.
     pub f: u32,
@@ -134,7 +134,7 @@ impl Default for Knobs {
 
 /// The two link classes of the paper's testbed (§2): the asynchronous
 /// LAN joining everything, and the fast dedicated intra-pair links.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Links {
     /// The general asynchronous network.
     pub lan: LinkModel,

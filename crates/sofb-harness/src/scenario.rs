@@ -451,7 +451,7 @@ impl Error for ScenarioError {
 /// builder methods or by writing fields directly (every field is
 /// public — that is what lets [`Axis`] patches sweep any of them), then
 /// [`Scenario::validate`] / [`Scenario::run_as`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// Which protocol family to deploy.
     pub kind: ProtocolKind,

@@ -13,7 +13,7 @@
 //! collection and buffer pressure on the original testbed; see DESIGN.md).
 
 /// CPU cost parameters for one node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CpuModel {
     /// Fixed dispatch cost per handled event (scheduling, deserialization
     /// setup), nanoseconds.

@@ -19,7 +19,7 @@ use rand::Rng;
 use crate::time::{SimDuration, SimTime};
 
 /// A stochastic one-way message delay model.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DelayModel {
     /// Fixed delay.
     Constant(SimDuration),
@@ -99,7 +99,7 @@ impl DelayModel {
 }
 
 /// A link: a delay model plus a serialization (bandwidth) cost per byte.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LinkModel {
     /// Propagation delay model.
     pub delay: DelayModel,

@@ -1,0 +1,184 @@
+//! Typed spec-language errors.
+//!
+//! Every defect a `.scn` file can carry maps to one [`SpecErrorKind`]
+//! stamped with the 1-based line number it was detected on, so authors
+//! can fix a spec from the message alone — the same contract
+//! `ScenarioError` gives for field-level defects once the spec has been
+//! lowered.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected spec file: what went wrong, and on which line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number the defect was detected on.
+    pub line: usize,
+    /// The defect.
+    pub kind: SpecErrorKind,
+}
+
+impl SpecError {
+    pub(crate) fn new(line: usize, kind: SpecErrorKind) -> Self {
+        SpecError { line, kind }
+    }
+}
+
+/// The defect classes a `.scn` file can carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// A `[section]` header naming no known section.
+    UnknownSection {
+        /// The unrecognized section name.
+        section: String,
+    },
+    /// A second instance of a section that must appear at most once.
+    DuplicateSection {
+        /// The repeated section name.
+        section: String,
+        /// Line of the first instance.
+        first_line: usize,
+    },
+    /// A `key = value` line before any `[section]` header.
+    KeyOutsideSection {
+        /// The stray key.
+        key: String,
+    },
+    /// A non-blank, non-comment line that is neither a section header
+    /// nor `key = value`.
+    MalformedLine,
+    /// A key the enclosing section does not define.
+    UnknownKey {
+        /// The enclosing section.
+        section: String,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// The same key given twice within one section instance.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+        /// Line of the first assignment.
+        first_line: usize,
+    },
+    /// A value that does not parse as what its key needs.
+    BadValue {
+        /// The key being assigned.
+        key: String,
+        /// The rejected value text.
+        value: String,
+        /// What the key expects.
+        expected: &'static str,
+    },
+    /// A required key the section never assigned (reported at the
+    /// section header's line).
+    MissingKey {
+        /// The enclosing section.
+        section: String,
+        /// The missing key.
+        key: &'static str,
+    },
+    /// A key that exists but does not apply in this context (e.g.
+    /// `extra_ms` on a `crash` fault, `scale` on the `kind` axis).
+    KeyNotApplicable {
+        /// The inapplicable key.
+        key: String,
+        /// Why it does not apply here.
+        reason: &'static str,
+    },
+    /// A fault window whose `until_ms` does not exceed its `from_ms`
+    /// (reported at the `until_ms` line).
+    InvertedFaultWindow {
+        /// Window start (ms).
+        from_ms: u64,
+        /// Window end (ms) — ≤ start, the defect.
+        until_ms: u64,
+    },
+    /// Two `[axis]` sections carrying the same name — smoke overrides
+    /// and point labels both need axis names to be unique.
+    DuplicateAxis {
+        /// The repeated axis name.
+        name: String,
+    },
+    /// A `[smoke]` `axis.<name>` override naming no declared axis.
+    UnknownAxisRef {
+        /// The dangling axis name.
+        name: String,
+    },
+    /// A list-valued key given an empty list.
+    EmptyValues {
+        /// The key holding the empty list.
+        key: String,
+    },
+    /// The file declares no `[scenario]` section at all.
+    MissingScenarioSection,
+    /// `--smoke` was requested but the spec has no `[smoke]` section.
+    NoSmokeSection,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Line 0 marks whole-file defects (no single line to blame).
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            SpecErrorKind::UnknownSection { section } => {
+                write!(f, "unknown section `[{section}]`")
+            }
+            SpecErrorKind::DuplicateSection {
+                section,
+                first_line,
+            } => write!(
+                f,
+                "duplicate section `[{section}]` (first declared on line {first_line})"
+            ),
+            SpecErrorKind::KeyOutsideSection { key } => {
+                write!(f, "key `{key}` appears before any [section] header")
+            }
+            SpecErrorKind::MalformedLine => {
+                write!(f, "expected `[section]` or `key = value`")
+            }
+            SpecErrorKind::UnknownKey { section, key } => {
+                write!(f, "unknown key `{key}` in [{section}]")
+            }
+            SpecErrorKind::DuplicateKey { key, first_line } => write!(
+                f,
+                "duplicate key `{key}` (first assigned on line {first_line})"
+            ),
+            SpecErrorKind::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "key `{key}`: `{value}` is not {expected}"),
+            SpecErrorKind::MissingKey { section, key } => {
+                write!(f, "section [{section}] is missing required key `{key}`")
+            }
+            SpecErrorKind::KeyNotApplicable { key, reason } => {
+                write!(f, "key `{key}` does not apply here: {reason}")
+            }
+            SpecErrorKind::InvertedFaultWindow { from_ms, until_ms } => write!(
+                f,
+                "fault window end {until_ms} ms must exceed start {from_ms} ms"
+            ),
+            SpecErrorKind::DuplicateAxis { name } => {
+                write!(f, "duplicate axis `{name}` (axis names must be unique)")
+            }
+            SpecErrorKind::UnknownAxisRef { name } => {
+                write!(f, "smoke override names unknown axis `{name}`")
+            }
+            SpecErrorKind::EmptyValues { key } => {
+                write!(f, "key `{key}` needs at least one value")
+            }
+            SpecErrorKind::MissingScenarioSection => {
+                write!(f, "spec declares no [scenario] section")
+            }
+            SpecErrorKind::NoSmokeSection => {
+                write!(f, "--smoke requested but the spec has no [smoke] section")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}

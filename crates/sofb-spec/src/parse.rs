@@ -1,0 +1,115 @@
+//! The line-level layer of the spec language: raw sections.
+//!
+//! A `.scn` file is a sequence of `[section]` headers, `key = value`
+//! assignments, `#` comment lines and blanks. This module turns the text
+//! into [`RawSection`]s — names, entries and 1-based line numbers — and
+//! rejects the purely lexical defects (unknown sections, malformed
+//! lines, keys outside any section, duplicate keys within one section
+//! instance). Everything semantic lives in [`crate::spec`].
+
+use crate::error::{SpecError, SpecErrorKind};
+
+/// The section names the language defines.
+pub(crate) const SECTIONS: [&str; 8] = [
+    "meta", "scenario", "window", "client", "fault", "axis", "grid", "smoke",
+];
+
+/// One `key = value` assignment.
+#[derive(Clone, Debug)]
+pub(crate) struct RawEntry {
+    pub key: String,
+    pub value: String,
+    pub line: usize,
+}
+
+/// One `[section]` instance with its assignments, in file order.
+#[derive(Clone, Debug)]
+pub(crate) struct RawSection {
+    pub name: String,
+    pub line: usize,
+    pub entries: Vec<RawEntry>,
+}
+
+impl RawSection {
+    /// The entry assigning `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&RawEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// The entry assigning `key`, or a [`SpecErrorKind::MissingKey`]
+    /// reported at the section header's line.
+    pub fn require(&self, key: &'static str) -> Result<&RawEntry, SpecError> {
+        self.get(key).ok_or_else(|| {
+            SpecError::new(
+                self.line,
+                SpecErrorKind::MissingKey {
+                    section: self.name.clone(),
+                    key,
+                },
+            )
+        })
+    }
+}
+
+/// Splits a spec file into raw sections, checking the lexical rules.
+pub(crate) fn split_sections(text: &str) -> Result<Vec<RawSection>, SpecError> {
+    let mut sections: Vec<RawSection> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[') {
+            // A trailing comment after the header is unambiguous (nothing
+            // legitimate follows the `]`), so `[axis]  # the f sweep` is
+            // allowed; `key = value` lines take values verbatim instead.
+            let Some((name, rest)) = inner.split_once(']') else {
+                return Err(SpecError::new(line_no, SpecErrorKind::MalformedLine));
+            };
+            let rest = rest.trim();
+            if !(rest.is_empty() || rest.starts_with('#')) {
+                return Err(SpecError::new(line_no, SpecErrorKind::MalformedLine));
+            }
+            let name = name.trim().to_string();
+            if !SECTIONS.contains(&name.as_str()) {
+                return Err(SpecError::new(
+                    line_no,
+                    SpecErrorKind::UnknownSection { section: name },
+                ));
+            }
+            sections.push(RawSection {
+                name,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(SpecError::new(line_no, SpecErrorKind::MalformedLine));
+        };
+        let key = key.trim().to_string();
+        let value = value.trim().to_string();
+        let Some(section) = sections.last_mut() else {
+            return Err(SpecError::new(
+                line_no,
+                SpecErrorKind::KeyOutsideSection { key },
+            ));
+        };
+        if let Some(first) = section.get(&key) {
+            return Err(SpecError::new(
+                line_no,
+                SpecErrorKind::DuplicateKey {
+                    key,
+                    first_line: first.line,
+                },
+            ));
+        }
+        section.entries.push(RawEntry {
+            key,
+            value,
+            line: line_no,
+        });
+    }
+    Ok(sections)
+}

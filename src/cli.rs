@@ -1,0 +1,392 @@
+//! The `sofb` command line: run data-driven scenario specs.
+//!
+//! ```sh
+//! sofb run specs/saturation.scn --smoke       # run the CI-sized grid, JSON to stdout
+//! sofb run specs/fig6.scn --out FIG6.json     # run and write the grid report
+//! sofb run specs/fig6.scn --check FIG6.json   # regenerate and diff at 1e-9
+//! sofb run specs/fig6.scn --dry-run           # parse + validate + expand only
+//! sofb list specs                             # validate and summarize a spec directory
+//! ```
+//!
+//! The logic lives here (not in `src/bin/sofb.rs`) so the error paths
+//! are unit-testable: every failure — unreadable file, spec defect,
+//! scenario defect, drifted check — is a typed [`CliError`] whose
+//! `Display` names the file and (for spec defects) the line, and the
+//! binary exits non-zero with that message. Nothing in this module
+//! panics on bad input.
+//!
+//! This command lives in the umbrella crate because running a spec
+//! needs the `ProtocolKind` → `Protocol` dispatch, which only the
+//! umbrella sees (the protocol crates sit above `sofb-harness` and
+//! `sofb-spec`).
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sofb_spec::report::{self, ReportMeta};
+use sofb_spec::{Spec, SpecError};
+
+use crate::scenario::{default_workers, run_grid, ScenarioError};
+
+/// A failed `sofb` invocation. The binary prints the `Display` form and
+/// exits non-zero (2 for usage errors, 1 for everything else).
+#[derive(Clone, Debug)]
+pub enum CliError {
+    /// The arguments do not form a valid invocation.
+    Usage(String),
+    /// A file or directory could not be read or written.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The operating system's complaint.
+        error: String,
+    },
+    /// The spec file is malformed (line-numbered).
+    Spec {
+        /// The spec file.
+        path: String,
+        /// The line-numbered defect.
+        error: SpecError,
+    },
+    /// The spec parsed but lowers onto an invalid scenario, or the run
+    /// itself failed (field-named).
+    Scenario {
+        /// The spec file.
+        path: String,
+        /// The field-named defect.
+        error: ScenarioError,
+    },
+    /// `--check` found drift beyond the 1e-9 tolerance.
+    CheckFailed {
+        /// The committed report compared against.
+        path: String,
+        /// The drift list.
+        detail: String,
+    },
+    /// `sofb list` found invalid specs.
+    InvalidSpecs {
+        /// How many files failed.
+        count: usize,
+        /// One `path: error` line per failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io { path, error } => write!(f, "{path}: {error}"),
+            CliError::Spec { path, error } => write!(f, "{path}: {error}"),
+            CliError::Scenario { path, error } => write!(f, "{path}: {error}"),
+            CliError::CheckFailed { path, detail } => {
+                write!(f, "check FAILED against {path}:\n{detail}")
+            }
+            CliError::InvalidSpecs { count, detail } => {
+                write!(f, "{count} invalid spec(s):\n{detail}")
+            }
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Spec { error, .. } => Some(error),
+            CliError::Scenario { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// The usage text `sofb` prints on argument errors and `sofb help`.
+pub const USAGE: &str = "\
+sofb — run data-driven scenario specs (.scn)
+
+USAGE:
+    sofb run <spec.scn> [--smoke] [--dry-run] [--workers N] [--out FILE] [--check FILE]
+    sofb list [dir]          (default dir: specs)
+    sofb help
+
+run flags:
+    --smoke        apply the spec's [smoke] reduction (CI-sized grid)
+    --dry-run      parse, validate and expand only; print the point labels
+    --workers N    worker threads (default: min(cores, 4); results identical)
+    --out FILE     write the grid-report JSON to FILE instead of stdout
+    --check FILE   regenerate and compare against FILE at 1e-9 (wall excluded)
+                   (--out and --check are mutually exclusive)";
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        error: e.to_string(),
+    })
+}
+
+/// One parsed `sofb run` invocation.
+struct RunArgs {
+    spec_path: String,
+    smoke: bool,
+    dry_run: bool,
+    workers: usize,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
+    let mut run = RunArgs {
+        spec_path: String::new(),
+        smoke: false,
+        dry_run: false,
+        workers: default_workers(),
+        out: None,
+        check: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => run.smoke = true,
+            "--dry-run" => run.dry_run = true,
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--workers needs a value"))?;
+                run.workers = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    usage_err(format!("--workers: `{v}` is not a positive integer"))
+                })?;
+            }
+            "--out" => {
+                run.out = Some(
+                    it.next()
+                        .ok_or_else(|| usage_err("--out needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--check" => {
+                run.check = Some(
+                    it.next()
+                        .ok_or_else(|| usage_err("--check needs a file path"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(usage_err(format!("unknown flag `{flag}`")));
+            }
+            path if run.spec_path.is_empty() => run.spec_path = path.to_string(),
+            extra => return Err(usage_err(format!("unexpected extra argument `{extra}`"))),
+        }
+    }
+    if run.spec_path.is_empty() {
+        return Err(usage_err("sofb run needs a spec file"));
+    }
+    if run.dry_run && (run.out.is_some() || run.check.is_some()) {
+        return Err(usage_err("--dry-run excludes --out and --check"));
+    }
+    if run.out.is_some() && run.check.is_some() {
+        // One verifies against a committed file, the other replaces it —
+        // honoring both would either gate against a file being rewritten
+        // or silently drop one flag.
+        return Err(usage_err("--out and --check are mutually exclusive"));
+    }
+    Ok(run)
+}
+
+/// Executes an invocation (everything after the program name) and
+/// returns the text destined for stdout. Progress notes go to stderr
+/// directly; all failures are typed, never panics.
+pub fn execute(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("run") => run(parse_run_args(&args[1..])?),
+        Some("list") => match args.len() {
+            1 => list("specs"),
+            2 => list(&args[1]),
+            _ => Err(usage_err("sofb list takes at most one directory")),
+        },
+        Some("help") | Some("--help") | Some("-h") | None => Ok(format!("{USAGE}\n")),
+        Some(other) => Err(usage_err(format!("unknown command `{other}`"))),
+    }
+}
+
+fn load_spec(path: &str) -> Result<Spec, CliError> {
+    let text = read_file(path)?;
+    Spec::parse(&text).map_err(|error| CliError::Spec {
+        path: path.to_string(),
+        error,
+    })
+}
+
+fn run(args: RunArgs) -> Result<String, CliError> {
+    let spec = load_spec(&args.spec_path)?;
+    let scenario_err = |error: ScenarioError| CliError::Scenario {
+        path: args.spec_path.clone(),
+        error,
+    };
+    let spec_err = |error: SpecError| CliError::Spec {
+        path: args.spec_path.clone(),
+        error,
+    };
+    let grid = spec.grid(args.smoke).map_err(spec_err)?;
+    // Expansion validates every point (typed, field-named) before any
+    // simulation starts — this is the whole --dry-run path, and the
+    // fail-fast for real runs.
+    let cells = grid.cells().map_err(scenario_err)?;
+
+    if args.dry_run {
+        let mut out = String::new();
+        writeln!(out, "spec: {}", args.spec_path).unwrap();
+        if let Some(title) = &spec.title {
+            writeln!(out, "title: {title}").unwrap();
+        }
+        let axes: Vec<&str> = spec.axis_names().collect();
+        if !axes.is_empty() {
+            writeln!(out, "axes: {}", axes.join(" × ")).unwrap();
+        }
+        writeln!(
+            out,
+            "points: {}{}",
+            cells.len(),
+            if args.smoke { " (smoke)" } else { "" }
+        )
+        .unwrap();
+        for cell in &cells {
+            let labels = cell
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            writeln!(out, "  {:>4}  {}  seed={}", cell.index, labels, cell.seed).unwrap();
+        }
+        return Ok(out);
+    }
+
+    eprintln!(
+        "running {} point(s) on {} worker(s)…",
+        cells.len(),
+        args.workers
+    );
+    let report = run_grid(&grid, args.workers).map_err(scenario_err)?;
+    let rendered = report::render(
+        &report,
+        ReportMeta {
+            spec: &args.spec_path,
+            title: spec.title.as_deref(),
+            smoke: args.smoke,
+        },
+    );
+
+    if let Some(committed_path) = &args.check {
+        let committed = read_file(committed_path)?;
+        return match report::check(&committed, &rendered) {
+            Ok(()) => Ok(format!(
+                "check passed: regenerated metrics match {committed_path}\n"
+            )),
+            Err(detail) => Err(CliError::CheckFailed {
+                path: committed_path.clone(),
+                detail,
+            }),
+        };
+    }
+    if let Some(out_path) = &args.out {
+        std::fs::write(out_path, &rendered).map_err(|e| CliError::Io {
+            path: out_path.clone(),
+            error: e.to_string(),
+        })?;
+        return Ok(format!("wrote {out_path}\n"));
+    }
+    Ok(rendered)
+}
+
+/// Validates every `.scn` file directly under `dir` (full expansion of
+/// the full-size and, where declared, smoke grids) and summarizes them.
+/// Any invalid spec makes the whole listing an error — this is the CI
+/// spec gate.
+fn list(dir: &str) -> Result<String, CliError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CliError::Io {
+        path: dir.to_string(),
+        error: e.to_string(),
+    })?;
+    let mut paths: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn") && p.is_file())
+        .filter_map(|p| p.to_str().map(String::from))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Io {
+            path: dir.to_string(),
+            error: "no .scn files found".to_string(),
+        });
+    }
+
+    let mut out = String::new();
+    let mut failures = Vec::new();
+    writeln!(out, "{:<40} {:>7} {:>7}  title", "spec", "points", "smoke").unwrap();
+    for path in &paths {
+        let validated = load_spec(path).and_then(|spec| {
+            let full = spec
+                .grid(false)
+                .map_err(|error| CliError::Spec {
+                    path: path.clone(),
+                    error,
+                })?
+                .cells()
+                .map_err(|error| CliError::Scenario {
+                    path: path.clone(),
+                    error,
+                })?
+                .len();
+            let smoke = if spec.has_smoke() {
+                let n = spec
+                    .grid(true)
+                    .map_err(|error| CliError::Spec {
+                        path: path.clone(),
+                        error,
+                    })?
+                    .cells()
+                    .map_err(|error| CliError::Scenario {
+                        path: path.clone(),
+                        error,
+                    })?
+                    .len();
+                n.to_string()
+            } else {
+                "-".to_string()
+            };
+            Ok((spec, full, smoke))
+        });
+        match validated {
+            Ok((spec, full, smoke)) => {
+                let name = Path::new(path)
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or(path);
+                writeln!(
+                    out,
+                    "{:<40} {:>7} {:>7}  {}",
+                    name,
+                    full,
+                    smoke,
+                    spec.title.as_deref().unwrap_or("")
+                )
+                .unwrap();
+            }
+            Err(e) => failures.push(e.to_string()),
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(CliError::InvalidSpecs {
+            count: failures.len(),
+            detail: failures.join("\n"),
+        })
+    }
+}

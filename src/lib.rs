@@ -22,7 +22,10 @@
 //! * [`core`] — the SC and SCR protocols (the paper's contribution);
 //! * [`bft`] — the BFT baseline;
 //! * [`ct`] — the crash-tolerant baseline;
-//! * [`app`] — a deterministic replicated KV service and workloads.
+//! * [`app`] — a deterministic replicated KV service and workloads;
+//! * [`spec`] — the `.scn` spec language: scenarios and sweep grids as
+//!   data files, with line-numbered parse errors and the diffable
+//!   grid-report JSON emitter.
 //!
 //! Each protocol crate implements [`harness::Protocol`] (SC/SCR:
 //! `core::sim::ScProtocol`; BFT: `bft::sim::BftProtocol`; CT:
@@ -61,10 +64,28 @@
 //! executed in parallel with deterministic output (see
 //! [`scenario::run_grid`]). The lower-level [`harness::WorldBuilder`]
 //! remains available when a test needs to drive the world directly.
+//!
+//! Grids also ship as data: every sweep in this repo has a `.scn`
+//! counterpart under `specs/`, and the `sofb` binary ([`cli`]) runs
+//! them without recompiling —
+//!
+//! ```sh
+//! cargo run --release --bin sofb -- run specs/saturation.scn --smoke
+//! cargo run --release --bin sofb -- run specs/fig6.scn --dry-run
+//! cargo run --release --bin sofb -- list specs
+//! ```
+//!
+//! A spec is the grid: `[scenario]` holds the base point, `[axis]`
+//! sections the swept dimensions, `[smoke]` the CI-sized reduction.
+//! Malformed files are rejected with line-numbered [`spec::SpecError`]s,
+//! and the emitted grid-report JSON is deterministic and diffable at
+//! 1e-9 (`sofb run … --check`). See `DESIGN.md` ("Spec language") for
+//! the grammar.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod runtime;
 pub mod scenario;
 pub mod service;
@@ -77,3 +98,4 @@ pub use sofb_ct as ct;
 pub use sofb_harness as harness;
 pub use sofb_proto as proto;
 pub use sofb_sim as sim;
+pub use sofb_spec as spec;

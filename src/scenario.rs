@@ -66,6 +66,18 @@ pub fn run_grid(grid: &SweepGrid, workers: usize) -> Result<GridReport, Scenario
     grid.run_with(workers, run)
 }
 
+/// Worker threads for grid execution when the caller has no opinion:
+/// enough to overlap sweep points, capped so laptops and CI machines
+/// stay responsive. Grid results are identical at any worker count
+/// (pinned by the determinism tests), so this only changes wall time.
+/// The one definition behind both the sweep binaries and the `sofb`
+/// CLI.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
+}
+
 /// Method-call sugar for [`run`]: `scenario.run()?`.
 pub trait RunScenario {
     /// Validates and runs the scenario on the protocol its kind names.

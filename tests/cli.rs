@@ -1,0 +1,149 @@
+//! The `sofb` CLI contract: bad input is a typed, line-numbered error —
+//! never a panic, never a zero exit — and the dry-run/check/list
+//! surfaces behave as documented.
+
+use sofbyz::cli::{execute, CliError};
+use sofbyz::spec::report;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn dry_run_of_bad_specs_reports_line_numbered_errors() {
+    let path = repo_path("specs/bad/unknown_key.scn");
+    let err = execute(&args(&["run", &path, "--dry-run"])).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, CliError::Spec { ref error, .. } if error.line == 9),
+        "{msg}"
+    );
+    assert!(msg.contains("line 9"), "{msg}");
+    assert!(msg.contains("colour"), "{msg}");
+
+    let path = repo_path("specs/bad/inverted_fault_window.scn");
+    let err = execute(&args(&["run", &path, "--dry-run"])).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, CliError::Spec { ref error, .. } if error.line == 15),
+        "{msg}"
+    );
+    assert!(msg.contains("must exceed"), "{msg}");
+}
+
+#[test]
+fn dry_run_prints_every_point_label() {
+    let path = repo_path("specs/saturation.scn");
+    let out = execute(&args(&["run", &path, "--dry-run", "--smoke"])).unwrap();
+    assert!(out.contains("points: 8 (smoke)"), "{out}");
+    assert!(out.contains("axes: f × kind × clients × rate"), "{out}");
+    assert!(out.contains("f=2 kind=SC clients=1 rate=120"), "{out}");
+    assert!(out.contains("f=2 kind=CT clients=3 rate=120"), "{out}");
+
+    // Full-size expansion of the same spec: 108 points.
+    let out = execute(&args(&["run", &path, "--dry-run"])).unwrap();
+    assert!(out.contains("points: 108"), "{out}");
+}
+
+#[test]
+fn missing_file_and_usage_defects_are_typed() {
+    let err = execute(&args(&["run", "specs/does_not_exist.scn"])).unwrap_err();
+    assert!(matches!(err, CliError::Io { .. }), "{err}");
+
+    let err = execute(&args(&["run"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+    let err = execute(&args(&["run", "x.scn", "--workers", "zero"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+    // --out replaces the file --check would verify against: rejected
+    // rather than silently dropping one of them.
+    let err = execute(&args(&[
+        "run", "x.scn", "--out", "a.json", "--check", "b.json",
+    ]))
+    .unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+    let err = execute(&args(&["frobnicate"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+    // No command at all prints usage successfully.
+    let out = execute(&[]).unwrap();
+    assert!(out.contains("USAGE"), "{out}");
+}
+
+#[test]
+fn list_validates_the_committed_spec_directory() {
+    let out = execute(&args(&["list", &repo_path("specs")])).unwrap();
+    for name in [
+        "bench_protocols.scn",
+        "bench_protocols_sharded.scn",
+        "f3_sweep.scn",
+        "fig4.scn",
+        "fig5.scn",
+        "fig6.scn",
+        "gst_sensitivity.scn",
+        "msg_counts.scn",
+        "saturation.scn",
+        "shard_sweep.scn",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+    // The deliberately broken fixtures live one level down and must not
+    // be picked up by the top-level listing…
+    assert!(!out.contains("unknown_key.scn"), "{out}");
+
+    // …but a listing of the bad directory itself fails typed.
+    let err = execute(&args(&["list", &repo_path("specs/bad")])).unwrap_err();
+    assert!(
+        matches!(err, CliError::InvalidSpecs { count: 2, .. }),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("line 9"), "{msg}");
+    assert!(msg.contains("line 15"), "{msg}");
+}
+
+#[test]
+fn report_check_accepts_identity_and_rejects_drift() {
+    // A tiny grid run end to end through the emitter: the rendered
+    // report must check against itself, and a perturbed metric must be
+    // rejected with the drifted key named.
+    let spec_text = "[scenario]\n\
+                     kind = CT\n\
+                     f = 1\n\
+                     scheme = no-crypto\n\
+                     [window]\n\
+                     warmup_s = 0\n\
+                     run_s = 2\n\
+                     drain_s = 2\n\
+                     [client]\n\
+                     rate = 50\n";
+    let spec = sofbyz::spec::Spec::parse(spec_text).unwrap();
+    let grid = spec.grid(false).unwrap();
+    let report = sofbyz::scenario::run_grid(&grid, 1).unwrap();
+    let meta = report::ReportMeta {
+        spec: "inline.scn",
+        title: None,
+        smoke: false,
+    };
+    let rendered = report::render(&report, meta);
+    assert!(report::check(&rendered, &rendered).is_ok());
+
+    // Wall time is machine-dependent and must be excluded.
+    let rewalled = rendered.replace("\"wall_ms\": ", "\"wall_ms\": 9");
+    assert!(report::check(&rendered, &rewalled).is_ok());
+
+    let drifted = rendered.replacen("\"msgs_per_batch\": ", "\"msgs_per_batch\": 9", 1);
+    let err = report::check(&rendered, &drifted).unwrap_err();
+    assert!(err.contains("msgs_per_batch"), "{err}");
+
+    // Structural drift (a label change) is also a failure.
+    let relabeled = rendered.replacen("\"seed\": 42", "\"seed\": 43", 1);
+    let err = report::check(&rendered, &relabeled).unwrap_err();
+    assert!(err.contains("seed"), "{err}");
+}
