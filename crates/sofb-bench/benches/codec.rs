@@ -24,7 +24,7 @@ fn sample_msgs() -> Vec<ScMsg> {
                     seq: i,
                 })
                 .collect(),
-            digest: Digest(vec![7u8; 16]),
+            digest: Digest::new(&[7u8; 16]),
         },
         formed_at_ns: 123,
     };

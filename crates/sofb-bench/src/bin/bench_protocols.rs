@@ -17,7 +17,16 @@
 //! `--check` regenerates the measurements in memory and fails (exit 1)
 //! if any throughput/latency/msgs-per-batch value drifts from the
 //! committed file by more than 1e-9 — the CI determinism gate. `wall_ms`
-//! is machine-dependent and excluded.
+//! and the host-performance sections (events/sec, sim-seconds per
+//! wall-second, allocs/event) are machine-dependent and excluded: only
+//! the keys listed in `extract_metrics` are gated.
+
+/// Counting allocator: the `allocs_per_event` host counter is the whole
+/// process's allocation count over the whole measurement, divided by
+/// dispatched engine callbacks — an honest end-to-end figure that
+/// includes analysis and reporting overhead.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc::new();
 
 use std::fmt::Write as _;
 
@@ -27,6 +36,7 @@ use sofb_bench::grids::{
     BENCH_SHARD_F as SHARD_F, BENCH_SHARD_RATE_PER_CLIENT as SHARD_RATE_PER_CLIENT,
     BENCH_SHARD_WINDOW as SHARD_WINDOW, BENCH_WINDOW as WINDOW, SCHEME,
 };
+use sofb_sim::metrics::{EngineCounters, HostCounters};
 use sofbyz::scenario::{run_grid, GridPoint};
 
 /// Metric drift beyond this fails `--check`.
@@ -47,6 +57,7 @@ struct VariantRow {
     p99_ms: Option<f64>,
     msgs_per_batch: f64,
     wall_ms: f64,
+    engine: EngineCounters,
 }
 
 fn measure() -> Vec<VariantRow> {
@@ -71,6 +82,7 @@ fn measure() -> Vec<VariantRow> {
                 p99_ms: p.report.global.p99_ms,
                 msgs_per_batch: p.report.msgs_per_batch,
                 wall_ms: p.wall_ms,
+                engine: p.report.engine,
             }
         })
         .collect()
@@ -85,6 +97,7 @@ struct ShardedRow {
     p99_ms: Option<f64>,
     msgs_per_batch: f64,
     wall_ms: f64,
+    engine: EngineCounters,
 }
 
 fn measure_sharded() -> Vec<ShardedRow> {
@@ -111,15 +124,50 @@ fn measure_sharded() -> Vec<ShardedRow> {
                 p99_ms: p.report.global.p99_ms,
                 msgs_per_batch: p.report.msgs_per_batch,
                 wall_ms: p.wall_ms,
+                engine: p.report.engine,
             }
         })
         .collect()
 }
 
-fn render(rows: &[VariantRow], sharded: &[ShardedRow]) -> String {
+/// Renders one row's host-performance object: deterministic engine
+/// counters plus wall-derived rates. Everything here is excluded from
+/// the `--check` gate (none of its keys appear in `extract_metrics`).
+fn render_row_host(body: &mut String, engine: EngineCounters, wall_ms: f64) {
+    let host = HostCounters {
+        engine,
+        wall_ns: (wall_ms * 1e6) as u64,
+        allocations: 0,
+    };
+    writeln!(body, "      \"host\": {{").unwrap();
+    writeln!(
+        body,
+        "        \"events_processed\": {},",
+        engine.events_processed
+    )
+    .unwrap();
+    writeln!(body, "        \"heap_pushes\": {},", engine.heap_pushes).unwrap();
+    writeln!(
+        body,
+        "        \"arena_high_water\": {},",
+        engine.arena_high_water
+    )
+    .unwrap();
+    writeln!(body, "        \"sim_ns\": {},", engine.sim_ns).unwrap();
+    writeln!(
+        body,
+        "        \"events_per_sec\": {:.0},",
+        host.events_per_sec()
+    )
+    .unwrap();
+    writeln!(body, "        \"sim_per_wall\": {:.1}", host.sim_per_wall()).unwrap();
+    writeln!(body, "      }}").unwrap();
+}
+
+fn render(rows: &[VariantRow], sharded: &[ShardedRow], process: &HostCounters) -> String {
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
-    writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v1\",").unwrap();
+    writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v2\",").unwrap();
     writeln!(body, "  \"f\": {F},").unwrap();
     writeln!(body, "  \"interval_ms\": {INTERVAL_MS},").unwrap();
     writeln!(body, "  \"seed\": {SEED},").unwrap();
@@ -146,7 +194,8 @@ fn render(rows: &[VariantRow], sharded: &[ShardedRow]) -> String {
         writeln!(body, "        \"p99\": {}", json_num(r.p99_ms)).unwrap();
         writeln!(body, "      }},").unwrap();
         writeln!(body, "      \"msgs_per_batch\": {:.3},", r.msgs_per_batch).unwrap();
-        writeln!(body, "      \"wall_ms\": {:.1}", r.wall_ms).unwrap();
+        writeln!(body, "      \"wall_ms\": {:.1},", r.wall_ms).unwrap();
+        render_row_host(&mut body, r.engine, r.wall_ms);
         writeln!(body, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }
     writeln!(body, "  ],").unwrap();
@@ -173,7 +222,8 @@ fn render(rows: &[VariantRow], sharded: &[ShardedRow]) -> String {
         writeln!(body, "        \"p99\": {}", json_num(r.p99_ms)).unwrap();
         writeln!(body, "      }},").unwrap();
         writeln!(body, "      \"msgs_per_batch\": {:.3},", r.msgs_per_batch).unwrap();
-        writeln!(body, "      \"wall_ms\": {:.1}", r.wall_ms).unwrap();
+        writeln!(body, "      \"wall_ms\": {:.1},", r.wall_ms).unwrap();
+        render_row_host(&mut body, r.engine, r.wall_ms);
         writeln!(
             body,
             "    }}{}",
@@ -181,7 +231,35 @@ fn render(rows: &[VariantRow], sharded: &[ShardedRow]) -> String {
         )
         .unwrap();
     }
-    writeln!(body, "  ]}}").unwrap();
+    writeln!(body, "  ]}},").unwrap();
+    writeln!(body, "  \"host\": {{").unwrap();
+    writeln!(
+        body,
+        "    \"events_total\": {},",
+        process.engine.events_processed
+    )
+    .unwrap();
+    writeln!(
+        body,
+        "    \"wall_ms_total\": {:.1},",
+        process.wall_ns as f64 / 1e6
+    )
+    .unwrap();
+    writeln!(body, "    \"allocations_total\": {},", process.allocations).unwrap();
+    writeln!(
+        body,
+        "    \"events_per_sec\": {:.0},",
+        process.events_per_sec()
+    )
+    .unwrap();
+    writeln!(body, "    \"sim_per_wall\": {:.1},", process.sim_per_wall()).unwrap();
+    writeln!(
+        body,
+        "    \"allocs_per_event\": {:.4}",
+        process.allocs_per_event()
+    )
+    .unwrap();
+    writeln!(body, "  }}").unwrap();
     writeln!(body, "}}").unwrap();
     body
 }
@@ -220,11 +298,16 @@ fn extract_metrics(json: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn check(rows: &[VariantRow], sharded: &[ShardedRow], committed_path: &str) -> Result<(), String> {
+fn check(
+    rows: &[VariantRow],
+    sharded: &[ShardedRow],
+    process: &HostCounters,
+    committed_path: &str,
+) -> Result<(), String> {
     let committed = std::fs::read_to_string(committed_path)
         .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
     let want = extract_metrics(&committed);
-    let got = extract_metrics(&render(rows, sharded));
+    let got = extract_metrics(&render(rows, sharded, process));
     if want.is_empty() {
         return Err(format!("{committed_path}: no metrics found"));
     }
@@ -275,8 +358,27 @@ fn main() {
     }
     let path = path.unwrap_or_else(|| "BENCH_protocols.json".to_string());
 
+    let wall_start = std::time::Instant::now();
+    let allocs_before = alloc_counter::allocations();
     let rows = measure();
     let sharded = measure_sharded();
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let allocations = alloc_counter::allocations() - allocs_before;
+    let engines = rows
+        .iter()
+        .map(|r| r.engine)
+        .chain(sharded.iter().map(|r| r.engine));
+    let total = engines.fold(EngineCounters::default(), |acc, e| EngineCounters {
+        events_processed: acc.events_processed + e.events_processed,
+        heap_pushes: acc.heap_pushes + e.heap_pushes,
+        arena_high_water: acc.arena_high_water.max(e.arena_high_water),
+        sim_ns: acc.sim_ns + e.sim_ns,
+    });
+    let process = HostCounters {
+        engine: total,
+        wall_ns,
+        allocations,
+    };
     if sharded.len() >= 2 && sharded[0].aggregate_throughput > 0.0 {
         let scale = sharded[1].aggregate_throughput / sharded[0].aggregate_throughput;
         eprintln!(
@@ -284,8 +386,14 @@ fn main() {
             sharded[1].shards
         );
     }
+    eprintln!(
+        "host: {:.0} events/s, {:.1} sim-s/wall-s, {:.4} allocs/event",
+        process.events_per_sec(),
+        process.sim_per_wall(),
+        process.allocs_per_event()
+    );
     if checking {
-        match check(&rows, &sharded, &path) {
+        match check(&rows, &sharded, &process, &path) {
             Ok(()) => eprintln!("check passed: regenerated metrics match {path}"),
             Err(e) => {
                 eprintln!("check FAILED against {path}:\n{e}");
@@ -294,7 +402,7 @@ fn main() {
         }
         return;
     }
-    if let Err(e) = std::fs::write(&path, render(&rows, &sharded)) {
+    if let Err(e) = std::fs::write(&path, render(&rows, &sharded, &process)) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     }

@@ -290,8 +290,9 @@ mod tests {
                     requests: vec![RequestId {
                         client: ClientId(1),
                         seq: 1,
-                    }],
-                    digest: Digest(vec![7]),
+                    }]
+                    .into(),
+                    digest: Digest::new(&[7]),
                 },
                 formed_at_ns: 5,
             },
@@ -301,7 +302,7 @@ mod tests {
             PreparePayload {
                 v: ViewId(1),
                 o: SeqNo(2),
-                digest: Digest(vec![7]),
+                digest: Digest::new(&[7]),
             },
             &mut provs[1],
         );
@@ -313,7 +314,7 @@ mod tests {
                 CommitPayload {
                     v: ViewId(1),
                     o: SeqNo(2),
-                    digest: Digest(vec![7]),
+                    digest: Digest::new(&[7]),
                 },
                 &mut provs[2],
             )),

@@ -189,7 +189,7 @@ impl BftProcess {
         // Latency origin: the batch tick's fire instant (see sofb-core).
         let formed_at_ns = ctx.fired_at().unwrap_or(ctx.now()).as_ns();
         let refs: Vec<&Request> = members.iter().map(|id| &self.requests[id]).collect();
-        let digest = Digest(self.provider.digest(&BatchRef::digest_input(&refs)));
+        let digest = Digest::new(&self.provider.digest(&BatchRef::digest_input(&refs)));
         let o = self.next_propose;
         self.next_propose = o.next();
         self.backlog.mark_ordered(members.iter().copied());
@@ -197,7 +197,7 @@ impl BftProcess {
             v: self.v,
             o,
             batch: BatchRef {
-                requests: members,
+                requests: members.into(),
                 digest,
             },
             formed_at_ns,
@@ -243,7 +243,7 @@ impl BftProcess {
                 PreparePayload {
                     v: self.v,
                     o: p.o,
-                    digest: pp.payload.batch.digest.clone(),
+                    digest: pp.payload.batch.digest,
                 },
                 self.provider.as_mut(),
             );
@@ -290,11 +290,7 @@ impl BftProcess {
         // commit lands here); the full pre-prepare — request ids
         // included — is read again only on the once-per-slot commit
         // transition below.
-        let Some(digest) = slot
-            .pre_prepare
-            .as_ref()
-            .map(|pp| pp.payload.batch.digest.clone())
-        else {
+        let Some(digest) = slot.pre_prepare.as_ref().map(|pp| pp.payload.batch.digest) else {
             return;
         };
 
@@ -319,7 +315,7 @@ impl BftProcess {
                 CommitPayload {
                     v: self.v,
                     o,
-                    digest: digest.clone(),
+                    digest,
                 },
                 self.provider.as_mut(),
             );
@@ -346,7 +342,7 @@ impl BftProcess {
                 let event = ScEvent::Committed {
                     c: Rank(p.v.0 as u32),
                     o,
-                    digest: p.batch.digest.clone(),
+                    digest: p.batch.digest,
                     requests: p.batch.len(),
                     request_ids: p.batch.requests.clone(),
                     formed_at_ns: p.formed_at_ns,

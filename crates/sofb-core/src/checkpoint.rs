@@ -117,13 +117,13 @@ impl CheckpointTracker {
         self.running.encode(&mut enc);
         o.encode(&mut enc);
         batch_digest.encode(&mut enc);
-        self.running = Digest(provider.digest(&enc.into_bytes()));
+        self.running = Digest::new(&provider.digest(&enc.into_bytes()));
         self.chained_up_to = o;
         if self.enabled() && o.0.is_multiple_of(self.interval) && o > self.announced {
             self.announced = o;
             return Some(CheckpointPayload {
                 o,
-                digest: self.running.clone(),
+                digest: self.running,
             });
         }
         None
@@ -142,10 +142,10 @@ impl CheckpointTracker {
             return None;
         }
         let entry = self.votes.entry(payload.o).or_default();
-        entry.insert(voter, payload.digest.clone());
+        entry.insert(voter, payload.digest);
         let agreeing = entry.values().filter(|d| **d == payload.digest).count();
         if agreeing >= quorum {
-            self.stable = Some((payload.o, payload.digest.clone()));
+            self.stable = Some((payload.o, payload.digest));
             // Older vote sets are moot.
             self.votes = self.votes.split_off(&payload.o.next());
             return Some(payload.o);
@@ -165,7 +165,7 @@ mod tests {
     }
 
     fn d(b: u8) -> Digest {
-        Digest(vec![b])
+        Digest::new(&[b])
     }
 
     #[test]

@@ -44,11 +44,11 @@ pub fn compute_new_backlog(
             if o <= max_o {
                 continue;
             }
-            let d = order.payload().batch.digest.clone();
-            if seen_in_this.contains(&(o, d.clone())) {
+            let d = order.payload().batch.digest;
+            if seen_in_this.contains(&(o, d)) {
                 continue;
             }
-            seen_in_this.push((o, d.clone()));
+            seen_in_this.push((o, d));
             let entry = by_seq.entry(o).or_default();
             let slot = entry.entry(d).or_insert_with(|| (order.clone(), 0));
             slot.1 += 1;
@@ -163,8 +163,9 @@ mod tests {
                 requests: vec![RequestId {
                     client: ClientId(1),
                     seq: o,
-                }],
-                digest: Digest(vec![digest]),
+                }]
+                .into(),
+                digest: Digest::new(&[digest]),
             },
             formed_at_ns: 0,
         };
@@ -239,7 +240,7 @@ mod tests {
         let b4 = backlog(&mut provs, None, vec![bad.clone()]);
         let (nb, _) = compute_new_backlog(&[&b1, &b2, &b3, &b4], 3);
         assert_eq!(nb.len(), 1);
-        assert_eq!(nb[0].payload().batch.digest, Digest(vec![0xaa]));
+        assert_eq!(nb[0].payload().batch.digest, Digest::new(&[0xaa]));
     }
 
     #[test]
@@ -252,8 +253,8 @@ mod tests {
         let (nb1, _) = compute_new_backlog(&[&b1, &b2], 3);
         let (nb2, _) = compute_new_backlog(&[&b2, &b1], 3);
         // Deterministic regardless of backlog order: smallest digest.
-        assert_eq!(nb1[0].payload().batch.digest, Digest(vec![0x0a]));
-        assert_eq!(nb2[0].payload().batch.digest, Digest(vec![0x0a]));
+        assert_eq!(nb1[0].payload().batch.digest, Digest::new(&[0x0a]));
+        assert_eq!(nb2[0].payload().batch.digest, Digest::new(&[0x0a]));
     }
 
     #[test]

@@ -648,8 +648,9 @@ mod tests {
                 requests: vec![RequestId {
                     client: ClientId(1),
                     seq: 1,
-                }],
-                digest: Digest(vec![1, 2, 3, 4]),
+                }]
+                .into(),
+                digest: Digest::new(&[1, 2, 3, 4]),
             },
             formed_at_ns: 123_456,
         }
@@ -706,7 +707,7 @@ mod tests {
             ScMsg::StartSig(Signed::sign(
                 StartSigPayload {
                     c: Rank(2),
-                    start_digest: Digest(vec![9]),
+                    start_digest: Digest::new(&[9]),
                 },
                 &mut provs[3],
             )),
@@ -752,7 +753,7 @@ mod tests {
         let order = OrderMsg::Endorsed(DoublySigned::endorse(signed, &mut provs[1]));
         let ack = AckPayload { order };
         assert_eq!(ack.o(), SeqNo(5));
-        assert_eq!(ack.digest().0, vec![1, 2, 3, 4]);
+        assert_eq!(ack.digest().as_slice(), &[1, 2, 3, 4]);
     }
 
     #[test]

@@ -129,7 +129,7 @@ impl OrderLog {
             return None;
         }
         let order = rec.order.clone()?;
-        let digest = order.payload().batch.digest.clone();
+        let digest = order.payload().batch.digest;
         if self.evidence(o, &digest, &eligible) < quorum {
             return None;
         }
@@ -252,8 +252,9 @@ mod tests {
                 requests: vec![RequestId {
                     client: ClientId(1),
                     seq: o,
-                }],
-                digest: Digest(digest),
+                }]
+                .into(),
+                digest: Digest::new(&digest),
             },
             formed_at_ns: 0,
         };
@@ -330,8 +331,8 @@ mod tests {
         log.store_order(om_a.clone());
         log.store_ack(ack(&mut provs, 1, &om_b));
         // The conflicting ack does not support digest a.
-        assert_eq!(log.evidence(SeqNo(1), &Digest(vec![0xa]), |_| true), 2);
-        assert_eq!(log.evidence(SeqNo(1), &Digest(vec![0xb]), |_| true), 1);
+        assert_eq!(log.evidence(SeqNo(1), &Digest::new(&[0xa]), |_| true), 2);
+        assert_eq!(log.evidence(SeqNo(1), &Digest::new(&[0xb]), |_| true), 1);
     }
 
     #[test]

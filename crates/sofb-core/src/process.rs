@@ -21,6 +21,7 @@ use sofb_proto::backlog::RequestBacklog;
 use sofb_proto::codec::Encode;
 use sofb_proto::fasthash::IdHashMap;
 use sofb_proto::ids::{ProcessId, Rank, SeqNo, ViewId};
+use sofb_proto::pool::PooledBuf;
 use sofb_proto::request::{BatchRef, Digest, Request, RequestId};
 use sofb_proto::signed::{DoublySigned, Signed};
 use sofb_proto::topology::{Candidate, Topology, Variant};
@@ -373,15 +374,16 @@ impl ScProcess {
         let formed_at_ns = ctx.fired_at().unwrap_or(ctx.now()).as_ns();
         let refs: Vec<&Request> = members.iter().map(|id| &self.requests[id]).collect();
         let input = BatchRef::digest_input(&refs);
-        let mut digest = Digest(self.provider.digest(&input));
+        let mut raw = self.provider.digest(&input);
         if let Fault::CorruptOrderAt(at) = self.cfg.fault {
             if self.next_propose == at {
                 // Value-domain fault: flip a digest byte.
-                if let Some(b) = digest.0.first_mut() {
+                if let Some(b) = raw.first_mut() {
                     *b ^= 0xff;
                 }
             }
         }
+        let digest = Digest::new(&raw);
         let o = self.next_propose;
         self.next_propose = o.next();
         self.backlog.mark_ordered(members.iter().copied());
@@ -389,7 +391,7 @@ impl ScProcess {
             c: self.c,
             o,
             batch: BatchRef {
-                requests: members,
+                requests: members.into(),
                 digest,
             },
             formed_at_ns,
@@ -440,7 +442,7 @@ impl ScProcess {
             }
             let mut missing = false;
             let mut refs: Vec<&Request> = Vec::with_capacity(p.batch.requests.len());
-            for id in &p.batch.requests {
+            for id in p.batch.requests.iter() {
                 match self.requests.get(id) {
                     Some(r) => refs.push(r),
                     None => {
@@ -457,7 +459,7 @@ impl ScProcess {
                 return;
             }
             let input = BatchRef::digest_input(&refs);
-            let expected = Digest(self.provider.digest(&input));
+            let expected = Digest::new(&self.provider.digest(&input));
             if expected != p.batch.digest {
                 // Value-domain failure observed on the counterpart.
                 self.fail_signal(true, ctx);
@@ -598,7 +600,7 @@ impl ScProcess {
             ctx.emit(ScEvent::Committed {
                 c: p.c,
                 o,
-                digest: p.batch.digest.clone(),
+                digest: p.batch.digest,
                 requests: p.batch.len(),
                 request_ids: p.batch.requests.clone(),
                 formed_at_ns: p.formed_at_ns,
@@ -916,8 +918,8 @@ impl ScProcess {
         if self.start_msg.is_some() || self.halted {
             return;
         }
-        let digest = Digest(self.provider.digest(&start.to_bytes_for_digest()));
-        self.start_digest = Some(digest.clone());
+        let digest = Digest::new(&self.provider.digest(&start.to_bytes_for_digest()));
+        self.start_digest = Some(digest);
         self.start_msg = Some(start.clone());
 
         let in_coordinator = self.coordinator().contains(self.me());
@@ -994,7 +996,7 @@ impl ScProcess {
         if c != self.c || self.installed || self.start_cert.is_some() {
             return;
         }
-        let Some(digest) = self.start_digest.clone() else {
+        let Some(digest) = self.start_digest else {
             // Start not yet received (network jitter can reorder the
             // multicast pair); stash and re-validate once it arrives.
             self.stashed_certs.push((c, tuples));
@@ -1042,8 +1044,8 @@ impl ScProcess {
         self.arm_role_timers(ctx);
 
         // N1 for the Start itself: multicast a start-ack.
-        let digest = self.start_digest.clone().expect("set with start");
-        self.start_acks.insert(self.me(), digest.clone());
+        let digest = self.start_digest.expect("set with start");
+        self.start_acks.insert(self.me(), digest);
         let ack = Signed::sign(
             StartSigPayload {
                 c: self.c,
@@ -1076,8 +1078,7 @@ impl ScProcess {
         if !sig.verify(self.provider.as_mut()) {
             return;
         }
-        self.start_acks
-            .insert(sig.signer, sig.payload.start_digest.clone());
+        self.start_acks.insert(sig.signer, sig.payload.start_digest);
         if let Some(start) = self.start_msg.clone() {
             self.try_commit_start(start, ctx);
         }
@@ -1119,9 +1120,9 @@ impl ScProcess {
             ctx.emit(ScEvent::Committed {
                 c: self.c,
                 o: start_o,
-                digest: self.start_digest.clone().unwrap_or_default(),
+                digest: self.start_digest.unwrap_or_default(),
                 requests: 0,
-                request_ids: Vec::new(),
+                request_ids: Vec::new().into(),
                 formed_at_ns: ctx.now().as_ns(),
             });
         }
@@ -1187,7 +1188,7 @@ impl ScProcess {
         entry.insert(sender, order);
         let mut counts: HashMap<Digest, usize> = HashMap::new();
         for om in entry.values() {
-            *counts.entry(om.payload().batch.digest.clone()).or_insert(0) += 1;
+            *counts.entry(om.payload().batch.digest).or_insert(0) += 1;
         }
         let Some((digest, _)) = counts.into_iter().find(|(_, n)| *n >= f_plus_1) else {
             return;
@@ -1335,7 +1336,7 @@ impl ScProcess {
                     .map(|s| Signed {
                         payload: s.payload.backlog.clone(),
                         signer: s.signer,
-                        sig: Vec::new(), // shadow revalidates from its own set
+                        sig: PooledBuf::empty(), // shadow revalidates from its own set
                     })
                     .collect();
                 self.send(
@@ -1412,7 +1413,7 @@ impl ScProcess {
         let hb = Signed {
             payload,
             signer: self.me(),
-            sig: tag,
+            sig: tag.into(),
         };
         // Heartbeats flow even while Down so SCR pairs can recover; they
         // bypass the dumb-process gag because they never touch the
@@ -1502,7 +1503,7 @@ impl ScProcess {
                 .log
                 .record(next)
                 .and_then(|r| r.order.as_ref())
-                .map(|om| om.payload().batch.digest.clone())
+                .map(|om| om.payload().batch.digest)
                 .unwrap_or_default();
             if let Some(payload) =
                 self.checkpoints

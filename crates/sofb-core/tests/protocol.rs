@@ -275,7 +275,7 @@ fn deterministic_runs_with_same_seed() {
         events
             .iter()
             .filter_map(|e| match &e.event {
-                ScEvent::Committed { o, digest, .. } => Some((e.time, e.node, *o, digest.clone())),
+                ScEvent::Committed { o, digest, .. } => Some((e.time, e.node, *o, *digest)),
                 _ => None,
             })
             .collect::<Vec<_>>()

@@ -42,6 +42,16 @@ pub trait CryptoProvider: Send {
     /// Signs `message` with this process' private key.
     fn sign(&mut self, message: &[u8]) -> Vec<u8>;
 
+    /// Signs `message` into `out` (cleared first). Hot-path variant for
+    /// callers that recycle signature storage; the default delegates to
+    /// [`CryptoProvider::sign`], implementations that can fill a caller
+    /// buffer without allocating should override it.
+    fn sign_into(&mut self, message: &[u8], out: &mut Vec<u8>) {
+        let sig = self.sign(message);
+        out.clear();
+        out.extend_from_slice(&sig);
+    }
+
     /// Verifies that `sig` is `signer`'s signature over `message`.
     fn verify(&mut self, signer: u32, message: &[u8], sig: &[u8]) -> bool;
 
@@ -250,6 +260,15 @@ const SIM_MAC_LEN: usize = 32;
 /// cost is billed separately through [`SchemeTiming`], and a simulated
 /// operation should not also cost real compression rounds.
 fn oracle_tag(key: u64, signer: u64, message: &[u8], len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    oracle_tag_into(key, signer, message, &mut out);
+    out
+}
+
+/// [`oracle_tag`] writing into a caller-provided buffer — the
+/// verification hot path compares against a stack buffer instead of
+/// allocating an expected tag per check.
+fn oracle_tag_into(key: u64, signer: u64, message: &[u8], out: &mut [u8]) {
     const M: u64 = 0x9e37_79b9_7f4a_7c15;
     let mut h = key ^ signer.rotate_left(17).wrapping_mul(M);
     let mut chunks = message.chunks_exact(8);
@@ -267,7 +286,6 @@ fn oracle_tag(key: u64, signer: u64, message: &[u8], len: usize) -> Vec<u8> {
             .wrapping_mul(M);
     }
     h ^= message.len() as u64;
-    let mut out = vec![0u8; len];
     for (i, chunk) in out.chunks_mut(8).enumerate() {
         let mut x = h ^ (i as u64).wrapping_mul(M);
         x ^= x >> 33;
@@ -277,8 +295,11 @@ fn oracle_tag(key: u64, signer: u64, message: &[u8], len: usize) -> Vec<u8> {
         let n = chunk.len();
         chunk.copy_from_slice(&bytes[..n]);
     }
-    out
 }
+
+/// Largest simulated signature/tag ([`SchemeId::Sha256Rsa2048`]): lets
+/// verification build the expected tag on the stack.
+const MAX_SIM_SIG: usize = 256;
 
 impl CryptoProvider for SimProvider {
     fn scheme(&self) -> SchemeId {
@@ -294,9 +315,34 @@ impl CryptoProvider for SimProvider {
         self.tag(self.id, message)
     }
 
+    fn sign_into(&mut self, message: &[u8], out: &mut Vec<u8>) {
+        self.cost_ns += self.timing.sign_cost(message.len());
+        let sig_len = self.scheme.signature_len();
+        out.clear();
+        out.resize(sig_len, 0);
+        if sig_len > 0 {
+            oracle_tag_into(self.master ^ TAG_DOMAIN, u64::from(self.id), message, out);
+        }
+    }
+
     fn verify(&mut self, signer: u32, message: &[u8], sig: &[u8]) -> bool {
         self.cost_ns += self.timing.verify_cost(message.len());
-        self.tag(signer, message) == sig
+        let sig_len = self.scheme.signature_len();
+        if sig.len() != sig_len {
+            return false;
+        }
+        if sig_len == 0 {
+            return true;
+        }
+        debug_assert!(sig_len <= MAX_SIM_SIG);
+        let mut expected = [0u8; MAX_SIM_SIG];
+        oracle_tag_into(
+            self.master ^ TAG_DOMAIN,
+            u64::from(signer),
+            message,
+            &mut expected[..sig_len],
+        );
+        expected[..sig_len] == *sig
     }
 
     fn digest(&mut self, message: &[u8]) -> Vec<u8> {
@@ -311,7 +357,18 @@ impl CryptoProvider for SimProvider {
 
     fn verify_mac(&mut self, peer: u32, message: &[u8], tag: &[u8]) -> bool {
         self.cost_ns += 2 * self.timing.digest_cost(message.len()).max(1_000);
-        self.pair_tag(peer, message) == tag
+        if tag.len() != SIM_MAC_LEN {
+            return false;
+        }
+        let (lo, hi) = if self.id <= peer {
+            (self.id, peer)
+        } else {
+            (peer, self.id)
+        };
+        let pair = (u64::from(lo) << 32) | u64::from(hi);
+        let mut expected = [0u8; SIM_MAC_LEN];
+        oracle_tag_into(self.master ^ MAC_DOMAIN, pair, message, &mut expected);
+        expected[..] == *tag
     }
 
     fn take_cost_ns(&mut self) -> u64 {

@@ -101,8 +101,9 @@ mod tests {
                 requests: vec![RequestId {
                     client: ClientId(1),
                     seq: 2,
-                }],
-                digest: Digest(vec![1, 2]),
+                }]
+                .into(),
+                digest: Digest::new(&[1, 2]),
             },
             formed_at_ns: 77,
         };

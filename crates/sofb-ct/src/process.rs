@@ -136,14 +136,14 @@ impl CtProcess {
         // incurs no cryptographic overhead, so the simulator bills nothing
         // for this digest.
         let refs: Vec<&Request> = members.iter().map(|id| &self.requests[id]).collect();
-        let digest = Digest(DigestAlg::Sha256.digest(&BatchRef::digest_input(&refs)));
+        let digest = Digest::new(&DigestAlg::Sha256.digest(&BatchRef::digest_input(&refs)));
         let o = self.next_propose;
         self.next_propose = o.next();
         self.backlog.mark_ordered(members.iter().copied());
         let order = CtOrder {
             o,
             batch: BatchRef {
-                requests: members,
+                requests: members.into(),
                 digest,
             },
             formed_at_ns,
@@ -216,7 +216,7 @@ impl CtProcess {
         ctx.emit(ScEvent::Committed {
             c: Rank(1),
             o,
-            digest: order.batch.digest.clone(),
+            digest: order.batch.digest,
             requests: order.batch.len(),
             request_ids: order.batch.requests.clone(),
             formed_at_ns: order.formed_at_ns,

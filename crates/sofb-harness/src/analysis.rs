@@ -234,10 +234,10 @@ pub fn check_total_order(events: &[TimedEvent<ProtocolEvent>]) -> Result<(), Str
                 }
                 continue;
             }
-            per_node_seen.insert((ev.node, *o), digest.clone());
+            per_node_seen.insert((ev.node, *o), *digest);
             match bindings.get(o) {
                 None => {
-                    bindings.insert(*o, digest.clone());
+                    bindings.insert(*o, *digest);
                 }
                 Some(prev) if prev == digest => {}
                 Some(prev) => {
@@ -294,9 +294,9 @@ mod tests {
             event: ProtocolEvent::Committed {
                 c: Rank(1),
                 o: SeqNo(o),
-                digest: Digest(vec![digest]),
+                digest: Digest::new(&[digest]),
                 requests: 2,
-                request_ids: Vec::new(),
+                request_ids: Vec::new().into(),
                 formed_at_ns: SimTime::from_ms(formed_ms).as_ns(),
             },
         }

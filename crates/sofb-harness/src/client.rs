@@ -12,6 +12,7 @@ use std::ops::Range;
 
 use rand::Rng;
 
+use bytes::Bytes;
 use sofb_proto::ids::ClientId;
 use sofb_proto::request::Request;
 use sofb_sim::engine::{Actor, Ctx, WireSize};
@@ -85,7 +86,10 @@ enum Destinations {
 pub struct ClientActor<M> {
     id: ClientId,
     dest: Destinations,
-    request_size: usize,
+    /// Shared request payload prototype: every request this client issues
+    /// carries the same bytes, so each send clones a refcount instead of
+    /// allocating `request_size` bytes on the event hot path.
+    payload: Bytes,
     mean_interval: SimDuration,
     stop_at: SimTime,
     arrival: Arrival,
@@ -111,7 +115,7 @@ impl<M> ClientActor<M> {
         ClientActor {
             id,
             dest: Destinations::Flat { n },
-            request_size: spec.request_size,
+            payload: Bytes::from(vec![0xabu8; spec.request_size]),
             mean_interval: SimDuration((1e9 / spec.rate_per_sec) as u64),
             stop_at: spec.stop_at,
             arrival,
@@ -160,7 +164,7 @@ impl<M> ClientActor<M> {
                 router,
                 load,
             },
-            request_size: spec.request_size,
+            payload: Bytes::from(vec![0xabu8; spec.request_size]),
             mean_interval: SimDuration((1e9 / rate) as u64),
             stop_at: spec.stop_at,
             arrival,
@@ -216,8 +220,7 @@ impl<M: Clone + WireSize + fmt::Debug> Actor for ClientActor<M> {
             return;
         }
         self.next_seq += 1;
-        let payload = vec![0xabu8; self.request_size];
-        let req = Request::new(self.id, self.next_seq, payload);
+        let req = Request::new(self.id, self.next_seq, self.payload.clone());
         let targets = match &self.dest {
             Destinations::Flat { n } => 0..*n,
             Destinations::Sharded {

@@ -5,6 +5,8 @@
 //! every §5 measurement for every variant. Variants that lack a concept
 //! (e.g. CT has no fail-signals) simply never emit those constructors.
 
+use std::sync::Arc;
+
 use sofb_proto::ids::{Rank, SeqNo, ViewId};
 use sofb_proto::request::{Digest, RequestId};
 
@@ -38,8 +40,9 @@ pub enum ProtocolEvent {
         /// Number of member requests.
         requests: usize,
         /// The member request ids, in batch order (what an execution
-        /// layer replays against its state machine).
-        request_ids: Vec<RequestId>,
+        /// layer replays against its state machine). Shared with the
+        /// committed batch reference, so emitting is a refcount bump.
+        request_ids: Arc<[RequestId]>,
         /// Batch formation time (ns) carried in the order.
         formed_at_ns: u64,
     },

@@ -38,7 +38,7 @@ use sofb_proto::topology::Variant;
 use sofb_sim::cpu::CpuModel;
 use sofb_sim::delay::LinkModel;
 use sofb_sim::engine::TimedEvent;
-use sofb_sim::metrics::GroupRollup;
+use sofb_sim::metrics::{EngineCounters, GroupRollup};
 use sofb_sim::time::{SimDuration, SimTime};
 
 use crate::analysis;
@@ -800,7 +800,13 @@ impl Scenario {
             d.start();
             d.run_until(self.window.horizon());
             let events = d.world.drain_events();
-            let report = summarize(&[&events], &events, self.window, d.world.messages_sent());
+            let report = summarize(
+                &[&events],
+                &events,
+                self.window,
+                d.world.messages_sent(),
+                d.world.counters(),
+            );
             Ok((report, events))
         } else {
             let mut b = ShardedWorldBuilder::<P>::new(self.shards, self.knobs.f)
@@ -823,7 +829,13 @@ impl Scenario {
             let parts = d.partition_events(&events);
             let refs: Vec<&[TimedEvent<ProtocolEvent>]> =
                 parts.iter().map(|p| p.as_slice()).collect();
-            let report = summarize(&refs, &events, self.window, d.world.messages_sent());
+            let report = summarize(
+                &refs,
+                &events,
+                self.window,
+                d.world.messages_sent(),
+                d.world.counters(),
+            );
             Ok((report, events))
         }
     }
@@ -876,6 +888,11 @@ pub struct Report {
     /// Fail-over latency (first fail-signal → first Start certificate),
     /// if the run exercised one.
     pub failover_ms: Option<f64>,
+    /// Deterministic engine counters of the run (callbacks, heap
+    /// traffic, arena high water, virtual horizon) — the numerators of
+    /// host-performance rates. Seed-determined, so safe under the
+    /// `PartialEq` determinism comparisons this struct participates in.
+    pub engine: EngineCounters,
 }
 
 impl Report {
@@ -924,6 +941,7 @@ fn summarize(
     all_events: &[TimedEvent<ProtocolEvent>],
     window: Window,
     messages_sent: u64,
+    engine: EngineCounters,
 ) -> Report {
     let warmup = window.warmup();
     let end = window.end();
@@ -984,6 +1002,7 @@ fn summarize(
             messages_sent as f64 / batches as f64
         },
         failover_ms: analysis::failover_latency_ms(all_events),
+        engine,
     }
 }
 

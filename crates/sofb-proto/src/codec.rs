@@ -109,6 +109,18 @@ impl Encoder {
         }
     }
 
+    /// Creates an encoder writing into `buf`'s storage (cleared first).
+    /// Lets hot paths reuse one scratch vector across encodes instead of
+    /// allocating per call — see [`with_encoded`].
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Encoder {
+            buf,
+            count_only: false,
+            count: 0,
+        }
+    }
+
     /// Finishes and returns the bytes (empty for a counting encoder).
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -265,6 +277,42 @@ impl<'a> Decoder<'a> {
         }
         Ok(out)
     }
+}
+
+thread_local! {
+    /// Scratch vectors for [`with_encoded`]. A stack, not a single slot,
+    /// so an `Encode` impl that itself encodes (nested `with_encoded`)
+    /// composes instead of fighting over one buffer.
+    static ENCODE_SCRATCH: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over the canonical encoding of `value` without allocating a
+/// fresh buffer per call: the encoding is built in a thread-local scratch
+/// vector that is returned for reuse afterwards. This is the sign/verify
+/// hot path — every signature covers a payload encoding, and the
+/// simulator signs and verifies on every protocol step.
+pub fn with_encoded<T: Encode + ?Sized, R>(value: &T, f: impl FnOnce(&[u8]) -> R) -> R {
+    with_encoded_suffix(value, &[], f)
+}
+
+/// Like [`with_encoded`], with `suffix` appended after the encoding —
+/// the doubly-signed form signs `payload encoding ‖ first signature`.
+pub fn with_encoded_suffix<T: Encode + ?Sized, R>(
+    value: &T,
+    suffix: &[u8],
+    f: impl FnOnce(&[u8]) -> R,
+) -> R {
+    let scratch = ENCODE_SCRATCH
+        .with(|s| s.borrow_mut().pop())
+        .unwrap_or_default();
+    let mut enc = Encoder::reuse(scratch);
+    value.encode(&mut enc);
+    let mut buf = enc.into_bytes();
+    buf.extend_from_slice(suffix);
+    let out = f(&buf);
+    ENCODE_SCRATCH.with(|s| s.borrow_mut().push(buf));
+    out
 }
 
 impl Encode for u64 {

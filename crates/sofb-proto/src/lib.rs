@@ -33,12 +33,14 @@ pub mod backlog;
 pub mod codec;
 pub mod fasthash;
 pub mod ids;
+pub mod pool;
 pub mod request;
 pub mod signed;
 pub mod topology;
 
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use ids::{ClientId, ProcessId, Rank, SeqNo, ViewId};
+pub use pool::{BufPool, PooledBuf};
 pub use request::{BatchRef, Digest, Request, RequestId};
 pub use signed::{DoublySigned, Signed};
 pub use topology::{Candidate, Topology, Variant};

@@ -1,0 +1,260 @@
+//! Pooled, shared message byte buffers.
+//!
+//! Signatures, MAC tags and digest inputs are created once per protocol
+//! message but cloned once per *hop* — a multicast to `n` peers used to
+//! deep-copy every byte buffer `n` times, and each copy was a fresh heap
+//! allocation the destination freed after dispatch. [`PooledBuf`] makes
+//! the per-hop clone a reference-count bump, and [`BufPool`] recycles the
+//! backing storage when the last clone is dropped ("recycle on deliver"):
+//! at steady state the same few vectors shuttle between the pool and the
+//! in-flight messages, and signing a message allocates nothing.
+//!
+//! The pool is thread-local — worlds are single-threaded and a sweep
+//! worker owns its world end to end, so buffers return to the pool of the
+//! thread that is recycling them without any synchronization. The pool is
+//! bounded (`MAX_POOLED`); beyond that, storage simply drops.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+
+/// Upper bound on pooled storages per thread; keeps a pathological burst
+/// from pinning memory forever.
+const MAX_POOLED: usize = 1024;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Handle to the thread-local recycled-storage pool.
+#[derive(Debug)]
+pub struct BufPool;
+
+impl BufPool {
+    /// Takes a cleared storage vector from the pool (or a fresh one when
+    /// the pool is empty). Pair with [`PooledBuf::seal`] — or let the
+    /// vector drop, which simply forfeits the recycled capacity.
+    pub fn take() -> Vec<u8> {
+        POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+    }
+
+    /// Returns a storage vector to the pool.
+    fn put(mut data: Vec<u8>) {
+        if data.capacity() == 0 {
+            return;
+        }
+        data.clear();
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED {
+                p.push(data);
+            }
+        });
+    }
+
+    /// Number of storages currently pooled on this thread (test
+    /// introspection).
+    pub fn pooled() -> usize {
+        POOL.with(|p| p.borrow().len())
+    }
+}
+
+/// The shared backing storage; returns its vector to the pool when the
+/// last [`PooledBuf`] clone drops.
+#[derive(Debug)]
+struct Storage {
+    data: Vec<u8>,
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        BufPool::put(std::mem::take(&mut self.data));
+    }
+}
+
+/// An immutable, cheaply clonable byte buffer with pooled storage.
+///
+/// Semantically a `Vec<u8>` frozen at construction: it compares, hashes
+/// and orders by content, and encodes exactly like a length-prefixed byte
+/// string. Cloning bumps a reference count; dropping the last clone
+/// recycles the storage through [`BufPool`].
+#[derive(Clone, Debug, Default)]
+pub struct PooledBuf {
+    /// `None` is the canonical empty buffer (no storage, no recycling).
+    inner: Option<Arc<Storage>>,
+}
+
+impl PooledBuf {
+    /// The empty buffer. Allocation-free.
+    pub fn empty() -> Self {
+        PooledBuf { inner: None }
+    }
+
+    /// Freezes `data` (typically from [`BufPool::take`]) into a shared
+    /// buffer. An empty vector returns straight to the pool.
+    pub fn seal(data: Vec<u8>) -> Self {
+        if data.is_empty() {
+            BufPool::put(data);
+            return Self::empty();
+        }
+        PooledBuf {
+            inner: Some(Arc::new(Storage { data })),
+        }
+    }
+
+    /// Copies `bytes` into pooled storage.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        if bytes.is_empty() {
+            return Self::empty();
+        }
+        let mut data = BufPool::take();
+        data.extend_from_slice(bytes);
+        Self::seal(data)
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_ref().map_or(&[], |s| s.data.as_slice())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_none()
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PooledBuf {
+    fn from(data: Vec<u8>) -> Self {
+        Self::seal(data)
+    }
+}
+
+impl From<&[u8]> for PooledBuf {
+    fn from(bytes: &[u8]) -> Self {
+        Self::copy_from(bytes)
+    }
+}
+
+impl PartialEq for PooledBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for PooledBuf {}
+
+impl PartialEq<[u8]> for PooledBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PooledBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for PooledBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for PooledBuf {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PooledBuf {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Encode for PooledBuf {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.as_slice());
+    }
+}
+
+impl Decode for PooledBuf {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self::seal(dec.get_bytes()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = PooledBuf::copy_from(b"hello");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn storage_recycles_on_last_drop() {
+        // Drain whatever earlier tests pooled, then check round-trips
+        // reuse storage instead of growing the pool.
+        while BufPool::pooled() > 0 {
+            BufPool::take();
+        }
+        let a = PooledBuf::copy_from(b"first");
+        let b = a.clone();
+        drop(a);
+        assert_eq!(BufPool::pooled(), 0, "clone still live");
+        drop(b);
+        assert_eq!(BufPool::pooled(), 1, "last drop must recycle");
+        let c = PooledBuf::copy_from(b"second");
+        assert_eq!(BufPool::pooled(), 0, "new buffer must reuse storage");
+        assert_eq!(c.as_slice(), b"second");
+    }
+
+    #[test]
+    fn empty_is_canonical_and_unpooled() {
+        assert_eq!(PooledBuf::empty(), PooledBuf::copy_from(b""));
+        assert_eq!(PooledBuf::empty().len(), 0);
+        assert!(PooledBuf::from(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn compares_and_encodes_like_bytes() {
+        let a = PooledBuf::copy_from(b"abc");
+        assert_eq!(a, b"abc".to_vec());
+        assert!(a < PooledBuf::copy_from(b"abd"));
+        let bytes = {
+            let mut enc = Encoder::new();
+            a.encode(&mut enc);
+            enc.into_bytes()
+        };
+        assert_eq!(bytes, {
+            let mut enc = Encoder::new();
+            enc.put_bytes(b"abc");
+            enc.into_bytes()
+        });
+        assert_eq!(PooledBuf::from_bytes(&bytes).unwrap(), a);
+    }
+}

@@ -1,35 +1,88 @@
 //! Client requests, batches and digests.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
 use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use crate::ids::ClientId;
 
+/// Longest digest any supported scheme produces (SHA-256).
+pub const MAX_DIGEST_LEN: usize = 32;
+
 /// A message digest (algorithm chosen by the deployment's scheme).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Digest(pub Vec<u8>);
+///
+/// Stored inline — digests are at most [`MAX_DIGEST_LEN`] bytes, and
+/// order messages carrying them are cloned once per multicast hop, so an
+/// inline copy beats a heap buffer on the simulator's hottest path.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest {
+    len: u8,
+    bytes: [u8; MAX_DIGEST_LEN],
+}
 
 impl Digest {
+    /// Wraps raw digest bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds [`MAX_DIGEST_LEN`] — no supported
+    /// digest algorithm produces more than 32 bytes.
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= MAX_DIGEST_LEN, "digest too long");
+        let mut d = Digest {
+            len: bytes.len() as u8,
+            bytes: [0; MAX_DIGEST_LEN],
+        };
+        d.bytes[..bytes.len()].copy_from_slice(bytes);
+        d
+    }
+
     /// An empty digest (placeholder before computation).
     pub fn empty() -> Self {
-        Digest(Vec::new())
+        Digest::default()
+    }
+
+    /// The digest bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
     }
 
     /// Short hex rendering for logs.
     pub fn short_hex(&self) -> String {
-        self.0.iter().take(6).map(|b| format!("{b:02x}")).collect()
+        self.as_slice()
+            .iter()
+            .take(6)
+            .map(|b| format!("{b:02x}"))
+            .collect()
+    }
+}
+
+impl From<Vec<u8>> for Digest {
+    fn from(bytes: Vec<u8>) -> Self {
+        Digest::new(&bytes)
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({})", self.short_hex())
     }
 }
 
 impl Encode for Digest {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_bytes(&self.0);
+        enc.put_bytes(self.as_slice());
     }
 }
 
 impl Decode for Digest {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        Ok(Digest(dec.get_bytes()?))
+        let bytes = dec.get_bytes()?;
+        if bytes.len() > MAX_DIGEST_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        Ok(Digest::new(&bytes))
     }
 }
 
@@ -110,10 +163,14 @@ impl Decode for Request {
 ///
 /// The digest is computed over the concatenated canonical encodings of the
 /// member requests, in id order as listed.
+///
+/// The member list is shared (`Arc`): order and ack messages embed the
+/// batch reference and are cloned once per multicast hop, so the clone
+/// must be a reference-count bump, not a copy of a hundred request ids.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchRef {
     /// Member request ids, in coordinator order.
-    pub requests: Vec<RequestId>,
+    pub requests: Arc<[RequestId]>,
     /// Digest over the members' canonical encodings.
     pub digest: Digest,
 }
@@ -149,7 +206,7 @@ impl Encode for BatchRef {
 
 impl Decode for BatchRef {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        let requests = dec.get_seq()?;
+        let requests = dec.get_seq::<RequestId>()?.into();
         let digest = Digest::decode(dec)?;
         Ok(BatchRef { requests, digest })
     }
@@ -206,8 +263,9 @@ mod tests {
                     client: ClientId(2),
                     seq: 9,
                 },
-            ],
-            digest: Digest(vec![1, 2, 3]),
+            ]
+            .into(),
+            digest: Digest::new(&[1, 2, 3]),
         };
         assert_eq!(BatchRef::from_bytes(&b.to_bytes()).unwrap(), b);
         assert_eq!(b.len(), 2);
@@ -216,7 +274,7 @@ mod tests {
 
     #[test]
     fn digest_display() {
-        let d = Digest(vec![0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03]);
+        let d = Digest::new(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03]);
         assert_eq!(d.to_string(), "D(deadbeef0102)");
         assert_eq!(Digest::empty().to_string(), "D()");
     }

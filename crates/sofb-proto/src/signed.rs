@@ -9,8 +9,11 @@
 
 use sofb_crypto::provider::CryptoProvider;
 
-use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use crate::codec::{
+    with_encoded, with_encoded_suffix, CodecError, Decode, Decoder, Encode, Encoder,
+};
 use crate::ids::ProcessId;
+use crate::pool::{BufPool, PooledBuf};
 
 /// A payload with one signature.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,25 +22,28 @@ pub struct Signed<T> {
     pub payload: T,
     /// Who signed.
     pub signer: ProcessId,
-    /// Signature over the payload's canonical encoding.
-    pub sig: Vec<u8>,
+    /// Signature over the payload's canonical encoding. Pooled: clones
+    /// (one per multicast hop) share the storage by reference count.
+    pub sig: PooledBuf,
 }
 
 impl<T: Encode> Signed<T> {
     /// Signs `payload` as the provider's own process.
     pub fn sign(payload: T, provider: &mut dyn CryptoProvider) -> Self {
-        let bytes = payload.to_bytes();
-        let sig = provider.sign(&bytes);
+        let mut sig = BufPool::take();
+        with_encoded(&payload, |bytes| provider.sign_into(bytes, &mut sig));
         Signed {
             payload,
             signer: ProcessId(provider.my_id()),
-            sig,
+            sig: PooledBuf::seal(sig),
         }
     }
 
     /// Verifies the signature against the claimed signer.
     pub fn verify(&self, provider: &mut dyn CryptoProvider) -> bool {
-        provider.verify(self.signer.0, &self.payload.to_bytes(), &self.sig)
+        with_encoded(&self.payload, |bytes| {
+            provider.verify(self.signer.0, bytes, &self.sig)
+        })
     }
 }
 
@@ -53,7 +59,7 @@ impl<T: Decode> Decode for Signed<T> {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let payload = T::decode(dec)?;
         let signer = ProcessId::decode(dec)?;
-        let sig = dec.get_bytes()?;
+        let sig = PooledBuf::decode(dec)?;
         Ok(Signed {
             payload,
             signer,
@@ -70,11 +76,11 @@ pub struct DoublySigned<T> {
     /// First signatory (computed the content).
     pub first: ProcessId,
     /// First signature, over the payload encoding.
-    pub first_sig: Vec<u8>,
+    pub first_sig: PooledBuf,
     /// Second signatory (endorsed the content).
     pub second: ProcessId,
     /// Second signature, over payload encoding ‖ first signature.
-    pub second_sig: Vec<u8>,
+    pub second_sig: PooledBuf,
 }
 
 impl<T: Encode> DoublySigned<T> {
@@ -83,27 +89,30 @@ impl<T: Encode> DoublySigned<T> {
     /// The caller must already have validated the payload in the value
     /// domain; this only attaches the second signature.
     pub fn endorse(signed: Signed<T>, provider: &mut dyn CryptoProvider) -> Self {
-        let mut content = signed.payload.to_bytes();
-        content.extend_from_slice(&signed.sig);
-        let second_sig = provider.sign(&content);
+        let mut second_sig = BufPool::take();
+        with_encoded_suffix(&signed.payload, &signed.sig, |content| {
+            provider.sign_into(content, &mut second_sig)
+        });
         DoublySigned {
             payload: signed.payload,
             first: signed.signer,
             first_sig: signed.sig,
             second: ProcessId(provider.my_id()),
-            second_sig,
+            second_sig: PooledBuf::seal(second_sig),
         }
     }
 
     /// Verifies both signatures.
     pub fn verify(&self, provider: &mut dyn CryptoProvider) -> bool {
-        let payload_bytes = self.payload.to_bytes();
-        if !provider.verify(self.first.0, &payload_bytes, &self.first_sig) {
+        let first_ok = with_encoded(&self.payload, |bytes| {
+            provider.verify(self.first.0, bytes, &self.first_sig)
+        });
+        if !first_ok {
             return false;
         }
-        let mut content = payload_bytes;
-        content.extend_from_slice(&self.first_sig);
-        provider.verify(self.second.0, &content, &self.second_sig)
+        with_encoded_suffix(&self.payload, &self.first_sig, |content| {
+            provider.verify(self.second.0, content, &self.second_sig)
+        })
     }
 
     /// True if the two signatories are exactly `{a, b}` in either order.
@@ -126,9 +135,9 @@ impl<T: Decode> Decode for DoublySigned<T> {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let payload = T::decode(dec)?;
         let first = ProcessId::decode(dec)?;
-        let first_sig = dec.get_bytes()?;
+        let first_sig = PooledBuf::decode(dec)?;
         let second = ProcessId::decode(dec)?;
-        let second_sig = dec.get_bytes()?;
+        let second_sig = PooledBuf::decode(dec)?;
         Ok(DoublySigned {
             payload,
             first,

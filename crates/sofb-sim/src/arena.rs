@@ -1,0 +1,170 @@
+//! Generation-indexed arena for in-flight event payloads.
+//!
+//! The engine's event stores — the network heap, the staged buffer, the
+//! instant run queue and each node's inbox — used to own their message
+//! payloads directly. Every heap sift and queue shuffle then moved whole
+//! protocol messages around, and every store transition was a deep move
+//! of the payload. The arena inverts that: payloads live in one slab of
+//! generation-stamped slots, and the stores carry small `Copy`
+//! [`EventKey`] handles instead. Moving an event between stores copies a
+//! few words; the payload itself moves exactly twice — into the arena at
+//! send time, out of it at dispatch time.
+//!
+//! The slot/generation discipline mirrors [`crate::sched`]'s slab: a
+//! freed slot returns to a free list and bumps its generation, so a stale
+//! key can never alias a recycled slot. Slots are recycled in LIFO order,
+//! which keeps the hot end of the slab cache-resident at steady state.
+//! After warmup the slab stops growing — inserting an in-flight payload
+//! allocates nothing.
+//!
+//! Pure representation change: keys are handed out and redeemed in
+//! exactly the order the owning stores already realize, so schedules are
+//! bit-identical to the payload-owning engine (the golden-trace tests pin
+//! this).
+
+/// A generation-stamped handle to an in-flight event payload.
+///
+/// Keys are single-use: [`EventArena::take`] consumes the payload and
+/// retires the key. The generation stamp makes accidental reuse loud
+/// (a stale key panics in `take` and is a no-op in `free`) instead of
+/// silently aliasing a recycled slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventKey {
+    slot: u32,
+    gen: u32,
+}
+
+/// Slab of in-flight event payloads, indexed by [`EventKey`].
+#[derive(Debug)]
+pub struct EventArena<M> {
+    slots: Vec<(u32, Option<M>)>, // (generation, payload)
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl<M> Default for EventArena<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventArena<M> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        EventArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Stores `payload` and returns its key. Reuses a freed slot when one
+    /// exists; only a new high-water mark grows the slab.
+    pub fn insert(&mut self, payload: M) -> EventKey {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push((0, None));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let (gen, cell) = &mut self.slots[slot as usize];
+        debug_assert!(cell.is_none(), "free-listed slot still occupied");
+        *cell = Some(payload);
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        EventKey { slot, gen: *gen }
+    }
+
+    /// Removes and returns the payload behind `key`, retiring the key and
+    /// recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale key (already taken or freed). The engine hands
+    /// every key to exactly one store transition, so a stale take is a
+    /// bookkeeping bug, not a recoverable condition.
+    pub fn take(&mut self, key: EventKey) -> M {
+        let (gen, cell) = &mut self.slots[key.slot as usize];
+        assert_eq!(*gen, key.gen, "stale event key");
+        let payload = cell.take().expect("stale event key");
+        *gen = gen.wrapping_add(1);
+        self.free.push(key.slot);
+        self.live -= 1;
+        payload
+    }
+
+    /// Drops the payload behind `key` without returning it (a delivery to
+    /// a crashed node, a discarded inbox). Stale keys are a no-op.
+    pub fn free(&mut self, key: EventKey) {
+        let (gen, cell) = &mut self.slots[key.slot as usize];
+        if *gen != key.gen || cell.is_none() {
+            return;
+        }
+        *cell = None;
+        *gen = gen.wrapping_add(1);
+        self.free.push(key.slot);
+        self.live -= 1;
+    }
+
+    /// Number of payloads currently in flight.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Largest number of payloads ever in flight at once — the slab's
+    /// final size, and the engine's peak event-memory footprint.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut a: EventArena<String> = EventArena::new();
+        let k1 = a.insert("one".into());
+        let k2 = a.insert("two".into());
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.take(k1), "one");
+        assert_eq!(a.take(k2), "two");
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.high_water(), 2);
+    }
+
+    #[test]
+    fn slots_recycle_without_growth() {
+        let mut a: EventArena<u64> = EventArena::new();
+        for i in 0..1_000u64 {
+            let k = a.insert(i);
+            assert_eq!(a.take(k), i);
+        }
+        assert_eq!(a.high_water(), 1, "round-trips must reuse one slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale event key")]
+    fn stale_take_panics() {
+        let mut a: EventArena<u32> = EventArena::new();
+        let k = a.insert(7);
+        a.take(k);
+        a.take(k);
+    }
+
+    #[test]
+    fn stale_free_is_noop_and_generation_protects_reuse() {
+        let mut a: EventArena<u32> = EventArena::new();
+        let k1 = a.insert(7);
+        a.free(k1);
+        a.free(k1); // stale: no-op
+        let k2 = a.insert(8); // reuses the slot under a new generation
+        a.free(k1); // stale: must not free the new payload
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.take(k2), 8);
+    }
+}

@@ -42,6 +42,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::arena::{EventArena, EventKey};
 use crate::cpu::CpuModel;
 use crate::delay::NetworkModel;
 use crate::sched::{EntryId, Wheel};
@@ -246,12 +247,16 @@ impl<'a, M, E> Ctx<'a, M, E> {
     }
 }
 
-/// A stimulus waiting in a node's input queue.
-#[derive(Debug)]
-enum Incoming<M> {
+/// A stimulus waiting in a node's input queue. Payloads stay in the
+/// [`EventArena`] until dispatch; the queue entry carries the key plus
+/// the wire length captured at send time (messages are immutable in
+/// flight, so the length never changes).
+#[derive(Debug, Clone, Copy)]
+enum Incoming {
     Message {
         from: usize,
-        msg: M,
+        key: EventKey,
+        len: u32,
     },
     Timer {
         tag: u64,
@@ -261,31 +266,41 @@ enum Incoming<M> {
 }
 
 /// Network-level heap events (everything else lives in the timer wheel
-/// or the instant run queue).
-#[derive(Debug)]
-enum NetEventKind<M> {
-    Deliver { to: usize, from: usize, msg: M },
-    Crash { node: usize },
+/// or the instant run queue). `Copy`: deliveries reference their payload
+/// through an arena key, so heap sifts and store transitions move a few
+/// words instead of whole protocol messages.
+#[derive(Debug, Clone, Copy)]
+enum NetEventKind {
+    Deliver {
+        to: usize,
+        from: usize,
+        key: EventKey,
+        len: u32,
+    },
+    Crash {
+        node: usize,
+    },
 }
 
-struct NetEvent<M> {
+#[derive(Debug, Clone, Copy)]
+struct NetEvent {
     time: SimTime,
     seq: u64,
-    kind: NetEventKind<M>,
+    kind: NetEventKind,
 }
 
-impl<M> PartialEq for NetEvent<M> {
+impl PartialEq for NetEvent {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for NetEvent<M> {}
-impl<M> PartialOrd for NetEvent<M> {
+impl Eq for NetEvent {}
+impl PartialOrd for NetEvent {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for NetEvent<M> {
+impl Ord for NetEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -301,8 +316,9 @@ enum NodeEvent {
 }
 
 /// One entry of the current-instant run queue.
-enum InstantItem<M> {
-    Net(NetEventKind<M>),
+#[derive(Debug, Clone, Copy)]
+enum InstantItem {
+    Net(NetEventKind),
     Node(NodeEvent),
 }
 
@@ -325,7 +341,7 @@ struct NodeState<M, E> {
     /// is the flat world; sharded worlds place each ordering group at its
     /// own base so unmodified protocol actors can cohabit one world.
     base: usize,
-    inbox: VecDeque<Incoming<M>>,
+    inbox: VecDeque<Incoming>,
     /// True while a Ready event for this node is scheduled.
     busy: bool,
     busy_until: SimTime,
@@ -344,6 +360,10 @@ struct NodeState<M, E> {
     /// Send-delay window `(from, until, extra)`; `until = None` forever.
     send_delay: Option<(SimTime, Option<SimTime>, SimDuration)>,
     cpu: CpuModel,
+    /// Arena payloads currently addressed to this node (in the network
+    /// stores or the inbox) — the live counter behind
+    /// [`NodeStats::max_inflight`].
+    inflight: usize,
     stats: NodeStats,
 }
 
@@ -361,6 +381,10 @@ pub struct NodeStats {
     /// Largest input-queue depth observed (sampled at enqueue, so a
     /// burst of `k` stimuli to an idle node records `k`).
     pub max_queue: usize,
+    /// Largest number of arena-resident payloads addressed to this node
+    /// at once — in-flight deliveries plus queued inbox entries. Bounds
+    /// the node's share of the event arena's high-water mark.
+    pub max_inflight: usize,
 }
 
 impl NodeStats {
@@ -372,6 +396,7 @@ impl NodeStats {
         self.busy_ns += other.busy_ns;
         self.busy_until = self.busy_until.max(other.busy_until);
         self.max_queue = self.max_queue.max(other.max_queue);
+        self.max_inflight = self.max_inflight.max(other.max_inflight);
     }
 
     /// Fraction of `[0, now]` this node's CPU was busy.
@@ -392,15 +417,18 @@ impl NodeStats {
 /// The simulated world: nodes, network, event stores, observation log.
 pub struct World<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> {
     nodes: Vec<NodeState<M, E>>,
+    /// In-flight message payloads; every `Deliver` and inbox entry holds
+    /// a key into this slab.
+    arena: EventArena<M>,
     /// Network events (deliveries, scheduled crashes) for future instants.
-    heap: BinaryHeap<Reverse<NetEvent<M>>>,
+    heap: BinaryHeap<Reverse<NetEvent>>,
     /// Future network events staged during the current instant; folded
     /// into the heap in one batch when the next instant forms.
-    staged: Vec<NetEvent<M>>,
+    staged: Vec<NetEvent>,
     /// Node-local time-indexed events (timer fires, node-ready).
     wheel: Wheel<NodeEvent>,
     /// All events due at `instant_time`, in `seq` order.
-    instant: VecDeque<(u64, InstantItem<M>)>,
+    instant: VecDeque<(u64, InstantItem)>,
     instant_time: SimTime,
     in_instant: bool,
     now: SimTime,
@@ -408,6 +436,12 @@ pub struct World<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> {
     rng: StdRng,
     net: NetworkModel,
     events: Vec<TimedEvent<E>>,
+    /// Recycled callback scratch: the send and timer-op vectors handed to
+    /// each `Ctx` (callbacks never nest, so one set suffices). Their
+    /// capacity persists across callbacks — the steady state allocates
+    /// neither.
+    spare_sends: Vec<(usize, M)>,
+    spare_timer_ops: Vec<TimerOp>,
     processed: u64,
     messages_sent: u64,
     bytes_sent: u64,
@@ -421,6 +455,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     pub fn new(net: NetworkModel, seed: u64) -> Self {
         World {
             nodes: Vec::new(),
+            arena: EventArena::new(),
             heap: BinaryHeap::new(),
             staged: Vec::new(),
             wheel: Wheel::new(),
@@ -432,6 +467,8 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             rng: StdRng::seed_from_u64(seed),
             net,
             events: Vec::new(),
+            spare_sends: Vec::new(),
+            spare_timer_ops: Vec::new(),
             processed: 0,
             messages_sent: 0,
             bytes_sent: 0,
@@ -471,6 +508,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             mute: None,
             send_delay: None,
             cpu,
+            inflight: 0,
             stats: NodeStats::default(),
         });
         self.nodes.len() - 1
@@ -523,6 +561,30 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         self.heap_pushes as f64 / self.processed as f64
     }
 
+    /// Message payloads currently in flight (in the network stores or a
+    /// node inbox, not yet dispatched).
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// High-water mark of in-flight message payloads — the event arena's
+    /// final slab size, i.e. the peak event-memory footprint of the run.
+    pub fn arena_high_water(&self) -> usize {
+        self.arena.high_water()
+    }
+
+    /// Snapshot of the run's deterministic engine counters (see
+    /// [`crate::metrics::EngineCounters`]): pair with wall-clock and
+    /// allocator measurements for host-performance reporting.
+    pub fn counters(&self) -> crate::metrics::EngineCounters {
+        crate::metrics::EngineCounters {
+            events_processed: self.processed,
+            heap_pushes: self.heap_pushes,
+            arena_high_water: self.arena.high_water(),
+            sim_ns: self.now.as_ns(),
+        }
+    }
+
     /// Marks a node crashed: its queue is discarded, its armed timers are
     /// cancelled and it receives no further callbacks. (Byzantine
     /// behaviours live in the actors; crash is the only failure the
@@ -530,7 +592,12 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     pub fn crash(&mut self, node: usize) {
         let n = &mut self.nodes[node];
         n.crashed = true;
-        n.inbox.clear();
+        for inc in n.inbox.drain(..) {
+            if let Incoming::Message { key, .. } = inc {
+                self.arena.free(key);
+                n.inflight -= 1;
+            }
+        }
         for t in n.timers.drain(..) {
             if let Some(id) = t.entry {
                 self.wheel.cancel(id);
@@ -639,14 +706,14 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// Inserts an item into the current instant's run queue at its `seq`
     /// position (almost always the back; a redeemed reservation may sort
     /// earlier).
-    fn instant_insert(&mut self, seq: u64, item: InstantItem<M>) {
+    fn instant_insert(&mut self, seq: u64, item: InstantItem) {
         let pos = self.instant.partition_point(|(s, _)| *s < seq);
         self.instant.insert(pos, (seq, item));
     }
 
     /// Schedules a network event: same-instant events join the run
     /// queue, future ones are staged for the next heap fold.
-    fn push_net(&mut self, time: SimTime, kind: NetEventKind<M>) {
+    fn push_net(&mut self, time: SimTime, kind: NetEventKind) {
         let seq = self.alloc_seq();
         if self.in_instant && time == self.instant_time {
             self.instant_insert(seq, InstantItem::Net(kind));
@@ -694,24 +761,30 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         self.instant_time = t;
         self.in_instant = true;
 
-        let mut batch: Vec<(u64, InstantItem<M>)> = Vec::new();
-        for e in std::mem::take(&mut self.staged) {
+        // The run queue is empty here (the caller just drained it), so it
+        // doubles as the batch buffer — its capacity, like the staged
+        // buffer's, persists across instants.
+        debug_assert!(self.instant.is_empty());
+        for i in 0..self.staged.len() {
+            let e = self.staged[i];
             if e.time == t {
-                batch.push((e.seq, InstantItem::Net(e.kind)));
+                self.instant.push_back((e.seq, InstantItem::Net(e.kind)));
             } else {
                 self.heap_pushes += 1;
                 self.heap.push(Reverse(e));
             }
         }
+        self.staged.clear();
         while self.heap.peek().is_some_and(|Reverse(e)| e.time == t) {
             let Reverse(e) = self.heap.pop().unwrap();
-            batch.push((e.seq, InstantItem::Net(e.kind)));
+            self.instant.push_back((e.seq, InstantItem::Net(e.kind)));
         }
         while let Some((seq, ev)) = self.wheel.pop_due(t) {
-            batch.push((seq, InstantItem::Node(ev)));
+            self.instant.push_back((seq, InstantItem::Node(ev)));
         }
-        batch.sort_unstable_by_key(|(seq, _)| *seq);
-        self.instant = batch.into();
+        self.instant
+            .make_contiguous()
+            .sort_unstable_by_key(|(seq, _)| *seq);
         true
     }
 
@@ -723,8 +796,8 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         }
         let (seq, item) = self.instant.pop_front().expect("instant just formed");
         match item {
-            InstantItem::Net(NetEventKind::Deliver { to, from, msg }) => {
-                self.deliver(to, from, msg, seq);
+            InstantItem::Net(NetEventKind::Deliver { to, from, key, len }) => {
+                self.deliver(to, from, key, len, seq);
             }
             InstantItem::Net(NetEventKind::Crash { node }) => {
                 self.crash(node);
@@ -740,12 +813,16 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     }
 
     /// A message arrives at `to`: queue it and wake the node if idle.
-    fn deliver(&mut self, to: usize, from: usize, msg: M, seq: u64) {
+    /// The payload stays in the arena until the callback dispatches it;
+    /// a crashed destination frees the slot instead.
+    fn deliver(&mut self, to: usize, from: usize, key: EventKey, len: u32, seq: u64) {
         let node = &mut self.nodes[to];
         if node.crashed {
+            node.inflight -= 1;
+            self.arena.free(key);
             return;
         }
-        node.inbox.push_back(Incoming::Message { from, msg });
+        node.inbox.push_back(Incoming::Message { from, key, len });
         node.stats.max_queue = node.stats.max_queue.max(node.inbox.len());
         if !node.busy {
             self.wake(to, seq);
@@ -860,25 +937,39 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// Delivers `msg` from a fictitious external source (e.g. a client
     /// co-located with `to`) at the current time.
     pub fn inject(&mut self, to: usize, from: usize, msg: M) {
-        self.push_net(self.now, NetEventKind::Deliver { to, from, msg });
+        let len = msg.wire_len() as u32;
+        let key = self.arena.insert(msg);
+        let n = &mut self.nodes[to];
+        n.inflight += 1;
+        n.stats.max_inflight = n.stats.max_inflight.max(n.inflight);
+        self.push_net(self.now, NetEventKind::Deliver { to, from, key, len });
     }
 
-    fn run_callback(&mut self, idx: usize, incoming: Option<Incoming<M>>) {
+    fn run_callback(&mut self, idx: usize, incoming: Option<Incoming>) {
         let start = self.now.max(self.nodes[idx].busy_until);
-        let msg_len = match &incoming {
-            Some(Incoming::Message { msg, .. }) => msg.wire_len(),
+        let msg_len = match incoming {
+            Some(Incoming::Message { len, .. }) => len as usize,
             _ => 0,
         };
         let queue_len = self.nodes[idx].inbox.len();
 
         let is_start = incoming.is_none();
-        let fired = match &incoming {
-            Some(Incoming::Timer { fired, .. }) => Some(*fired),
+        let fired = match incoming {
+            Some(Incoming::Timer { fired, .. }) => Some(fired),
+            _ => None,
+        };
+        // Dispatch moves the payload out of the arena, freeing its slot
+        // for the sends this very callback queues.
+        let mut taken: Option<M> = match incoming {
+            Some(Incoming::Message { key, .. }) => {
+                self.nodes[idx].inflight -= 1;
+                Some(self.arena.take(key))
+            }
             _ => None,
         };
         let base = self.nodes[idx].base;
         let mut events_buf = std::mem::take(&mut self.events);
-        let (sends, timer_ops, cost_ns) = {
+        let (mut sends, mut timer_ops, cost_ns) = {
             let node = &mut self.nodes[idx];
             let mut ctx = Ctx {
                 now: start,
@@ -886,17 +977,18 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                 me: idx - base,
                 world_node: idx,
                 rng: &mut self.rng,
-                sends: Vec::new(),
-                timer_ops: Vec::new(),
+                sends: std::mem::take(&mut self.spare_sends),
+                timer_ops: std::mem::take(&mut self.spare_timer_ops),
                 events: &mut events_buf,
             };
             match incoming {
                 None => node.actor.on_start(&mut ctx),
-                Some(Incoming::Message { from, msg }) => {
+                Some(Incoming::Message { from, .. }) => {
                     // `from` is a world index; the actor sees it relative
                     // to its base (clients and cross-group senders land
                     // beyond the group's own range, exactly as external
                     // senders do in a flat world).
+                    let msg = taken.take().expect("message payload taken above");
                     node.actor.on_message(from - base, msg, &mut ctx)
                 }
                 Some(Incoming::Timer { tag, .. }) => node.actor.on_timer(tag, &mut ctx),
@@ -933,7 +1025,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             .send_delay
             .and_then(|(from, until, extra)| in_window(from, until).then_some(extra))
             .unwrap_or(SimDuration::ZERO);
-        for (to, msg) in sends {
+        for (to, msg) in sends.drain(..) {
             // The actor addresses peers relative to its base.
             let to = to + base;
             // Self-addressed messages never traverse the uplink, so the
@@ -954,14 +1046,24 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                     extra_delay,
                 )
             };
+            let key = self.arena.insert(msg);
+            let n = &mut self.nodes[to];
+            n.inflight += 1;
+            n.stats.max_inflight = n.stats.max_inflight.max(n.inflight);
             self.push_net(
                 done + latency + extra,
-                NetEventKind::Deliver { to, from: idx, msg },
+                NetEventKind::Deliver {
+                    to,
+                    from: idx,
+                    key,
+                    len: len as u32,
+                },
             );
         }
+        self.spare_sends = sends;
 
         // Apply timer mutations at completion time, in call order.
-        for op in timer_ops {
+        for op in timer_ops.drain(..) {
             match op {
                 TimerOp::Cancel(tag) => self.cancel_arming(idx, tag),
                 TimerOp::Set(delay, tag) => {
@@ -985,6 +1087,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                 }
             }
         }
+        self.spare_timer_ops = timer_ops;
 
         // Continue draining this node's queue when the service completes
         // — or go idle, reserving the dequeue key the next stimulus may

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cpu;
 pub mod delay;
 pub mod engine;
@@ -63,5 +64,5 @@ pub mod time;
 pub use cpu::CpuModel;
 pub use delay::{DelayModel, LinkModel, NetworkModel};
 pub use engine::{Actor, Ctx, NodeStats, TimedEvent, WireSize, World};
-pub use metrics::{Histogram, Series, SeriesPoint};
+pub use metrics::{EngineCounters, Histogram, HostCounters, Series, SeriesPoint};
 pub use time::{SimDuration, SimTime};

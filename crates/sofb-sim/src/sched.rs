@@ -94,6 +94,11 @@ pub struct Wheel<T> {
     levels: Vec<Vec<Vec<EntryRef>>>, // [level][slot] -> refs
     occ: [u64; LEVELS],              // per-level slot occupancy bitmaps
     overflow: Vec<EntryRef>,
+    /// Swap-in replacement for a slot vector being cascaded: keeps the
+    /// drained slot's capacity in rotation instead of dropping it (the
+    /// steady-state wheel would otherwise re-allocate a slot vector per
+    /// cascade).
+    spare_slot: Vec<EntryRef>,
     base_tick: u64,
     live: usize,
     /// Memoized location of the minimum entry (`key`, slab slot,
@@ -126,11 +131,16 @@ impl<T> Wheel<T> {
         Wheel {
             slab: Vec::new(),
             free: Vec::new(),
+            // Slot vectors start with a little capacity: higher-level
+            // slots are first touched only as the cursor advances into
+            // them, and a zero-capacity first push would be a
+            // steady-state allocation arbitrarily late in a run.
             levels: (0..LEVELS)
-                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .map(|_| (0..SLOTS).map(|_| Vec::with_capacity(8)).collect())
                 .collect(),
             occ: [0; LEVELS],
             overflow: Vec::new(),
+            spare_slot: Vec::with_capacity(8),
             base_tick: 0,
             live: 0,
             cached_min: None,
@@ -347,10 +357,18 @@ impl<T> Wheel<T> {
             // Cascade: advance the cursor to the slot's window (nothing
             // live lies before it) and refile its entries lower down.
             self.base_tick = self.base_tick.max(start_tick);
-            let refs = std::mem::take(&mut self.levels[level][slot]);
+            let mut refs = std::mem::replace(
+                &mut self.levels[level][slot],
+                std::mem::take(&mut self.spare_slot),
+            );
             self.occ[level] &= !(1u64 << slot);
-            for r in refs {
+            for r in refs.drain(..) {
                 self.place(r);
+            }
+            // Keep the larger buffer in rotation (place() may have
+            // started refilling the emptied slot).
+            if refs.capacity() > self.spare_slot.capacity() {
+                self.spare_slot = refs;
             }
         }
     }

@@ -1,0 +1,133 @@
+//! Zero-allocation assertion for the event hot path.
+//!
+//! Drives a two-node ping-pong world — Copy messages, non-zero network
+//! latency, per-node timers — long enough to warm every engine buffer
+//! (event arena slab, network heap, timer wheel slab, instant queue,
+//! scratch vectors), then asserts that a long steady-state stretch
+//! performs **zero** heap allocations: every delivered event reuses
+//! arena slots and pooled scratch.
+//!
+//! The counting allocator is process-global, so this file deliberately
+//! holds exactly one `#[test]` — a second test running concurrently
+//! would perturb the count.
+
+use sofb_sim::cpu::CpuModel;
+use sofb_sim::delay::{DelayModel, LinkModel, NetworkModel};
+use sofb_sim::engine::{Actor, Ctx, WireSize, World};
+use sofb_sim::time::SimDuration;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc::new();
+
+/// A fixed-size message: what protocol messages look like to the engine
+/// once payload buffers are pooled (clones are refcount bumps, the
+/// engine never clones at all — it moves payloads through the arena).
+#[derive(Clone, Copy, Debug)]
+struct Ping(u64);
+
+impl WireSize for Ping {
+    fn wire_len(&self) -> usize {
+        64
+    }
+}
+
+/// Echoes every ping forever and keeps a periodic timer armed — the
+/// steady state exercises all three event stores (network heap, timer
+/// wheel, instant queue) on every beat.
+struct Echo {
+    peer: usize,
+    initiate: bool,
+}
+
+const TICK: u64 = 7;
+
+impl Actor for Echo {
+    type Msg = Ping;
+    type Event = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, ()>) {
+        if self.initiate {
+            ctx.send(self.peer, Ping(0));
+        }
+        ctx.set_timer(SimDuration::from_us(350), TICK);
+    }
+
+    fn on_message(&mut self, _from: usize, msg: Ping, ctx: &mut Ctx<'_, Ping, ()>) {
+        ctx.send(self.peer, Ping(msg.0 + 1));
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Ping, ()>) {
+        ctx.set_timer(SimDuration::from_us(350), tag);
+    }
+}
+
+fn world() -> World<Ping, ()> {
+    let net = NetworkModel::uniform(LinkModel {
+        delay: DelayModel::Constant(SimDuration::from_us(100)),
+        per_byte_ns: 10,
+    });
+    let mut w: World<Ping, ()> = World::new(net, 0xa110c);
+    w.add_node(
+        Box::new(Echo {
+            peer: 1,
+            initiate: true,
+        }),
+        CpuModel::zero(),
+    );
+    w.add_node(
+        Box::new(Echo {
+            peer: 0,
+            initiate: false,
+        }),
+        CpuModel::zero(),
+    );
+    w
+}
+
+#[test]
+fn steady_state_event_path_allocates_nothing() {
+    let mut w = world();
+    w.start();
+
+    // Warmup: grow every slab/heap/scratch buffer to steady-state
+    // capacity.
+    for _ in 0..10_000 {
+        assert!(w.step(), "ping-pong world must never go idle");
+    }
+
+    // The counter is process-global, so the libtest harness thread can
+    // sporadically contribute a couple of allocations mid-window. A real
+    // hot-path leak allocates on every beat and taints *every* window, so
+    // measure several windows and require at least one to be perfectly
+    // clean.
+    const STEADY_STEPS: u64 = 100_000;
+    const WINDOWS: usize = 5;
+    let mut min_allocs = u64::MAX;
+    for _ in 0..WINDOWS {
+        let before_allocs = alloc_counter::allocations();
+        let before_events = w.processed();
+        for _ in 0..STEADY_STEPS {
+            assert!(w.step(), "ping-pong world must never go idle");
+        }
+        let delta_allocs = alloc_counter::allocations() - before_allocs;
+        let delta_events = w.processed() - before_events;
+
+        // A step that folds an instant batch can deliver several
+        // callbacks, and some steps only advance time; require a healthy
+        // callback rate rather than exact step parity.
+        assert!(
+            delta_events >= STEADY_STEPS / 2,
+            "steps must process events (got {delta_events})"
+        );
+        min_allocs = min_allocs.min(delta_allocs);
+        if min_allocs == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        min_allocs, 0,
+        "steady-state event path must not allocate (best window over \
+         {WINDOWS} runs of {STEADY_STEPS} steps still saw {min_allocs} \
+         allocations)"
+    );
+}

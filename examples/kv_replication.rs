@@ -64,7 +64,7 @@ fn main() {
     let mut batch_digests: BTreeMap<SeqNo, Digest> = BTreeMap::new();
     for ev in &events {
         if let ScEvent::Committed { o, digest, .. } = &ev.event {
-            batch_digests.insert(*o, digest.clone());
+            batch_digests.insert(*o, *digest);
         }
     }
     // Recover batch membership from any replica's committed log events by

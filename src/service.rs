@@ -49,7 +49,7 @@ pub struct ReplicatedService<S> {
     executors: Vec<Executor<S>>,
     /// Commits seen but not yet executed (waiting for the gap-free
     /// prefix).
-    staged: BTreeMap<SeqNo, Vec<RequestId>>,
+    staged: BTreeMap<SeqNo, std::sync::Arc<[RequestId]>>,
     replies: HashMap<RequestId, Vec<u8>>,
     started: bool,
 }

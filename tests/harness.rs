@@ -350,17 +350,22 @@ fn one_shard_sharded_fault_plan_matches_flat() {
     }
 }
 
-/// Scheduler-traffic budget on the benchmark's SC operating point
-/// (f = 2, 100 ms batching, three 100 req/s clients): with ProcessNext
-/// elision and the timer wheel, the binary heap carries little more
-/// than one event — the delivery itself — per processed callback.
-#[test]
-fn sc_point_heap_traffic_stays_under_budget() {
+/// Scheduler- and arena-traffic budget on the benchmark's operating
+/// point (f = 2, 100 ms batching, three 100 req/s clients), checked for
+/// every variant: with ProcessNext elision and the timer wheel, the
+/// binary heap carries little more than one event — the delivery itself
+/// — per processed callback, and the generation-indexed event arena's
+/// high-water mark stays bounded (slots recycle instead of the slab
+/// growing with run length).
+fn budget_point<P: Protocol>(variant: Option<Variant>) -> (f64, usize, u64) {
     let stop = SimTime::from_secs(3);
-    let mut builder = WorldBuilder::<ScProtocol>::new(2)
+    let mut builder = WorldBuilder::<P>::new(2)
         .seed(7)
         .batching_interval(SimDuration::from_ms(100))
         .time_checks(false);
+    if let Some(v) = variant {
+        builder = builder.variant(v);
+    }
     for _ in 0..3 {
         builder = builder.client(ClientSpec {
             rate_per_sec: 100.0,
@@ -375,8 +380,48 @@ fn sc_point_heap_traffic_stays_under_budget() {
         d.world.processed() > 1_000,
         "run too small to be meaningful"
     );
-    let ratio = d.world.heap_pushes_per_callback();
-    assert!(ratio < 1.1, "heap pushes per callback {ratio:.3} ≥ 1.1");
+    // The horizon cuts the run mid-flight (heartbeats never stop), so a
+    // handful of live arena slots is legitimate; a leak would leave one
+    // per delivered message.
+    assert!(
+        d.world.arena_live() < 64,
+        "events leaked in the arena ({} live)",
+        d.world.arena_live()
+    );
+    (
+        d.world.heap_pushes_per_callback(),
+        d.world.arena_high_water(),
+        d.world.processed(),
+    )
+}
+
+#[test]
+fn heap_and_arena_traffic_stay_under_budget_on_every_variant() {
+    let sc = budget_point::<ScProtocol>(None);
+    let scr = budget_point::<ScProtocol>(Some(Variant::Scr));
+    let bft = budget_point::<BftProtocol>(None);
+    let ct = budget_point::<CtProtocol>(None);
+    for (name, (ratio, high_water, processed)) in
+        [("SC", sc), ("SCR", scr), ("BFT", bft), ("CT", ct)]
+    {
+        assert!(
+            ratio < 1.1,
+            "{name}: heap pushes per callback {ratio:.3} ≥ 1.1"
+        );
+        // In-flight events at any instant are a property of the
+        // operating point (rates × latency), not of how long the run
+        // lasts; a generous constant bound catches slab leaks without
+        // pinning the exact number.
+        assert!(
+            (high_water as u64) < processed / 10,
+            "{name}: arena high water {high_water} out of proportion \
+             to {processed} callbacks"
+        );
+        assert!(
+            high_water < 4_096,
+            "{name}: arena high water {high_water} unbounded"
+        );
+    }
 }
 
 /// A delayed (degraded-uplink) process must never break safety either.

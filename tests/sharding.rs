@@ -100,7 +100,7 @@ fn check_invariants<P: Protocol>(
     for (s, shard_events) in parts.iter().enumerate() {
         for ev in shard_events {
             if let ProtocolEvent::Committed { o, request_ids, .. } = &ev.event {
-                for rid in request_ids {
+                for rid in request_ids.iter() {
                     match bindings.get(rid) {
                         None => {
                             bindings.insert(*rid, (s, *o));
