@@ -1,8 +1,9 @@
 //! Machine-readable protocol smoke benchmark: one fixed-seed run per
-//! variant (SC, SCR, BFT, CT), plus a sharded section (SC at 1 and 2
-//! ordering groups, fixed per-shard load), written to
-//! `BENCH_protocols.json` so successive changes have a perf trajectory
-//! to compare against.
+//! variant (SC, SCR, BFT, CT), a sharded section (SC at 1 and 2
+//! ordering groups, fixed per-shard load), and a parallel-scaling
+//! section (a 2-shard world of 10⁵ aggregated Poisson clients at 1 vs 2
+//! world workers), written to `BENCH_protocols.json` so successive
+//! changes have a perf trajectory to compare against.
 //!
 //! Both sections are declarative `SweepGrid`s over `Scenario`
 //! values — the flat grid sweeps the protocol-kind axis, the sharded
@@ -32,9 +33,10 @@ use std::fmt::Write as _;
 
 use sofb_bench::experiments::default_workers;
 use sofb_bench::grids::{
-    bench_flat, bench_sharded, BENCH_F as F, BENCH_INTERVAL_MS as INTERVAL_MS, BENCH_SEED as SEED,
-    BENCH_SHARD_F as SHARD_F, BENCH_SHARD_RATE_PER_CLIENT as SHARD_RATE_PER_CLIENT,
-    BENCH_SHARD_WINDOW as SHARD_WINDOW, BENCH_WINDOW as WINDOW, SCHEME,
+    bench_flat, bench_sharded, million_clients, BENCH_F as F, BENCH_INTERVAL_MS as INTERVAL_MS,
+    BENCH_SEED as SEED, BENCH_SHARD_F as SHARD_F,
+    BENCH_SHARD_RATE_PER_CLIENT as SHARD_RATE_PER_CLIENT, BENCH_SHARD_WINDOW as SHARD_WINDOW,
+    BENCH_WINDOW as WINDOW, MILLION_POPULATION, MILLION_RATE_PER_CLIENT, MILLION_SHARDS, SCHEME,
 };
 use sofb_sim::metrics::{EngineCounters, HostCounters};
 use sofbyz::scenario::{run_grid, GridPoint};
@@ -130,6 +132,42 @@ fn measure_sharded() -> Vec<ShardedRow> {
         .collect()
 }
 
+struct ScalingRow {
+    world_workers: usize,
+    committed: usize,
+    wall_ms: f64,
+    engine: EngineCounters,
+}
+
+/// Runs the `million_clients` grid on ONE grid worker — the world-worker
+/// axis is the concurrency under test, so grid-level parallelism must
+/// not contaminate the wall clock. Both points compute the identical
+/// world (the 1-vs-N determinism invariant); only the wall time moves.
+fn measure_parallel() -> Vec<ScalingRow> {
+    let report = run_grid(&million_clients(), 1).expect("million_clients grid is valid");
+    report
+        .points
+        .iter()
+        .map(|p| {
+            let world_workers: usize = p
+                .label("world_workers")
+                .expect("world_workers axis")
+                .parse()
+                .unwrap();
+            eprintln!(
+                "million_clients ×{world_workers} world worker(s): {} events, {:.0} ms wall",
+                p.report.engine.events_processed, p.wall_ms,
+            );
+            ScalingRow {
+                world_workers,
+                committed: p.report.committed_requests(),
+                wall_ms: p.wall_ms,
+                engine: p.report.engine,
+            }
+        })
+        .collect()
+}
+
 /// Renders one row's host-performance object: deterministic engine
 /// counters plus wall-derived rates. Everything here is excluded from
 /// the `--check` gate (none of its keys appear in `extract_metrics`).
@@ -164,7 +202,12 @@ fn render_row_host(body: &mut String, engine: EngineCounters, wall_ms: f64) {
     writeln!(body, "      }}").unwrap();
 }
 
-fn render(rows: &[VariantRow], sharded: &[ShardedRow], process: &HostCounters) -> String {
+fn render(
+    rows: &[VariantRow],
+    sharded: &[ShardedRow],
+    scaling: &[ScalingRow],
+    process: &HostCounters,
+) -> String {
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
     writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v2\",").unwrap();
@@ -232,6 +275,56 @@ fn render(rows: &[VariantRow], sharded: &[ShardedRow], process: &HostCounters) -
         .unwrap();
     }
     writeln!(body, "  ]}},").unwrap();
+    // Parallel-scaling section: every key here is host-dependent or a
+    // raw engine counter, none is gated by `extract_metrics` (and no
+    // `"name"` lines appear, so the variant prefix is untouched) — the
+    // section can move with the machine while --check stays exact.
+    writeln!(
+        body,
+        "  \"parallel_scaling\": {{\"shards\": {MILLION_SHARDS}, \
+         \"population\": {MILLION_POPULATION}, \
+         \"rate_per_client\": {MILLION_RATE_PER_CLIENT}, \
+         \"host_cores\": {}, \"points\": [",
+        host_cores(),
+    )
+    .unwrap();
+    for (i, r) in scaling.iter().enumerate() {
+        let host = HostCounters {
+            engine: r.engine,
+            wall_ns: (r.wall_ms * 1e6) as u64,
+            allocations: 0,
+        };
+        writeln!(body, "    {{").unwrap();
+        writeln!(body, "      \"world_workers\": {},", r.world_workers).unwrap();
+        writeln!(body, "      \"committed_requests\": {},", r.committed).unwrap();
+        writeln!(
+            body,
+            "      \"events_processed\": {},",
+            r.engine.events_processed
+        )
+        .unwrap();
+        writeln!(body, "      \"wall_ms\": {:.1},", r.wall_ms).unwrap();
+        writeln!(
+            body,
+            "      \"events_per_sec\": {:.0},",
+            host.events_per_sec()
+        )
+        .unwrap();
+        writeln!(body, "      \"sim_per_wall\": {:.1}", host.sim_per_wall()).unwrap();
+        writeln!(
+            body,
+            "    }}{}",
+            if i + 1 < scaling.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(
+        body,
+        "  ], \"speedup_events_per_sec_1_to_{}\": {:.2}}},",
+        scaling.last().map_or(0, |r| r.world_workers),
+        parallel_speedup(scaling),
+    )
+    .unwrap();
     writeln!(body, "  \"host\": {{").unwrap();
     writeln!(
         body,
@@ -262,6 +355,23 @@ fn render(rows: &[VariantRow], sharded: &[ShardedRow], process: &HostCounters) -
     writeln!(body, "  }}").unwrap();
     writeln!(body, "}}").unwrap();
     body
+}
+
+/// Cores available to this process — the ceiling on world-worker
+/// speedup. Recorded next to the scaling points so a flat curve on a
+/// one-core host reads as a host property, not a regression.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Events-per-wall-second ratio between the last and first scaling
+/// points (1 → N world workers). The event counts are identical by the
+/// determinism invariant, so this is wall-clock speedup.
+fn parallel_speedup(scaling: &[ScalingRow]) -> f64 {
+    match (scaling.first(), scaling.last()) {
+        (Some(a), Some(b)) if a.wall_ms > 0.0 && b.wall_ms > 0.0 => a.wall_ms / b.wall_ms,
+        _ => f64::NAN,
+    }
 }
 
 /// Pulls `"key": value` numbers out of the committed JSON (the emitter
@@ -301,13 +411,14 @@ fn extract_metrics(json: &str) -> Vec<(String, f64)> {
 fn check(
     rows: &[VariantRow],
     sharded: &[ShardedRow],
+    scaling: &[ScalingRow],
     process: &HostCounters,
     committed_path: &str,
 ) -> Result<(), String> {
     let committed = std::fs::read_to_string(committed_path)
         .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
     let want = extract_metrics(&committed);
-    let got = extract_metrics(&render(rows, sharded, process));
+    let got = extract_metrics(&render(rows, sharded, scaling, process));
     if want.is_empty() {
         return Err(format!("{committed_path}: no metrics found"));
     }
@@ -362,12 +473,14 @@ fn main() {
     let allocs_before = alloc_counter::allocations();
     let rows = measure();
     let sharded = measure_sharded();
+    let scaling = measure_parallel();
     let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let allocations = alloc_counter::allocations() - allocs_before;
     let engines = rows
         .iter()
         .map(|r| r.engine)
-        .chain(sharded.iter().map(|r| r.engine));
+        .chain(sharded.iter().map(|r| r.engine))
+        .chain(scaling.iter().map(|r| r.engine));
     let total = engines.fold(EngineCounters::default(), |acc, e| EngineCounters {
         events_processed: acc.events_processed + e.events_processed,
         heap_pushes: acc.heap_pushes + e.heap_pushes,
@@ -386,6 +499,15 @@ fn main() {
             sharded[1].shards
         );
     }
+    if scaling.len() >= 2 {
+        eprintln!(
+            "world-worker scaling 1 → {}: {:.2}× events/sec ({} events each run, {} core(s))",
+            scaling.last().unwrap().world_workers,
+            parallel_speedup(&scaling),
+            scaling[0].engine.events_processed,
+            host_cores(),
+        );
+    }
     eprintln!(
         "host: {:.0} events/s, {:.1} sim-s/wall-s, {:.4} allocs/event",
         process.events_per_sec(),
@@ -393,7 +515,7 @@ fn main() {
         process.allocs_per_event()
     );
     if checking {
-        match check(&rows, &sharded, &process, &path) {
+        match check(&rows, &sharded, &scaling, &process, &path) {
             Ok(()) => eprintln!("check passed: regenerated metrics match {path}"),
             Err(e) => {
                 eprintln!("check FAILED against {path}:\n{e}");
@@ -402,7 +524,7 @@ fn main() {
         }
         return;
     }
-    if let Err(e) = std::fs::write(&path, render(&rows, &sharded, &process)) {
+    if let Err(e) = std::fs::write(&path, render(&rows, &sharded, &scaling, &process)) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     }

@@ -317,6 +317,46 @@ pub fn saturation(shape: &SweepShape) -> SweepGrid {
     .axis(Axis::rates_per_client(&shape.saturation_rates))
 }
 
+// --- million_clients ---------------------------------------------------
+
+/// `million_clients`: open-loop clients aggregated into one
+/// [`ClientPopulation`](sofb_harness::ClientPopulation) per shard world.
+pub const MILLION_POPULATION: usize = 100_000;
+/// `million_clients`: per-member Poisson rate (aggregate load is
+/// `population × rate` per shard under per-shard dealing).
+pub const MILLION_RATE_PER_CLIENT: f64 = 0.02;
+/// `million_clients`: ordering groups in the world.
+pub const MILLION_SHARDS: usize = 2;
+/// `million_clients`: swept world-worker counts (the parallel-scaling
+/// axis; 1 worker is the determinism anchor).
+pub const MILLION_WORLD_WORKERS: [usize; 2] = [1, 2];
+
+/// The `million_clients` grid: a 2-shard world carrying 10⁵ aggregated
+/// Poisson clients (200 req/s per shard), swept over world-worker
+/// counts. The traces are bit-identical along the axis; only the wall
+/// clock moves — the grid backing the parallel-scaling section of
+/// `BENCH_protocols.json`.
+pub fn million_clients() -> SweepGrid {
+    SweepGrid::new(
+        bench_scenario(
+            ProtocolKind::Sc,
+            BENCH_SHARD_F,
+            SCHEME,
+            BENCH_INTERVAL_MS,
+            BENCH_SEED,
+            BENCH_SHARD_WINDOW,
+        )
+        .shards(MILLION_SHARDS)
+        .clients(
+            1,
+            ClientLoad::poisson(MILLION_RATE_PER_CLIENT, 100)
+                .per_shard()
+                .population(MILLION_POPULATION),
+        ),
+    )
+    .axis(Axis::world_workers(&MILLION_WORLD_WORKERS))
+}
+
 /// Extra pre-GST one-way latency on the coordinator's uplink (~10
 /// batching intervals: every pre-GST round crawls).
 pub const GST_EXTRA_MS: u64 = 800;

@@ -80,6 +80,11 @@ fn shard_sweep_spec_matches_in_code_grid() {
 }
 
 #[test]
+fn million_clients_spec_matches_in_code_grid() {
+    assert_spec_matches("million_clients.scn", &grids::million_clients());
+}
+
+#[test]
 fn saturation_spec_matches_in_code_grids() {
     let spec = load("saturation.scn");
     assert_cells_eq(

@@ -14,7 +14,9 @@ use sofb_sim::time::{SimDuration, SimTime};
 use crate::client::{Arrival, ClientActor, ClientSpec};
 use crate::event::ProtocolEvent;
 use crate::fault::{FaultPlan, FaultSpec};
+use crate::population::ClientPopulation;
 use crate::protocol::{Knobs, Links, Protocol};
+use sofb_sim::engine::Actor;
 
 /// Builder for a complete simulated deployment of protocol `P`.
 ///
@@ -35,7 +37,7 @@ pub struct WorldBuilder<P: Protocol> {
     knobs: Knobs,
     links: Links,
     cpu: CpuModel,
-    clients: Vec<(ClientSpec, Arrival)>,
+    clients: Vec<(ClientSpec, Arrival, usize)>,
     faults: FaultPlan<P::Byz>,
 }
 
@@ -134,13 +136,31 @@ impl<P: Protocol> WorldBuilder<P> {
 
     /// Adds a constant-rate client.
     pub fn client(mut self, spec: ClientSpec) -> Self {
-        self.clients.push((spec, Arrival::Constant));
+        self.clients.push((spec, Arrival::Constant, 1));
         self
     }
 
     /// Adds an open-loop Poisson client.
     pub fn poisson_client(mut self, spec: ClientSpec) -> Self {
-        self.clients.push((spec, Arrival::Poisson));
+        self.clients.push((spec, Arrival::Poisson, 1));
+        self
+    }
+
+    /// Adds `population` open-loop clients sharing one spec. A
+    /// population of 1 is an ordinary [`ClientActor`]; larger counts
+    /// are aggregated into a single [`ClientPopulation`] actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is 0.
+    pub fn client_population(
+        mut self,
+        spec: ClientSpec,
+        arrival: Arrival,
+        population: usize,
+    ) -> Self {
+        assert!(population >= 1, "client population must be at least 1");
+        self.clients.push((spec, arrival, population));
         self
     }
 
@@ -170,9 +190,32 @@ impl<P: Protocol> WorldBuilder<P> {
         }
 
         let mut client_nodes = Vec::with_capacity(self.clients.len());
-        for (k, (spec, arrival)) in self.clients.iter().enumerate() {
-            let client = ClientActor::new(ClientId(k as u32), n, spec, *arrival, P::request_msg);
-            client_nodes.push(world.add_node(Box::new(client), CpuModel::zero()));
+        // Base ids advance by each entry's population — identical to
+        // the historical `ClientId(k)` numbering when every population
+        // is 1.
+        let mut next_id = 0u32;
+        for (spec, arrival, population) in &self.clients {
+            let client: Box<dyn Actor<Msg = P::Msg, Event = ProtocolEvent>> = if *population > 1 {
+                Box::new(ClientPopulation::new(
+                    ClientId(next_id),
+                    *population,
+                    n,
+                    spec,
+                    *arrival,
+                    self.knobs.seed,
+                    P::request_msg,
+                ))
+            } else {
+                Box::new(ClientActor::new(
+                    ClientId(next_id),
+                    n,
+                    spec,
+                    *arrival,
+                    P::request_msg,
+                ))
+            };
+            client_nodes.push(world.add_node(client, CpuModel::zero()));
+            next_id += *population as u32;
         }
 
         // Engine-level faults apply to order processes only (Byzantine

@@ -58,10 +58,11 @@ impl ClientSpec {
     }
 }
 
-/// Where a client's requests go: one flat ordering group, or one of many
-/// shards picked per request.
+/// Where a client's requests go: one flat ordering group, one of many
+/// shards picked per request, or one shard's slice of a multi-shard
+/// schedule (parallel worlds, where each shard is its own engine).
 #[derive(Clone, Debug)]
-enum Destinations {
+pub(crate) enum Destinations {
     /// The flat world: every request is multicast to nodes `0..n`.
     Flat {
         /// Number of order processes.
@@ -77,6 +78,64 @@ enum Destinations {
         /// How the spec's rate maps onto the shard set.
         load: ShardLoad,
     },
+    /// One shard's view of a multi-shard client: the actor walks the
+    /// full multi-shard request schedule (so sequence numbers and
+    /// routing match the shared-world client exactly) but materializes
+    /// only the requests routed to its own shard, whose order processes
+    /// are local nodes `0..n`. Every shard engine of a parallel world
+    /// hosts one such replica; together they partition the client's
+    /// global schedule.
+    Slice {
+        /// Order processes of the owning shard (local nodes `0..n`).
+        n: usize,
+        /// The owning shard's index.
+        shard: usize,
+        /// Total shard count of the logical world.
+        shards: usize,
+        /// Key-based routing policy ([`ShardLoad::Global`] mode).
+        router: ShardRouter,
+        /// How the spec's rate maps onto the shard set.
+        load: ShardLoad,
+    },
+}
+
+impl Destinations {
+    /// The local node range a request with sequence number `seq` from
+    /// client `id` multicasts to — `None` when the request belongs to a
+    /// different shard of a [`Destinations::Slice`] world and is
+    /// skipped (the sequence number is still consumed, keeping the
+    /// schedule aligned across shard replicas).
+    pub(crate) fn targets(&self, id: ClientId, seq: u64) -> Option<Range<usize>> {
+        match self {
+            Destinations::Flat { n } => Some(0..*n),
+            Destinations::Sharded {
+                ranges,
+                router,
+                load,
+            } => {
+                let shard = match load {
+                    // Round-robin keeps every shard's arrival process
+                    // constant-interval at exactly the spec rate.
+                    ShardLoad::PerShard => (seq - 1) as usize % ranges.len(),
+                    ShardLoad::Global => router.route_request(id, seq),
+                };
+                Some(ranges[shard].clone())
+            }
+            Destinations::Slice {
+                n,
+                shard,
+                shards,
+                router,
+                load,
+            } => {
+                let dealt = match load {
+                    ShardLoad::PerShard => (seq - 1) as usize % shards,
+                    ShardLoad::Global => router.route_request(id, seq),
+                };
+                (dealt == *shard).then_some(0..*n)
+            }
+        }
+    }
 }
 
 /// A synthetic client, generic over the hosted protocol's message type:
@@ -173,6 +232,57 @@ impl<M> ClientActor<M> {
         }
     }
 
+    /// Creates one shard's replica of a multi-shard client for a
+    /// parallel world: the full request schedule is walked (identical
+    /// sequence numbering and routing as [`ClientActor::new_sharded`]),
+    /// but only requests routed to `shard` are multicast, to the local
+    /// nodes `0..n` of that shard's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's rate is not positive, if `shard` is out of
+    /// range, or if the router's shard count differs from `shards`.
+    #[allow(clippy::too_many_arguments)] // one knob per slice coordinate
+    pub(crate) fn new_slice(
+        id: ClientId,
+        n: usize,
+        shard: usize,
+        shards: usize,
+        router: ShardRouter,
+        load: ShardLoad,
+        spec: &ClientSpec,
+        arrival: Arrival,
+        wrap: fn(Request) -> M,
+    ) -> Self {
+        assert!(spec.rate_per_sec > 0.0, "client rate must be positive");
+        assert!(shard < shards, "slice shard index out of range");
+        assert_eq!(
+            router.shard_count(),
+            shards,
+            "router shard count must match the world's shard count"
+        );
+        let rate = match load {
+            ShardLoad::Global => spec.rate_per_sec,
+            ShardLoad::PerShard => spec.rate_per_sec * shards as f64,
+        };
+        ClientActor {
+            id,
+            dest: Destinations::Slice {
+                n,
+                shard,
+                shards,
+                router,
+                load,
+            },
+            payload: Bytes::from(vec![0xabu8; spec.request_size]),
+            mean_interval: SimDuration((1e9 / rate) as u64),
+            stop_at: spec.stop_at,
+            arrival,
+            next_seq: 0,
+            wrap,
+        }
+    }
+
     fn next_interval(&self, ctx: &mut Ctx<'_, M, ProtocolEvent>) -> SimDuration {
         match self.arrival {
             Arrival::Constant => self.mean_interval,
@@ -220,24 +330,10 @@ impl<M: Clone + WireSize + fmt::Debug> Actor for ClientActor<M> {
             return;
         }
         self.next_seq += 1;
-        let req = Request::new(self.id, self.next_seq, self.payload.clone());
-        let targets = match &self.dest {
-            Destinations::Flat { n } => 0..*n,
-            Destinations::Sharded {
-                ranges,
-                router,
-                load,
-            } => {
-                let shard = match load {
-                    // Round-robin keeps every shard's arrival process
-                    // constant-interval at exactly the spec rate.
-                    ShardLoad::PerShard => (self.next_seq - 1) as usize % ranges.len(),
-                    ShardLoad::Global => router.route_request(self.id, self.next_seq),
-                };
-                ranges[shard].clone()
-            }
-        };
-        ctx.multicast(targets, (self.wrap)(req));
+        if let Some(targets) = self.dest.targets(self.id, self.next_seq) {
+            let req = Request::new(self.id, self.next_seq, self.payload.clone());
+            ctx.multicast(targets, (self.wrap)(req));
+        }
         let d = self.next_interval(ctx);
         ctx.set_timer(d, TIMER_CLIENT);
     }

@@ -15,6 +15,15 @@
 //! * [`client::ClientActor`] — the one synthetic client implementation,
 //!   with constant-rate or open-loop Poisson arrivals, multicasting to
 //!   its flat world or routing per request across shards;
+//! * [`population::ClientPopulation`] — N open-loop clients aggregated
+//!   into one actor by Poisson superposition (aggregate rate N·λ,
+//!   per-client ids synthesized deterministically at emission), so a
+//!   shard carries 10⁵–10⁶ simulated users at O(1) actor cost;
+//! * `parallel` (internal) — the parallel sharded runner: each shard of
+//!   a multi-shard [`scenario::Scenario`] executes in its own isolated
+//!   engine on a worker thread, and the per-shard traces merge into the
+//!   realized global schedule deterministically (1 worker ≡ N workers,
+//!   bit for bit — see `Scenario::world_workers`);
 //! * [`fault::FaultSpec`] — the uniform fault plan: crash, mute and
 //!   delayed faults work on every variant (the engine applies them);
 //!   Byzantine scripts remain protocol-specific via
@@ -44,6 +53,8 @@ pub mod builder;
 pub mod client;
 pub mod event;
 pub mod fault;
+mod parallel;
+pub mod population;
 pub mod protocol;
 pub mod scenario;
 pub mod shard;
@@ -52,6 +63,7 @@ pub use builder::{Deployment, WorldBuilder};
 pub use client::{Arrival, ClientActor, ClientSpec};
 pub use event::ProtocolEvent;
 pub use fault::{FaultPlan, FaultSpec};
+pub use population::ClientPopulation;
 pub use protocol::{Knobs, Links, Protocol, ProtocolKind};
 pub use scenario::{
     Axis, ClientLoad, GridPoint, GridReport, LatencySummary, Report, RouterPolicy, Scenario,

@@ -161,8 +161,10 @@ pub trait Protocol {
     /// The wire message type exchanged between this protocol's nodes.
     type Msg: Clone + WireSize + fmt::Debug + 'static;
     /// Scripted Byzantine misbehaviours this protocol supports
-    /// (an uninhabited enum if none).
-    type Byz: Clone + fmt::Debug + 'static;
+    /// (an uninhabited enum if none). `Send + Sync` because a fault
+    /// plan is shared by reference with the per-shard worker threads of
+    /// a parallel world (see `Scenario::world_workers`).
+    type Byz: Clone + fmt::Debug + Send + Sync + 'static;
 
     /// Display name ("SC", "BFT", …).
     const NAME: &'static str;

@@ -107,6 +107,13 @@ pub struct ClientLoad {
     /// How the rate maps onto a sharded world (ignored when
     /// `shards == 1`).
     pub load: ShardLoad,
+    /// How many simulated clients this entry stands for. The default 1
+    /// deploys one [`ClientActor`](crate::client::ClientActor); larger
+    /// counts aggregate into a single
+    /// [`ClientPopulation`](crate::population::ClientPopulation) actor
+    /// (each member offering `rate_per_sec`), so a world carries
+    /// 10⁵–10⁶ simulated users at O(1) actor cost. Must be ≥ 1.
+    pub population: usize,
 }
 
 impl ClientLoad {
@@ -117,6 +124,7 @@ impl ClientLoad {
             request_size,
             arrival: Arrival::Constant,
             load: ShardLoad::Global,
+            population: 1,
         }
     }
 
@@ -132,6 +140,14 @@ impl ClientLoad {
     /// at `rate × shards`, dealt round-robin).
     pub fn per_shard(mut self) -> Self {
         self.load = ShardLoad::PerShard;
+        self
+    }
+
+    /// Aggregates this entry into a population of `n` simulated clients
+    /// sharing the spec, each offering `rate_per_sec` (see
+    /// [`ClientLoad::population`]). Validation rejects 0.
+    pub fn population(mut self, n: usize) -> Self {
+        self.population = n;
         self
     }
 }
@@ -152,8 +168,9 @@ pub enum RouterPolicy {
 }
 
 impl RouterPolicy {
-    /// Builds the router for a world of `shards` groups.
-    fn build(&self, shards: usize) -> Result<ShardRouter, ScenarioError> {
+    /// Builds the router for a world of `shards` groups (shared with
+    /// the parallel runner).
+    pub(crate) fn build(&self, shards: usize) -> Result<ShardRouter, ScenarioError> {
         let router = match self {
             RouterPolicy::Hash => ShardRouter::hash(shards),
             RouterPolicy::EvenRanges => ShardRouter::even_ranges(shards),
@@ -319,6 +336,11 @@ pub enum ScenarioError {
         /// The rejected rate.
         rate: f64,
     },
+    /// A client entry's population is zero.
+    ClientPopulation {
+        /// Index into `clients`.
+        client: usize,
+    },
     /// A fault targets a shard outside the world.
     FaultShard {
         /// Index into `faults`.
@@ -367,6 +389,12 @@ pub enum ScenarioError {
         /// The abandoned point's index in grid order.
         index: usize,
     },
+    /// A parallel-world worker thread died before reporting its
+    /// shard's result.
+    WorldWorkerLost {
+        /// The abandoned shard's index.
+        shard: usize,
+    },
     /// The scenario was lowered onto a protocol implementation whose
     /// layout does not match its `kind` (wrong `run_as::<P>()` call).
     ProtocolMismatch {
@@ -401,6 +429,10 @@ impl fmt::Display for ScenarioError {
                 f,
                 "field `clients[{client}].rate_per_sec`: rate must be positive and finite, got {rate}"
             ),
+            ScenarioError::ClientPopulation { client } => write!(
+                f,
+                "field `clients[{client}].population`: a population needs at least 1 client"
+            ),
             ScenarioError::FaultShard {
                 fault,
                 shard,
@@ -427,6 +459,10 @@ impl fmt::Display for ScenarioError {
             ScenarioError::WorkerLost { index } => {
                 write!(f, "grid point {index}: worker thread died before reporting")
             }
+            ScenarioError::WorldWorkerLost { shard } => write!(
+                f,
+                "shard {shard}: world-worker thread died before reporting"
+            ),
             ScenarioError::ProtocolMismatch { kind, protocol } => write!(
                 f,
                 "field `kind`: {kind} lowered onto protocol {protocol}, whose layout differs"
@@ -472,6 +508,15 @@ pub struct Scenario {
     pub faults: Vec<ScenarioFault>,
     /// Measurement window (also derives the clients' stop time).
     pub window: Window,
+    /// Worker threads for parallel shard execution. The default 0
+    /// keeps the legacy single-threaded shared-world engine; any value
+    /// ≥ 1 switches a multi-shard scenario to isolated per-shard
+    /// engines executed on up to `world_workers` threads, with the
+    /// per-shard traces merged deterministically — every value ≥ 1
+    /// realizes the identical schedule, bit for bit (1 worker runs the
+    /// same per-shard path inline). Ignored when `shards == 1`, like
+    /// [`Scenario::router`]: a flat world has nothing to split.
+    pub world_workers: usize,
 }
 
 impl Scenario {
@@ -492,6 +537,7 @@ impl Scenario {
             cpu: CpuModel::default(),
             faults: Vec::new(),
             window: Window::default(),
+            world_workers: 0,
         }
     }
 
@@ -577,6 +623,15 @@ impl Scenario {
         self
     }
 
+    /// Sets the parallel world-worker count (see
+    /// [`Scenario::world_workers`]): ≥ 1 runs each shard of a
+    /// multi-shard world in its own isolated engine, on up to that many
+    /// threads, with a deterministic trace merge.
+    pub fn world_workers(mut self, workers: usize) -> Self {
+        self.world_workers = workers;
+        self
+    }
+
     /// Appends one client.
     pub fn client(mut self, load: ClientLoad) -> Self {
         self.clients.push(load);
@@ -636,7 +691,7 @@ impl Scenario {
                     (s, ShardLoad::PerShard) if s > 1 => s as f64,
                     _ => 1.0,
                 };
-                c.rate_per_sec * mult * secs
+                c.rate_per_sec * mult * secs * c.population as f64
             })
             .sum()
     }
@@ -680,6 +735,9 @@ impl Scenario {
                     client: i,
                     rate: c.rate_per_sec,
                 });
+            }
+            if c.population == 0 {
+                return Err(ScenarioError::ClientPopulation { client: i });
             }
         }
         let n = self.nodes_per_shard();
@@ -729,8 +787,8 @@ impl Scenario {
     }
 
     /// Lowers one fault entry onto the uniform [`FaultSpec`] of the
-    /// hosted protocol.
-    fn lower_fault<P: Protocol>(
+    /// hosted protocol (shared with the parallel runner).
+    pub(crate) fn lower_fault<P: Protocol>(
         &self,
         index: usize,
         fault: &ScenarioFault,
@@ -779,6 +837,14 @@ impl Scenario {
                 protocol: P::NAME,
             });
         }
+        // A multi-shard world with an explicit worker count runs on the
+        // isolated per-shard-engine path (deterministically identical
+        // for every count ≥ 1); the default 0 keeps the legacy shared
+        // single-threaded engine, whose realized schedule is pinned by
+        // the golden traces.
+        if self.shards > 1 && self.world_workers >= 1 {
+            return crate::parallel::run_world_parallel::<P>(self);
+        }
         let stop = self.window.end();
         if self.shards == 1 {
             let mut b = WorldBuilder::<P>::new(self.knobs.f)
@@ -788,9 +854,13 @@ impl Scenario {
                 .pair_link(self.links.pair.clone());
             for c in &self.clients {
                 let spec = ClientSpec::new(c.rate_per_sec, c.request_size, stop);
-                b = match c.arrival {
-                    Arrival::Constant => b.client(spec),
-                    Arrival::Poisson => b.poisson_client(spec),
+                b = if c.population > 1 {
+                    b.client_population(spec, c.arrival, c.population)
+                } else {
+                    match c.arrival {
+                        Arrival::Constant => b.client(spec),
+                        Arrival::Poisson => b.poisson_client(spec),
+                    }
                 };
             }
             for (i, fault) in self.faults.iter().enumerate() {
@@ -817,7 +887,7 @@ impl Scenario {
                 .router(self.router.build(self.shards)?);
             for c in &self.clients {
                 let spec = ClientSpec::new(c.rate_per_sec, c.request_size, stop);
-                b = b.client_with(spec, c.arrival, c.load);
+                b = b.client_population_with(spec, c.arrival, c.load, c.population);
             }
             for (i, fault) in self.faults.iter().enumerate() {
                 b = b.fault(fault.shard, fault.process, self.lower_fault::<P>(i, fault)?);
@@ -935,8 +1005,9 @@ fn batches_and_requests_committed(
 
 /// The one measurement pass behind every scenario run: per-shard safety
 /// check, censored latency distributions, the exact cross-shard rollup
-/// and the world-wide counters.
-fn summarize(
+/// and the world-wide counters. Shared with the parallel runner, which
+/// feeds it per-shard traces from isolated engines.
+pub(crate) fn summarize(
     shard_events: &[&[TimedEvent<ProtocolEvent>]],
     all_events: &[TimedEvent<ProtocolEvent>],
     window: Window,
@@ -1151,6 +1222,15 @@ impl Axis {
                     c.rate_per_sec = r;
                 }
             });
+        }
+        a
+    }
+
+    /// The parallel world-worker axis (see [`Scenario::world_workers`]).
+    pub fn world_workers(workers: &[usize]) -> Self {
+        let mut a = Axis::new("world_workers");
+        for &w in workers {
+            a = a.value(w.to_string(), move |s| s.world_workers = w);
         }
         a
     }

@@ -29,22 +29,34 @@ use sofb_proto::ids::{ClientId, ProcessId};
 use sofb_proto::topology::Variant;
 use sofb_sim::cpu::CpuModel;
 use sofb_sim::delay::{LinkModel, NetworkModel};
-use sofb_sim::engine::{NodeStats, TimedEvent, World};
+use sofb_sim::engine::{Actor, NodeStats, TimedEvent, World};
 use sofb_sim::time::{SimDuration, SimTime};
 
 use crate::client::{Arrival, ClientActor, ClientSpec};
 use crate::event::ProtocolEvent;
 use crate::fault::{apply_engine_fault, FaultSpec};
+use crate::population::ClientPopulation;
 use crate::protocol::{Knobs, Links, Protocol};
 
 /// SplitMix64: a stable, seed-independent 64-bit mix. Routing must not
 /// depend on `std`'s randomized hashers — the same key maps to the same
-/// shard in every run, which the router stability tests pin.
-fn splitmix64(mut x: u64) -> u64 {
+/// shard in every run, which the router stability tests pin. The
+/// population actor reuses it to synthesize per-client ids (see
+/// `ClientPopulation`).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// The dealer/config seed of shard `s`: shard 0 keeps the base seed
+/// (which is what makes a 1-shard world bit-identical to the flat
+/// builder's), later shards decorrelate by the 64-bit golden ratio.
+/// Shared with the parallel runner, which must seed each isolated
+/// shard engine identically to the shared-world builder.
+pub(crate) fn shard_seed(seed: u64, s: usize) -> u64 {
+    seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// A malformed explicit-range router configuration, rejected at build
@@ -257,7 +269,7 @@ pub struct ShardedWorldBuilder<P: Protocol> {
     links: Links,
     cpu: CpuModel,
     router: Option<ShardRouter>,
-    clients: Vec<(ClientSpec, Arrival, ShardLoad)>,
+    clients: Vec<(ClientSpec, Arrival, ShardLoad, usize)>,
     faults: Vec<(usize, ProcessId, FaultSpec<P::Byz>)>,
 }
 
@@ -380,8 +392,27 @@ impl<P: Protocol> ShardedWorldBuilder<P> {
     }
 
     /// Adds a client with explicit arrival process and load mapping.
-    pub fn client_with(mut self, spec: ClientSpec, arrival: Arrival, load: ShardLoad) -> Self {
-        self.clients.push((spec, arrival, load));
+    pub fn client_with(self, spec: ClientSpec, arrival: Arrival, load: ShardLoad) -> Self {
+        self.client_population_with(spec, arrival, load, 1)
+    }
+
+    /// Adds `population` open-loop clients sharing one spec. A
+    /// population of 1 is an ordinary [`ClientActor`]; larger counts
+    /// are aggregated into a single [`ClientPopulation`] actor, so a
+    /// world carries 10⁵–10⁶ simulated users at O(1) actor cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is 0.
+    pub fn client_population_with(
+        mut self,
+        spec: ClientSpec,
+        arrival: Arrival,
+        load: ShardLoad,
+        population: usize,
+    ) -> Self {
+        assert!(population >= 1, "client population must be at least 1");
+        self.clients.push((spec, arrival, load, population));
         self
     }
 
@@ -391,13 +422,6 @@ impl<P: Protocol> ShardedWorldBuilder<P> {
     pub fn fault(mut self, shard: usize, p: ProcessId, spec: FaultSpec<P::Byz>) -> Self {
         self.faults.push((shard, p, spec));
         self
-    }
-
-    /// The dealer/config seed of shard `s`: shard 0 keeps the base seed
-    /// (which is what makes a 1-shard world bit-identical to the flat
-    /// builder's), later shards decorrelate by the 64-bit golden ratio.
-    fn shard_seed(seed: u64, s: usize) -> u64 {
-        seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Assembles the world: `S` ordering groups at bases `0, n, 2n, …`,
@@ -412,7 +436,7 @@ impl<P: Protocol> ShardedWorldBuilder<P> {
         let mut shard_knobs = Vec::with_capacity(self.shards);
         for s in 0..self.shards {
             let mut k = self.knobs.clone();
-            k.seed = Self::shard_seed(self.knobs.seed, s);
+            k.seed = shard_seed(self.knobs.seed, s);
             shard_knobs.push(k);
         }
 
@@ -452,17 +476,36 @@ impl<P: Protocol> ShardedWorldBuilder<P> {
 
         let ranges: Vec<Range<usize>> = shards.iter().map(|i| i.base..i.base + i.n).collect();
         let mut client_nodes = Vec::with_capacity(self.clients.len());
-        for (k, (spec, arrival, load)) in self.clients.iter().enumerate() {
-            let client = ClientActor::new_sharded(
-                ClientId(k as u32),
-                ranges.clone(),
-                router.clone(),
-                *load,
-                spec,
-                *arrival,
-                P::request_msg,
-            );
-            client_nodes.push(world.add_node(Box::new(client), CpuModel::zero()));
+        // Base ids advance by each entry's population, so entry k's
+        // clients are `next_id..next_id+population` — identical to the
+        // historical `ClientId(k)` numbering when every population is 1.
+        let mut next_id = 0u32;
+        for (spec, arrival, load, population) in &self.clients {
+            let client: Box<dyn Actor<Msg = P::Msg, Event = ProtocolEvent>> = if *population > 1 {
+                Box::new(ClientPopulation::new_sharded(
+                    ClientId(next_id),
+                    *population,
+                    ranges.clone(),
+                    router.clone(),
+                    *load,
+                    spec,
+                    *arrival,
+                    self.knobs.seed,
+                    P::request_msg,
+                ))
+            } else {
+                Box::new(ClientActor::new_sharded(
+                    ClientId(next_id),
+                    ranges.clone(),
+                    router.clone(),
+                    *load,
+                    spec,
+                    *arrival,
+                    P::request_msg,
+                ))
+            };
+            client_nodes.push(world.add_node(client, CpuModel::zero()));
+            next_id += *population as u32;
         }
 
         for (s, p, spec) in &self.faults {

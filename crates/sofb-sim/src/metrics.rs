@@ -305,6 +305,21 @@ pub struct EngineCounters {
     pub sim_ns: u64,
 }
 
+impl EngineCounters {
+    /// Folds another engine's counters into this one — the merge step
+    /// when several isolated worlds make up one logical run (parallel
+    /// shard execution). Work totals sum; arena high-water marks sum
+    /// too, because the worlds are live concurrently, so their peak
+    /// event-memory footprints add; virtual time takes the maximum,
+    /// since every world runs to the same horizon.
+    pub fn absorb(&mut self, other: &EngineCounters) {
+        self.events_processed += other.events_processed;
+        self.heap_pushes += other.heap_pushes;
+        self.arena_high_water += other.arena_high_water;
+        self.sim_ns = self.sim_ns.max(other.sim_ns);
+    }
+}
+
 /// Host-performance summary of one run or run set: deterministic
 /// [`EngineCounters`] paired with wall-clock and allocator
 /// measurements from the machine that executed it.

@@ -47,6 +47,7 @@ enum AxisField {
     BacklogPad,
     Seed,
     GstMs,
+    WorldWorkers,
 }
 
 impl AxisField {
@@ -62,6 +63,7 @@ impl AxisField {
             "backlog_pad" => AxisField::BacklogPad,
             "seed" => AxisField::Seed,
             "gst_ms" => AxisField::GstMs,
+            "world_workers" => AxisField::WorldWorkers,
             _ => return None,
         })
     }
@@ -79,6 +81,7 @@ impl AxisField {
             AxisField::BacklogPad => "backlog_pad",
             AxisField::Seed => "seed",
             AxisField::GstMs => "gst_ms",
+            AxisField::WorldWorkers => "world_workers",
         }
     }
 
@@ -234,6 +237,7 @@ fn apply_int_axis(field: AxisField, v: u64, process: u32, extra_ms: u64, s: &mut
         }
         AxisField::BacklogPad => s.knobs.backlog_pad = v as usize,
         AxisField::Seed => s.knobs.seed = v,
+        AxisField::WorldWorkers => s.world_workers = v as usize,
         AxisField::GstMs => {
             // GST at origin means the network is timely throughout; any
             // later GST scripts a delay-until-GST window on the chosen
@@ -634,6 +638,14 @@ fn apply_scenario_key(s: &mut Scenario, entry: &RawEntry) -> Result<bool, SpecEr
         }
         "shards" => s.shards = parse_usize(entry)?,
         "router" => s.router = parse_router(entry)?,
+        "world_workers" => {
+            // 0 is the programmatic "legacy path" default and stays
+            // unreachable from specs, same as from the CLI flag.
+            s.world_workers = match parse_usize(entry)? {
+                0 => return Err(bad_value(entry, "a positive worker count (>= 1)")),
+                w => w,
+            }
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -700,6 +712,12 @@ fn build_client(section: &RawSection) -> Result<(ClientLoad, usize), SpecError> 
                     "global" => ShardLoad::Global,
                     "per_shard" => ShardLoad::PerShard,
                     _ => return Err(bad_value(e, "`global` or `per_shard`")),
+                }
+            }
+            "population" => {
+                load.population = match parse_usize(e)? {
+                    0 => return Err(bad_value(e, "a positive client population (>= 1)")),
+                    p => p,
                 }
             }
             _ => return Err(unknown_key(section, e)),
@@ -812,7 +830,7 @@ fn build_axis(section: &RawSection) -> Result<AxisSpec, SpecError> {
         bad_value(
             field_entry,
             "an axis field (kind, f, scheme, interval_ms, shards, clients, rate, \
-             backlog_pad, seed, gst_ms)",
+             backlog_pad, seed, gst_ms, world_workers)",
         )
     })?;
     let values_entry = section.require("values")?;

@@ -60,6 +60,7 @@ fn every_scenario_field_round_trips() {
          request_timeout_ms = 900\n\
          shards = 2\n\
          router = even_ranges\n\
+         world_workers = 3\n\
          [window]\n\
          warmup_s = 1\n\
          run_s = 9\n\
@@ -70,6 +71,7 @@ fn every_scenario_field_round_trips() {
          size = 256\n\
          arrival = poisson\n\
          load = per_shard\n\
+         population = 4\n\
          [client]\n\
          rate = 10\n",
     );
@@ -84,12 +86,13 @@ fn every_scenario_field_round_trips() {
         .request_timeout(SimDuration::from_ms(900))
         .shards(2)
         .router(RouterPolicy::EvenRanges)
+        .world_workers(3)
         .window(Window {
             warmup_s: 1,
             run_s: 9,
             drain_s: 3,
         })
-        .clients(2, ClientLoad::poisson(55.5, 256).per_shard())
+        .clients(2, ClientLoad::poisson(55.5, 256).per_shard().population(4))
         .client(ClientLoad::constant(10.0, 100));
     want.knobs.batch_max_bytes = 2048;
     want.knobs.heartbeat_period = SimDuration::from_ms(75);
@@ -328,6 +331,14 @@ fn interval_axis_with_seed_coupling_round_trips() {
 }
 
 #[test]
+fn world_workers_axis_round_trips() {
+    assert_cells_eq(
+        &spec_grid("[axis]\nfield = world_workers\nvalues = 1, 2, 4\n"),
+        &SweepGrid::new(base_scenario()).axis(Axis::world_workers(&[1, 2, 4])),
+    );
+}
+
+#[test]
 fn grid_seeds_replicate_points() {
     let spec = parse(&format!(
         "{BASE}[axis]\nfield = kind\nvalues = SC, CT\n[grid]\nseeds = 1000..=1002, 2000\n"
@@ -415,6 +426,25 @@ fn bad_enum_values_name_the_line() {
     assert_eq!(err.line, 3);
     assert!(
         matches!(err.kind, SpecErrorKind::BadValue { ref key, .. } if key == "router"),
+        "{err:?}"
+    );
+}
+
+/// Zero workers/members is the programmatic "unset" sentinel, never a
+/// spec value: both reject at parse with the offending line.
+#[test]
+fn zero_world_workers_and_zero_population_are_rejected() {
+    let err = parse_err("[scenario]\nkind = SC\nshards = 2\nworld_workers = 0\n");
+    assert_eq!(err.line, 4);
+    assert!(
+        matches!(err.kind, SpecErrorKind::BadValue { ref key, .. } if key == "world_workers"),
+        "{err:?}"
+    );
+
+    let err = parse_err("[scenario]\nkind = SC\n[client]\nrate = 9\npopulation = 0\n");
+    assert_eq!(err.line, 5);
+    assert!(
+        matches!(err.kind, SpecErrorKind::BadValue { ref key, .. } if key == "population"),
         "{err:?}"
     );
 }

@@ -106,14 +106,18 @@ pub const USAGE: &str = "\
 sofb — run data-driven scenario specs (.scn)
 
 USAGE:
-    sofb run <spec.scn> [--smoke] [--dry-run] [--workers N] [--out FILE] [--check FILE]
+    sofb run <spec.scn> [--smoke] [--dry-run] [--workers N] [--world-workers N]
+                        [--out FILE] [--check FILE]
     sofb list [dir]          (default dir: specs)
     sofb help
 
 run flags:
     --smoke        apply the spec's [smoke] reduction (CI-sized grid)
     --dry-run      parse, validate and expand only; print the point labels
-    --workers N    worker threads (default: min(cores, 4); results identical)
+    --workers N    grid worker threads (default: min(cores, 4); results identical)
+    --world-workers N
+                   per-world shard threads for multi-shard points (results
+                   identical; overrides the spec's `world_workers`)
     --out FILE     write the grid-report JSON to FILE instead of stdout
     --check FILE   regenerate and compare against FILE at 1e-9 (wall excluded)
                    (--out and --check are mutually exclusive)";
@@ -135,6 +139,7 @@ struct RunArgs {
     smoke: bool,
     dry_run: bool,
     workers: usize,
+    world_workers: Option<usize>,
     out: Option<String>,
     check: Option<String>,
 }
@@ -145,6 +150,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
         smoke: false,
         dry_run: false,
         workers: default_workers(),
+        world_workers: None,
         out: None,
         check: None,
     };
@@ -160,6 +166,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
                 run.workers = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                     usage_err(format!("--workers: `{v}` is not a positive integer"))
                 })?;
+            }
+            "--world-workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--world-workers needs a value"))?;
+                run.world_workers =
+                    Some(v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        usage_err(format!("--world-workers: `{v}` is not a positive integer"))
+                    })?);
             }
             "--out" => {
                 run.out = Some(
@@ -222,7 +237,13 @@ fn load_spec(path: &str) -> Result<Spec, CliError> {
 }
 
 fn run(args: RunArgs) -> Result<String, CliError> {
-    let spec = load_spec(&args.spec_path)?;
+    let mut spec = load_spec(&args.spec_path)?;
+    if let Some(w) = args.world_workers {
+        // Patch the base point before grid expansion so the override
+        // reaches every cell (an explicit `world_workers` axis still
+        // patches over it, exactly like any other base field).
+        spec.base.world_workers = w;
+    }
     let scenario_err = |error: ScenarioError| CliError::Scenario {
         path: args.spec_path.clone(),
         error,

@@ -60,6 +60,17 @@ fn missing_file_and_usage_defects_are_typed() {
     let err = execute(&args(&["run", "x.scn", "--workers", "zero"])).unwrap_err();
     assert!(matches!(err, CliError::Usage(_)), "{err}");
 
+    // Zero threads is rejected at parse time for both worker pools —
+    // before the spec file is even opened (x.scn does not exist).
+    for flag in ["--workers", "--world-workers"] {
+        let err = execute(&args(&["run", "x.scn", flag, "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{flag} 0: {err}");
+    }
+    let err = execute(&args(&["run", "x.scn", "--world-workers", "zero"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+    let err = execute(&args(&["run", "x.scn", "--world-workers"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+
     // --out replaces the file --check would verify against: rejected
     // rather than silently dropping one of them.
     let err = execute(&args(&[
@@ -87,6 +98,7 @@ fn list_validates_the_committed_spec_directory() {
         "fig5.scn",
         "fig6.scn",
         "gst_sensitivity.scn",
+        "million_clients.scn",
         "msg_counts.scn",
         "saturation.scn",
         "shard_sweep.scn",

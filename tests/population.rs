@@ -1,0 +1,128 @@
+//! Population-vs-actors equivalence: a `ClientPopulation` of N clients
+//! must be observationally interchangeable with N individual
+//! `ClientActor`s.
+//!
+//! Under constant arrivals the population's schedule is *exactly* the
+//! union of N per-client combs, so a seed-matched run commits the
+//! identical per-request-id set with the identical latency histogram on
+//! all four protocol variants. Under Poisson arrivals equivalence is
+//! distributional (superposition: N·Poisson(λ) ≡ Poisson(N·λ) — pinned
+//! statistically in the actor's unit tests); here the world-level run
+//! must still deliver the offered aggregate load.
+
+use std::collections::BTreeSet;
+
+use sofbyz::harness::{ProtocolEvent, ProtocolKind};
+use sofbyz::proto::request::RequestId;
+use sofbyz::scenario::{run, run_traced, ClientLoad, Scenario, Window};
+use sofbyz::sim::engine::TimedEvent;
+
+const WINDOW: Window = Window {
+    warmup_s: 1,
+    run_s: 4,
+    drain_s: 5,
+};
+
+/// 30 req/s: the tick interval truncates to 33,333,333 ns, so client
+/// emissions never land on the protocols' millisecond timer grid and
+/// the schedule comparison is free of same-instant ordering ties.
+const RATE: f64 = 30.0;
+const N: usize = 8;
+
+/// Every request id committed anywhere in the trace.
+fn commit_set(trace: &[TimedEvent<ProtocolEvent>]) -> BTreeSet<RequestId> {
+    let mut set = BTreeSet::new();
+    for ev in trace {
+        if let ProtocolEvent::Committed { request_ids, .. } = &ev.event {
+            set.extend(request_ids.iter().copied());
+        }
+    }
+    set
+}
+
+#[test]
+fn population_of_8_matches_8_individual_actors_on_all_variants() {
+    for kind in ProtocolKind::ALL {
+        let individual = Scenario::new(kind)
+            .seed(17)
+            .window(WINDOW)
+            .clients(N, ClientLoad::constant(RATE, 100));
+        let population = Scenario::new(kind)
+            .seed(17)
+            .window(WINDOW)
+            .client(ClientLoad::constant(RATE, 100).population(N));
+
+        let (ri, ti) = run_traced(&individual).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let (rp, tp) = run_traced(&population).unwrap_or_else(|e| panic!("{kind}: {e}"));
+
+        // Same per-request-id commit set…
+        let (ci, cp) = (commit_set(&ti), commit_set(&tp));
+        assert!(!ci.is_empty(), "{kind}: individual run committed nothing");
+        assert_eq!(ci, cp, "{kind}: commit sets differ");
+
+        // …same latency histogram (censored distribution, per shard and
+        // global) and the derived throughput/message metrics. Only the
+        // engine counters may differ — N actors dispatch more timer
+        // callbacks than one population.
+        assert_eq!(ri.global, rp.global, "{kind}: global latency differs");
+        assert_eq!(ri.per_shard, rp.per_shard, "{kind}: per-shard differs");
+        assert_eq!(
+            ri.throughput_per_process, rp.throughput_per_process,
+            "{kind}: throughput differs"
+        );
+        assert_eq!(
+            ri.aggregate_throughput, rp.aggregate_throughput,
+            "{kind}: aggregate throughput differs"
+        );
+        assert_eq!(
+            ri.msgs_per_batch, rp.msgs_per_batch,
+            "{kind}: msgs/batch differs"
+        );
+        assert_eq!(ri.failover_ms, rp.failover_ms, "{kind}: failover differs");
+    }
+}
+
+/// The full schedules coincide, not just the summaries: the population
+/// emits the identical union comb, so the realized observation log is
+/// bit-identical (engine counters aside).
+#[test]
+fn population_schedule_is_bit_identical_under_constant_arrivals() {
+    let base = |s: Scenario| s.seed(23).window(WINDOW);
+    let individual =
+        base(Scenario::new(ProtocolKind::Sc)).clients(N, ClientLoad::constant(RATE, 100));
+    let population =
+        base(Scenario::new(ProtocolKind::Sc)).client(ClientLoad::constant(RATE, 100).population(N));
+    let (_, ti) = run_traced(&individual).unwrap();
+    let (_, tp) = run_traced(&population).unwrap();
+    let key = |t: &[TimedEvent<ProtocolEvent>]| {
+        t.iter()
+            .map(|e| (e.time, e.node, e.event.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&ti), key(&tp));
+}
+
+/// A Poisson population delivers its aggregate offered load N·λ at the
+/// world level (superposition in rate, end to end through commitment).
+#[test]
+fn poisson_population_delivers_aggregate_load() {
+    let population = 200;
+    let s = Scenario::new(ProtocolKind::Ct)
+        .seed(31)
+        .interval_ms(80)
+        .window(Window {
+            warmup_s: 1,
+            run_s: 9,
+            drain_s: 5,
+        })
+        .client(ClientLoad::poisson(0.3, 100).population(population));
+    let report = run(&s).unwrap();
+    let offered = s.offered_requests();
+    assert_eq!(offered, 0.3 * population as f64 * 9.0);
+    let committed = report.committed_requests() as f64;
+    let ratio = committed / offered;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "committed {committed} of {offered} offered ({ratio:.2})"
+    );
+}
