@@ -175,7 +175,11 @@ impl<M> ClientActor<M> {
             id,
             dest: Destinations::Flat { n },
             payload: Bytes::from(vec![0xabu8; spec.request_size]),
-            mean_interval: SimDuration((1e9 / spec.rate_per_sec) as u64),
+            // Nearest-ns, not truncation: a truncated interval runs the
+            // comb fast by up to 1 ns per tick, which accumulates into
+            // spurious extra arrivals over long horizons (and must agree
+            // with `ClientPopulation`'s tick for the union equivalence).
+            mean_interval: SimDuration((1e9 / spec.rate_per_sec).round() as u64),
             stop_at: spec.stop_at,
             arrival,
             next_seq: 0,
@@ -224,7 +228,7 @@ impl<M> ClientActor<M> {
                 load,
             },
             payload: Bytes::from(vec![0xabu8; spec.request_size]),
-            mean_interval: SimDuration((1e9 / rate) as u64),
+            mean_interval: SimDuration((1e9 / rate).round() as u64),
             stop_at: spec.stop_at,
             arrival,
             next_seq: 0,
@@ -275,7 +279,7 @@ impl<M> ClientActor<M> {
                 load,
             },
             payload: Bytes::from(vec![0xabu8; spec.request_size]),
-            mean_interval: SimDuration((1e9 / rate) as u64),
+            mean_interval: SimDuration((1e9 / rate).round() as u64),
             stop_at: spec.stop_at,
             arrival,
             next_seq: 0,

@@ -100,7 +100,13 @@ impl<M> ClientPopulation<M> {
             count,
             dest,
             payload: Bytes::from(vec![0xabu8; spec.request_size]),
-            tick_interval: SimDuration(per_client_ns as u64),
+            // Round to the nearest ns: `as u64` truncation systematically
+            // shortened every tick, drifting the aggregate schedule ahead
+            // of the exact union of N actors by one emission per
+            // ~2·10⁹/frac ticks (see the non-dividing-period regression
+            // test). Must match `ClientActor`'s interval exactly or the
+            // population/union equivalence breaks.
+            tick_interval: SimDuration(per_client_ns.round() as u64),
             aggregate_mean_ns: per_client_ns / count as f64,
             stop_at: spec.stop_at,
             arrival,
@@ -448,6 +454,63 @@ mod tests {
             assert_eq!(id, (i % 4) as u32);
             assert_eq!(seq, (i / 4) as u64 + 1);
         }
+    }
+
+    /// Non-dividing period regression: at 1500 req/s the exact interval
+    /// is 666 666.6̄ ns, which `as u64` truncation used to shorten to
+    /// 666 666 ns — after 3000 ticks the comb ran ~2 ms early and the
+    /// 2 s horizon gained a spurious 3000th tick (arrival 3000 belongs
+    /// at exactly t = 2 s, which `stop_at` excludes). Nearest-ns
+    /// rounding keeps the count exact, and the N=3 population still
+    /// emits precisely the union schedule of 3 individual actors.
+    #[test]
+    fn constant_population_rounding_does_not_drift_the_schedule() {
+        let count = 3;
+        let spec = ClientSpec::new(1500.0, 100, SimTime::from_secs(2));
+        let mut pop: ClientPopulation<Raw> =
+            ClientPopulation::new(ClientId(0), count, 1, &spec, Arrival::Constant, 1, Raw);
+        let (emitted, _) = drive(&mut pop, 2, 1);
+        // Exactly 2999 ticks strictly inside (0, 2 s) × 3 members —
+        // truncation produced 3000 × 3.
+        assert_eq!(emitted.len(), 2999 * count);
+        // Still bit-equivalent to the union of N individual actors.
+        let mut union: Vec<(u32, u64)> = Vec::new();
+        for member in 0..count {
+            let mut actor: crate::client::ClientActor<Raw> = crate::client::ClientActor::new(
+                ClientId(member as u32),
+                1,
+                &spec,
+                Arrival::Constant,
+                Raw,
+            );
+            let stop = SimTime::from_secs(2);
+            let mut rng = StdRng::seed_from_u64(member as u64);
+            let mut events = Vec::new();
+            let mut now = SimTime::ZERO;
+            loop {
+                let mut ctx = Ctx::standalone(now, 0, &mut rng, &mut events);
+                if now == SimTime::ZERO {
+                    actor.on_start(&mut ctx);
+                } else {
+                    actor.on_timer(100, &mut ctx);
+                }
+                let out: sofb_sim::engine::CtxOutputs<Raw> = ctx.into_outputs();
+                for (_, Raw(req)) in &out.sends {
+                    union.push((req.id.client.0, req.id.seq));
+                }
+                let Some(TimerRequest::Set(d, 100)) = out.timers.first() else {
+                    break;
+                };
+                now += *d;
+                if now >= stop {
+                    break;
+                }
+            }
+        }
+        let mut pop_sorted = emitted.clone();
+        pop_sorted.sort_unstable();
+        union.sort_unstable();
+        assert_eq!(pop_sorted, union);
     }
 
     /// Shard replicas of one Poisson population partition the global

@@ -28,7 +28,15 @@ impl Histogram {
     }
 
     /// Records a sample.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `v` is not NaN: `total_cmp` sorts NaN after
+    /// every number, so one poisoned sample would silently become the
+    /// max — `percentile(100.0)` (and any rank near it) would return
+    /// NaN without a trace. Catch it where it enters instead.
     pub fn record(&mut self, v: f64) {
+        debug_assert!(!v.is_nan(), "Histogram::record: NaN sample");
         self.samples.push(v);
     }
 
@@ -441,12 +449,14 @@ mod tests {
         assert_eq!(h.percentile(0.0), 1.0);
     }
 
-    /// A stray NaN sample must not panic the sort; it totals-orders last.
+    /// A stray NaN sample (possible in release builds, where `record`'s
+    /// debug assert is compiled out) must not panic the sort; it
+    /// totals-orders last.
     #[test]
     fn percentile_sort_is_nan_safe() {
         let mut h = Histogram::new();
         h.record(2.0);
-        h.record(f64::NAN);
+        h.samples.push(f64::NAN); // bypass the debug assert in `record`
         h.record(1.0);
         assert_eq!(h.percentile(0.0), 1.0);
         assert_eq!(h.percentile(50.0), 2.0);
@@ -509,5 +519,24 @@ mod tests {
         assert!(table.contains("BFT"));
         assert!(table.contains("40.0"));
         assert!(table.contains("60.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    #[cfg(debug_assertions)]
+    fn record_rejects_nan() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+    }
+
+    /// Infinities are not NaN: they sort correctly and surface loudly in
+    /// any report, so `record` lets them through.
+    #[test]
+    fn record_accepts_infinity() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.percentile(100.0), f64::INFINITY);
+        assert_eq!(h.percentile(50.0), 1.0);
     }
 }

@@ -8,21 +8,22 @@
 //! ```
 
 use sofbyz::app::kv::{KvOp, KvStore};
-use sofbyz::core::config::Fault;
-use sofbyz::core::sim::ScWorldBuilder;
-use sofbyz::crypto::scheme::SchemeId;
+use sofbyz::core::sim::ScProtocol;
+use sofbyz::harness::{FaultSpec, Protocol, WorldBuilder};
 use sofbyz::proto::codec::Encode;
 use sofbyz::proto::ids::{ProcessId, SeqNo};
-use sofbyz::proto::topology::Variant;
 use sofbyz::service::ReplicatedService;
 use sofbyz::sim::time::SimDuration;
 
 fn main() {
     // f = 2 SC deployment whose rank-1 coordinator will corrupt its 4th
     // batch; the service layer never notices beyond a latency blip.
-    let builder = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
+    // (Swap `ScProtocol` for `BftProtocol`/`CtProtocol` — the façade is
+    // generic over the variant.)
+    let fault = ScProtocol::value_fault(SeqNo(4)).expect("SC scripts value faults");
+    let builder = WorldBuilder::<ScProtocol>::new(2)
         .batching_interval(SimDuration::from_ms(50))
-        .fault(ProcessId(0), Fault::CorruptOrderAt(SeqNo(4)))
+        .fault(ProcessId(0), FaultSpec::Byzantine(fault))
         .seed(11);
     let mut bank = ReplicatedService::new(builder, KvStore::new);
 

@@ -28,6 +28,7 @@ use std::path::Path;
 use sofb_spec::report::{self, ReportMeta};
 use sofb_spec::{Spec, SpecError};
 
+use crate::runtime;
 use crate::scenario::{default_workers, run_grid, ScenarioError};
 
 /// A failed `sofb` invocation. The binary prints the `Display` form and
@@ -72,6 +73,14 @@ pub enum CliError {
         /// One `path: error` line per failure.
         detail: String,
     },
+    /// A live (`serve`/`call`) invocation failed: an unservable spec, a
+    /// rejected wire command, or a cross-validation mismatch.
+    Live {
+        /// What was being attempted (spec path or node address).
+        context: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -87,6 +96,7 @@ impl fmt::Display for CliError {
             CliError::InvalidSpecs { count, detail } => {
                 write!(f, "{count} invalid spec(s):\n{detail}")
             }
+            CliError::Live { context, detail } => write!(f, "{context}: {detail}"),
         }
     }
 }
@@ -108,6 +118,9 @@ sofb — run data-driven scenario specs (.scn)
 USAGE:
     sofb run <spec.scn> [--smoke] [--dry-run] [--workers N] [--world-workers N]
                         [--out FILE] [--check FILE]
+    sofb serve <spec.scn> [--addr A] [--for-ms N] [--time-scale X]
+                          [--trace FILE] [--cross-validate]
+    sofb call <addr> <op> [args…]
     sofb list [dir]          (default dir: specs)
     sofb help
 
@@ -120,7 +133,24 @@ run flags:
                    identical; overrides the spec's `world_workers`)
     --out FILE     write the grid-report JSON to FILE instead of stdout
     --check FILE   regenerate and compare against FILE at 1e-9 (wall excluded)
-                   (--out and --check are mutually exclusive)";
+                   (--out and --check are mutually exclusive)
+
+serve — run the spec's protocol on wall-clock threads, serving the KV
+store over TCP (single-shard, fault-free specs only; [client] load is
+replaced by real calls):
+    --addr A           listen address (default: 127.0.0.1:4780)
+    --for-ms N         serve for N ms, then shut down (default: until a
+                       `sofb call <addr> shutdown`)
+    --time-scale X     stretch protocol timer delays by X (default: 1.0)
+    --trace FILE       write the recorded live trace (sofb-live-trace/v1)
+    --cross-validate   after shutdown, replay the recorded trace through
+                       the simulator on all four variants and fail unless
+                       every commit order matches the live run
+
+call — one request against a serving node; plain-text arguments are
+hex-encoded on the wire:
+    sofb call 127.0.0.1:4780 put alice 100
+    ops: put K V | get K | del K | cas K EXPECT NEW | digest | shutdown";
 
 fn usage_err(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
@@ -212,12 +242,210 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
     Ok(run)
 }
 
+/// One parsed `sofb serve` invocation.
+struct ServeArgs {
+    spec_path: String,
+    addr: String,
+    for_ms: Option<u64>,
+    time_scale: f64,
+    trace: Option<String>,
+    cross_validate: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut serve = ServeArgs {
+        spec_path: String::new(),
+        addr: "127.0.0.1:4780".to_string(),
+        for_ms: None,
+        time_scale: 1.0,
+        trace: None,
+        cross_validate: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                serve.addr = it
+                    .next()
+                    .ok_or_else(|| usage_err("--addr needs a value"))?
+                    .clone();
+            }
+            "--for-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--for-ms needs a value"))?;
+                serve.for_ms =
+                    Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        usage_err(format!("--for-ms: `{v}` is not a positive integer"))
+                    })?);
+            }
+            "--time-scale" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--time-scale needs a value"))?;
+                serve.time_scale = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or_else(|| {
+                        usage_err(format!("--time-scale: `{v}` is not a positive number"))
+                    })?;
+            }
+            "--trace" => {
+                serve.trace = Some(
+                    it.next()
+                        .ok_or_else(|| usage_err("--trace needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--cross-validate" => serve.cross_validate = true,
+            flag if flag.starts_with('-') => {
+                return Err(usage_err(format!("unknown flag `{flag}`")));
+            }
+            path if serve.spec_path.is_empty() => serve.spec_path = path.to_string(),
+            extra => return Err(usage_err(format!("unexpected extra argument `{extra}`"))),
+        }
+    }
+    if serve.spec_path.is_empty() {
+        return Err(usage_err("sofb serve needs a spec file"));
+    }
+    Ok(serve)
+}
+
+fn serve(args: ServeArgs) -> Result<String, CliError> {
+    let spec = load_spec(&args.spec_path)?;
+    let live_err = |detail: String| CliError::Live {
+        context: args.spec_path.clone(),
+        detail,
+    };
+    // A live node is one ordering group with no scripted adversary; the
+    // spec's [client] load is replaced by whatever actually calls in.
+    if spec.base.shards != 1 {
+        return Err(live_err(format!(
+            "field `shards`: a live node serves one ordering group, spec declares {}",
+            spec.base.shards
+        )));
+    }
+    if !spec.base.faults.is_empty() {
+        return Err(live_err(format!(
+            "field `faults`: a live node cannot script its {} fault(s); serve fault-free specs",
+            spec.base.faults.len()
+        )));
+    }
+    let kind = spec.base.kind;
+    let knobs = spec.base.knobs.clone();
+    let listener = std::net::TcpListener::bind(&args.addr).map_err(|e| CliError::Io {
+        path: args.addr.clone(),
+        error: e.to_string(),
+    })?;
+    let addr = listener.local_addr().map_err(|e| CliError::Io {
+        path: args.addr.clone(),
+        error: e.to_string(),
+    })?;
+    let svc = runtime::spawn_live_kv(kind, &knobs, args.time_scale);
+    eprintln!(
+        "serving {kind} (f={}, scheme {}) on {addr}{}…",
+        knobs.f,
+        knobs.scheme,
+        match args.for_ms {
+            Some(ms) => format!(" for {ms} ms"),
+            None => " until `shutdown`".to_string(),
+        }
+    );
+    let opts = runtime::ServeOptions {
+        lifetime: args.for_ms.map(std::time::Duration::from_millis),
+        ..runtime::ServeOptions::default()
+    };
+    let outcome = runtime::serve(listener, svc, &opts).map_err(|e| CliError::Io {
+        path: addr.to_string(),
+        error: e.to_string(),
+    })?;
+
+    let mut out = String::new();
+    writeln!(out, "served {} call(s) on {kind}", outcome.calls).unwrap();
+    writeln!(
+        out,
+        "ops submitted/committed/executed: {}/{}/{}",
+        outcome.run.trace.ops.len(),
+        outcome.run.trace.commit_order.len(),
+        outcome.run.executed_ops
+    )
+    .unwrap();
+    let digest = &outcome.run.state_digest;
+    writeln!(
+        out,
+        "state digest: {}",
+        digest
+            .iter()
+            .take(8)
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>()
+    )
+    .unwrap();
+    if let Some(trace_path) = &args.trace {
+        std::fs::write(trace_path, outcome.run.trace.render()).map_err(|e| CliError::Io {
+            path: trace_path.clone(),
+            error: e.to_string(),
+        })?;
+        writeln!(out, "trace written to {trace_path}").unwrap();
+    }
+    if args.cross_validate {
+        let per_variant =
+            runtime::cross_validate(&outcome.run.trace).map_err(|e| live_err(e.to_string()))?;
+        let summary = per_variant
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        writeln!(
+            out,
+            "cross-validation passed: live commit order reproduced on {summary}"
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn call(args: &[String]) -> Result<String, CliError> {
+    let [addr_text, op, op_args @ ..] = args else {
+        return Err(usage_err("sofb call needs an address and an operation"));
+    };
+    let addr: std::net::SocketAddr = addr_text
+        .parse()
+        .map_err(|_| usage_err(format!("`{addr_text}` is not an ip:port address")))?;
+    let line = runtime::wire_line(op, op_args);
+    let reply = runtime::call(addr, &line, std::time::Duration::from_secs(30)).map_err(|e| {
+        CliError::Io {
+            path: addr_text.clone(),
+            error: e.to_string(),
+        }
+    })?;
+    let payload = runtime::decode_reply(&reply).map_err(|detail| CliError::Live {
+        context: addr_text.clone(),
+        detail,
+    })?;
+    // Replies are application bytes (KV values, "OK", CAS booleans, state
+    // digests); print printable ones as text, the rest as hex.
+    let text = String::from_utf8_lossy(&payload);
+    if !payload.is_empty() && text.chars().all(|c| c.is_ascii_graphic() || c == ' ') {
+        Ok(format!("{text}\n"))
+    } else {
+        Ok(payload
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>()
+            + "\n")
+    }
+}
+
 /// Executes an invocation (everything after the program name) and
 /// returns the text destined for stdout. Progress notes go to stderr
 /// directly; all failures are typed, never panics.
 pub fn execute(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("run") => run(parse_run_args(&args[1..])?),
+        Some("serve") => serve(parse_serve_args(&args[1..])?),
+        Some("call") => call(&args[1..]),
         Some("list") => match args.len() {
             1 => list("specs"),
             2 => list(&args[1]),

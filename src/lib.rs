@@ -81,6 +81,14 @@
 //! and the emitted grid-report JSON is deterministic and diffable at
 //! 1e-9 (`sofb run … --check`). See `DESIGN.md` ("Spec language") for
 //! the grammar.
+//!
+//! The same protocols also run on wall-clock time: the [`runtime`]
+//! module hosts them on real threads behind the [`service`] façade's
+//! execution core, and `sofb serve <spec.scn>` / `sofb call <addr> <op>`
+//! expose the replicated KV over TCP. Every live run records a trace
+//! that [`runtime::cross_validate`] replays through the simulator on
+//! all four variants, asserting the identical commit order — see
+//! `DESIGN.md` ("Live runtime").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

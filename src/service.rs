@@ -3,65 +3,64 @@
 //!
 //! This is what a downstream user of the library actually wants — the §2
 //! state-machine-replication story end to end: operations are multicast
-//! to every order process, the SC/SCR protocol assigns them a total
-//! order, and a deterministic state machine executes each replica's
+//! to every order process, the chosen total-order protocol assigns them
+//! a sequence, and a deterministic state machine executes each replica's
 //! committed, gap-free prefix. Replies come from the replica executors,
 //! which this façade also cross-checks for divergence on every poll.
+//!
+//! The façade is generic over [`Protocol`], so the same
+//! submit/run/poll API (and the same divergence audit) works on SC,
+//! SCR, BFT and CT — pick the variant by choosing `P`:
+//!
+//! ```no_run
+//! # use sofbyz::app::kv::KvStore;
+//! # use sofbyz::harness::WorldBuilder;
+//! # use sofbyz::bft::sim::BftProtocol;
+//! # use sofbyz::service::ReplicatedService;
+//! let svc = ReplicatedService::new(WorldBuilder::<BftProtocol>::new(1), KvStore::new);
+//! ```
+//!
+//! The execution bookkeeping itself (`ServiceCore`) is shared with the
+//! wall-clock runtime ([`crate::runtime`]): the only difference between
+//! the simulated service and a live `sofb serve` node is where the
+//! commit events come from.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use sofb_app::state_machine::{Executor, StateMachine};
-use sofb_core::analysis;
-use sofb_core::events::ScEvent;
-use sofb_core::messages::ScMsg;
-use sofb_core::sim::{ScWorld, ScWorldBuilder};
+use sofb_harness::analysis;
+use sofb_harness::{Deployment, Protocol, ProtocolEvent, WorldBuilder};
 use sofb_proto::ids::{ClientId, SeqNo};
 use sofb_proto::request::{Request, RequestId};
+use sofb_sim::engine::TimedEvent;
 use sofb_sim::time::{SimDuration, SimTime};
 
-/// A replicated deterministic service on top of the SC/SCR order
-/// protocol.
-///
-/// # Examples
-///
-/// ```
-/// use sofbyz::app::kv::{KvOp, KvStore};
-/// use sofbyz::crypto::scheme::SchemeId;
-/// use sofbyz::proto::codec::Encode;
-/// use sofbyz::proto::topology::Variant;
-/// use sofbyz::core::sim::ScWorldBuilder;
-/// use sofbyz::service::ReplicatedService;
-/// use sofbyz::sim::time::SimDuration;
-///
-/// let builder = ScWorldBuilder::new(1, Variant::Sc, SchemeId::Md5Rsa1024);
-/// let mut svc = ReplicatedService::new(builder, || KvStore::new());
-/// let put = KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() };
-/// let id = svc.submit(put.to_bytes());
-/// svc.run_for(SimDuration::from_secs(2));
-/// let replies = svc.poll_replies();
-/// assert_eq!(replies.get(&id).map(Vec::as_slice), Some(&b"OK"[..]));
-/// ```
-pub struct ReplicatedService<S> {
-    deployment: ScWorld,
+/// The node id the façade injects requests as — far outside any real
+/// node range, like an external client co-located with the processes.
+pub(crate) const GATEWAY_NODE: usize = 10_000;
+
+/// The protocol-independent execution side of a replicated service:
+/// request bookkeeping, gap-free prefix execution on a bank of replica
+/// [`Executor`]s, the cross-replica divergence audit, and the reply
+/// table. Both the simulated [`ReplicatedService`] and the wall-clock
+/// [`crate::runtime::LiveService`] drive one of these; only the source
+/// of the [`ProtocolEvent::Committed`] stream differs.
+pub(crate) struct ServiceCore<S> {
     client: ClientId,
     next_seq: u64,
     requests: HashMap<RequestId, Request>,
     executors: Vec<Executor<S>>,
     /// Commits seen but not yet executed (waiting for the gap-free
     /// prefix).
-    staged: BTreeMap<SeqNo, std::sync::Arc<[RequestId]>>,
+    staged: BTreeMap<SeqNo, Arc<[RequestId]>>,
     replies: HashMap<RequestId, Vec<u8>>,
-    started: bool,
 }
 
-impl<S: StateMachine> ReplicatedService<S> {
-    /// Builds the deployment and one executor per service replica
-    /// (`2f+1`), each initialized from `make_machine`.
-    pub fn new(builder: ScWorldBuilder, make_machine: impl Fn() -> S) -> Self {
-        let deployment = builder.build();
-        let replicas = deployment.topology.replica_count();
-        ReplicatedService {
-            deployment,
+impl<S: StateMachine> ServiceCore<S> {
+    /// `replicas` executors, each initialized from `make_machine`.
+    pub(crate) fn new(replicas: usize, make_machine: impl Fn() -> S) -> Self {
+        ServiceCore {
             client: ClientId(0),
             next_seq: 0,
             requests: HashMap::new(),
@@ -70,51 +69,35 @@ impl<S: StateMachine> ReplicatedService<S> {
                 .collect(),
             staged: BTreeMap::new(),
             replies: HashMap::new(),
-            started: false,
         }
     }
 
-    /// Submits an operation for ordering; returns its request id.
-    pub fn submit(&mut self, op: impl Into<bytes::Bytes>) -> RequestId {
-        self.ensure_started();
+    /// Mints the next request carrying `op` and tracks its payload for
+    /// execution once committed.
+    pub(crate) fn next_request(&mut self, op: bytes::Bytes) -> Request {
         self.next_seq += 1;
-        let req = Request::new(self.client, self.next_seq, op.into());
-        let id = req.id;
-        self.requests.insert(id, req.clone());
-        let n = self.deployment.topology.n();
-        for p in 0..n {
-            self.deployment
-                .world
-                .inject(p, 10_000, ScMsg::Request(req.clone()));
+        let req = Request::new(self.client, self.next_seq, op);
+        self.requests.insert(req.id, req.clone());
+        req
+    }
+
+    /// Stages the member lists of any commit events in `events`.
+    pub(crate) fn stage(&mut self, events: &[TimedEvent<ProtocolEvent>]) {
+        for ev in events {
+            if let ProtocolEvent::Committed { o, request_ids, .. } = &ev.event {
+                self.staged.entry(*o).or_insert_with(|| request_ids.clone());
+            }
         }
-        id
     }
 
-    /// Advances virtual time by `d`.
-    pub fn run_for(&mut self, d: SimDuration) {
-        self.ensure_started();
-        let until = self.deployment.world.now() + d;
-        self.deployment.run_until(until);
-    }
-
-    /// Drains commit events, executes newly gap-free batches on every
-    /// replica executor, cross-checks replica state digests, and returns
-    /// all replies produced so far (replica 0's).
+    /// Executes every newly gap-free batch on all replica executors and
+    /// cross-checks their state digests.
     ///
     /// # Panics
     ///
-    /// Panics if replicas diverge (which the ordering layer's safety
-    /// property rules out — this is the service-level audit of it) or if
-    /// the ordering layer emitted conflicting commits.
-    pub fn poll_replies(&mut self) -> &HashMap<RequestId, Vec<u8>> {
-        let events = self.deployment.world.drain_events();
-        analysis::check_total_order(&events).expect("ordering layer safety");
-        for ev in events {
-            if let ScEvent::Committed { o, request_ids, .. } = ev.event {
-                self.staged.entry(o).or_insert(request_ids);
-            }
-        }
-        // Execute the gap-free prefix.
+    /// Panics if the replicas diverge — the ordering layer's safety
+    /// property rules this out; this is the service-level audit of it.
+    pub(crate) fn execute_ready(&mut self) {
         loop {
             let next = self.executors[0].next_seq();
             let Some(ids) = self.staged.remove(&next) else {
@@ -145,22 +128,120 @@ impl<S: StateMachine> ReplicatedService<S> {
                 self.replies.insert(*id, reply);
             }
         }
+    }
+
+    /// All replies produced so far (replica 0's).
+    pub(crate) fn replies(&self) -> &HashMap<RequestId, Vec<u8>> {
         &self.replies
     }
 
     /// The executed-state digest (identical across replicas).
-    pub fn state_digest(&self) -> Vec<u8> {
+    pub(crate) fn state_digest(&self) -> Vec<u8> {
         self.executors[0].machine().state_digest()
     }
 
     /// Operations executed so far.
-    pub fn executed_ops(&self) -> u64 {
+    pub(crate) fn executed_ops(&self) -> u64 {
         self.executors[0].applied_ops()
+    }
+
+    /// Replica 0's state machine (reads).
+    pub(crate) fn machine(&self) -> &S {
+        self.executors[0].machine()
+    }
+}
+
+/// A replicated deterministic service on top of any total-order
+/// protocol variant.
+///
+/// # Examples
+///
+/// ```
+/// use sofbyz::app::kv::{KvOp, KvStore};
+/// use sofbyz::core::sim::ScProtocol;
+/// use sofbyz::harness::WorldBuilder;
+/// use sofbyz::proto::codec::Encode;
+/// use sofbyz::service::ReplicatedService;
+/// use sofbyz::sim::time::SimDuration;
+///
+/// let builder = WorldBuilder::<ScProtocol>::new(1);
+/// let mut svc = ReplicatedService::new(builder, KvStore::new);
+/// let put = KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() };
+/// let id = svc.submit(put.to_bytes());
+/// svc.run_for(SimDuration::from_secs(2));
+/// let replies = svc.poll_replies();
+/// assert_eq!(replies.get(&id).map(Vec::as_slice), Some(&b"OK"[..]));
+/// ```
+pub struct ReplicatedService<P: Protocol, S> {
+    deployment: Deployment<P>,
+    core: ServiceCore<S>,
+    started: bool,
+}
+
+impl<P: Protocol, S: StateMachine> ReplicatedService<P, S> {
+    /// Builds the deployment and one executor per service replica
+    /// (`2f+1` — a write quorum's worth, enough that the divergence
+    /// audit spans a majority), each initialized from `make_machine`.
+    pub fn new(builder: WorldBuilder<P>, make_machine: impl Fn() -> S) -> Self {
+        let deployment = builder.build();
+        let replicas = 2 * deployment.knobs.f as usize + 1;
+        ReplicatedService {
+            deployment,
+            core: ServiceCore::new(replicas, make_machine),
+            started: false,
+        }
+    }
+
+    /// Submits an operation for ordering; returns its request id.
+    pub fn submit(&mut self, op: impl Into<bytes::Bytes>) -> RequestId {
+        self.ensure_started();
+        let req = self.core.next_request(op.into());
+        let id = req.id;
+        for p in 0..self.deployment.n_processes {
+            self.deployment
+                .world
+                .inject(p, GATEWAY_NODE, P::request_msg(req.clone()));
+        }
+        id
+    }
+
+    /// Advances virtual time by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.ensure_started();
+        let until = self.deployment.world.now() + d;
+        self.deployment.run_until(until);
+    }
+
+    /// Drains commit events, executes newly gap-free batches on every
+    /// replica executor, cross-checks replica state digests, and returns
+    /// all replies produced so far (replica 0's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if replicas diverge (which the ordering layer's safety
+    /// property rules out — this is the service-level audit of it) or if
+    /// the ordering layer emitted conflicting commits.
+    pub fn poll_replies(&mut self) -> &HashMap<RequestId, Vec<u8>> {
+        let events = self.deployment.world.drain_events();
+        analysis::check_total_order(&events).expect("ordering layer safety");
+        self.core.stage(&events);
+        self.core.execute_ready();
+        self.core.replies()
+    }
+
+    /// The executed-state digest (identical across replicas).
+    pub fn state_digest(&self) -> Vec<u8> {
+        self.core.state_digest()
+    }
+
+    /// Operations executed so far.
+    pub fn executed_ops(&self) -> u64 {
+        self.core.executed_ops()
     }
 
     /// Access to replica 0's state machine (reads).
     pub fn machine(&self) -> &S {
-        self.executors[0].machine()
+        self.core.machine()
     }
 
     /// Current virtual time of the deployment.
@@ -180,8 +261,10 @@ impl<S: StateMachine> ReplicatedService<S> {
 mod tests {
     use super::*;
     use sofb_app::kv::{KvOp, KvStore};
-    use sofb_core::config::Fault;
-    use sofb_crypto::scheme::SchemeId;
+    use sofb_bft::sim::BftProtocol;
+    use sofb_core::sim::ScProtocol;
+    use sofb_ct::sim::CtProtocol;
+    use sofb_harness::FaultSpec;
     use sofb_proto::codec::Encode;
     use sofb_proto::ids::{ProcessId, SeqNo as Sq};
     use sofb_proto::topology::Variant;
@@ -200,7 +283,7 @@ mod tests {
 
     #[test]
     fn submit_run_reply_roundtrip() {
-        let builder = ScWorldBuilder::new(1, Variant::Sc, SchemeId::Md5Rsa1024)
+        let builder = WorldBuilder::<ScProtocol>::new(1)
             .batching_interval(SimDuration::from_ms(50))
             .seed(5);
         let mut svc = ReplicatedService::new(builder, KvStore::new);
@@ -217,9 +300,10 @@ mod tests {
 
     #[test]
     fn replicas_converge_across_failover() {
-        let builder = ScWorldBuilder::new(2, Variant::Sc, SchemeId::Md5Rsa1024)
+        let fault = ScProtocol::value_fault(Sq(3)).expect("SC scripts value faults");
+        let builder = WorldBuilder::<ScProtocol>::new(2)
             .batching_interval(SimDuration::from_ms(50))
-            .fault(ProcessId(0), Fault::CorruptOrderAt(Sq(3)))
+            .fault(ProcessId(0), FaultSpec::Byzantine(fault))
             .seed(7);
         let mut svc = ReplicatedService::new(builder, KvStore::new);
         for i in 0..40 {
@@ -236,12 +320,43 @@ mod tests {
 
     #[test]
     fn service_over_scr_variant() {
-        let builder = ScWorldBuilder::new(1, Variant::Scr, SchemeId::Md5Rsa1024)
+        let builder = WorldBuilder::<ScProtocol>::new(1)
+            .variant(Variant::Scr)
             .batching_interval(SimDuration::from_ms(50))
             .seed(9);
         let mut svc = ReplicatedService::new(builder, KvStore::new);
         let id = svc.submit(put("a", "b"));
         svc.run_for(SimDuration::from_secs(2));
         assert!(svc.poll_replies().contains_key(&id));
+    }
+
+    /// The satellite fix this PR pins: the façade is no longer SC-only —
+    /// BFT and CT get the same submit/run/poll API and divergence audit.
+    #[test]
+    fn service_over_bft_variant() {
+        let builder = WorldBuilder::<BftProtocol>::new(1)
+            .batching_interval(SimDuration::from_ms(50))
+            .seed(3);
+        let mut svc = ReplicatedService::new(builder, KvStore::new);
+        let a = svc.submit(put("x", "42"));
+        svc.run_for(SimDuration::from_ms(400));
+        let b = svc.submit(get("x"));
+        svc.run_for(SimDuration::from_secs(2));
+        let replies = svc.poll_replies().clone();
+        assert_eq!(replies.get(&a).map(Vec::as_slice), Some(&b"OK"[..]));
+        assert_eq!(replies.get(&b).map(Vec::as_slice), Some(&b"42"[..]));
+        assert_eq!(svc.executed_ops(), 2);
+    }
+
+    #[test]
+    fn service_over_ct_variant() {
+        let builder = WorldBuilder::<CtProtocol>::new(1)
+            .batching_interval(SimDuration::from_ms(50))
+            .seed(4);
+        let mut svc = ReplicatedService::new(builder, KvStore::new);
+        let a = svc.submit(put("y", "7"));
+        svc.run_for(SimDuration::from_secs(2));
+        let replies = svc.poll_replies().clone();
+        assert_eq!(replies.get(&a).map(Vec::as_slice), Some(&b"OK"[..]));
     }
 }

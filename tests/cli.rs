@@ -159,3 +159,55 @@ fn report_check_accepts_identity_and_rejects_drift() {
     let err = report::check(&rendered, &relabeled).unwrap_err();
     assert!(err.contains("seed"), "{err}");
 }
+
+#[test]
+fn serve_and_call_usage_defects_are_typed() {
+    for bad in [
+        vec!["serve"],
+        vec!["serve", "x.scn", "--for-ms", "0"],
+        vec!["serve", "x.scn", "--time-scale", "nope"],
+        vec!["serve", "x.scn", "--bogus"],
+        vec!["call"],
+        vec!["call", "127.0.0.1:1"],
+        vec!["call", "not-an-addr", "get", "k"],
+    ] {
+        let err = execute(&args(&bad)).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+    }
+    // A call against nothing listening is an Io error (exit 1), not a panic.
+    let err = execute(&args(&["call", "127.0.0.1:9", "get", "k"])).unwrap_err();
+    assert!(matches!(err, CliError::Io { .. }), "{err}");
+}
+
+#[test]
+fn serve_rejects_sharded_and_faulted_specs() {
+    let dir = std::env::temp_dir();
+    let sharded = dir.join("sofb_cli_test_sharded.scn");
+    std::fs::write(&sharded, "[scenario]\nkind = SC\nf = 1\nshards = 2\n").unwrap();
+    let err = execute(&args(&["serve", sharded.to_str().unwrap()])).unwrap_err();
+    assert!(matches!(err, CliError::Live { .. }), "{err}");
+    assert!(err.to_string().contains("shards"), "{err}");
+
+    let faulted = dir.join("sofb_cli_test_faulted.scn");
+    std::fs::write(
+        &faulted,
+        "[scenario]\nkind = SC\nf = 1\n[fault]\nprocess = 0\nkind = corrupt_order\nseq = 4\n",
+    )
+    .unwrap();
+    let err = execute(&args(&["serve", faulted.to_str().unwrap()])).unwrap_err();
+    assert!(matches!(err, CliError::Live { .. }), "{err}");
+    assert!(err.to_string().contains("fault"), "{err}");
+}
+
+#[test]
+fn usage_text_documents_the_live_commands() {
+    let out = execute(&args(&["help"])).unwrap();
+    for needle in [
+        "sofb serve",
+        "sofb call",
+        "--cross-validate",
+        "--time-scale",
+    ] {
+        assert!(out.contains(needle), "usage text missing `{needle}`");
+    }
+}

@@ -219,3 +219,112 @@ fn umbrella_reexports_compose() {
     let sig = provs[0].sign(b"m");
     assert!(provs[1].verify(0, b"m", &sig));
 }
+
+// ---------------------------------------------------------------------------
+// Live (wall-clock) runtime: serve/call round trips and the
+// trace-replay cross-validation invariant.
+// ---------------------------------------------------------------------------
+
+use sofbyz::harness::{Knobs, ProtocolKind};
+use sofbyz::runtime::{self, spawn_live_kv, LiveTrace, ServeOptions};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn live_knobs() -> Knobs {
+    Knobs {
+        batching_interval: SimDuration::from_ms(15),
+        // Wall-clock suspicion windows are tuned for the simulated
+        // timeline; a loaded CI host would trip them spuriously.
+        time_checks: false,
+        ..Knobs::default()
+    }
+}
+
+#[test]
+fn live_serve_call_shutdown_round_trip_on_every_variant() {
+    for kind in ProtocolKind::ALL {
+        let svc = spawn_live_kv(kind, &live_knobs(), 1.0);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            runtime::serve(listener, svc, &ServeOptions::default()).expect("serve loop")
+        });
+
+        let t = Duration::from_secs(20);
+        let put = runtime::call(
+            addr,
+            &runtime::wire_line("put", &["k".into(), "v1".into()]),
+            t,
+        )
+        .expect("put call");
+        assert_eq!(
+            runtime::decode_reply(&put).as_deref(),
+            Ok(&b"OK"[..]),
+            "{kind}: put reply was {put:?}"
+        );
+        let get =
+            runtime::call(addr, &runtime::wire_line("get", &["k".into()]), t).expect("get call");
+        assert_eq!(
+            runtime::decode_reply(&get).as_deref(),
+            Ok(&b"v1"[..]),
+            "{kind}: get reply was {get:?}"
+        );
+        let bad = runtime::call(addr, "frobnicate", t).expect("bad call");
+        assert!(
+            bad.starts_with("err "),
+            "{kind}: bad op must err, got {bad:?}"
+        );
+        let bye = runtime::call(addr, "shutdown", t).expect("shutdown call");
+        assert_eq!(bye, "ok bye", "{kind}");
+
+        let outcome = server.join().expect("server thread");
+        assert_eq!(outcome.calls, 4, "{kind}");
+        assert_eq!(outcome.run.trace.kind, kind);
+        assert_eq!(outcome.run.trace.ops.len(), 2, "{kind}: put + get recorded");
+        assert_eq!(
+            outcome.run.trace.commit_order.len(),
+            2,
+            "{kind}: both ops committed before shutdown"
+        );
+        assert_eq!(outcome.run.executed_ops, 2, "{kind}");
+    }
+}
+
+#[test]
+fn live_trace_cross_validates_against_all_four_simulated_variants() {
+    let mut svc = spawn_live_kv(ProtocolKind::Sc, &live_knobs(), 1.0);
+    let mut ids = Vec::new();
+    for i in 0..8u8 {
+        let op = KvOp::Put {
+            key: format!("k{i}").into_bytes(),
+            value: vec![i],
+        };
+        ids.push(svc.submit(op.to_bytes()));
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    for id in ids {
+        assert!(
+            svc.wait_reply(id, Duration::from_secs(20)).is_some(),
+            "live op must commit"
+        );
+    }
+    let run = svc.shutdown();
+    assert_eq!(run.trace.ops.len(), 8);
+    assert_eq!(run.trace.commit_order.len(), 8);
+
+    // The invariant: the recorded workload replayed through the
+    // simulator commits identically on all four variants.
+    let per_variant = runtime::cross_validate(&run.trace).expect("live/sim commit orders agree");
+    assert_eq!(per_variant.len(), 4);
+    assert!(per_variant.iter().all(|(_, commits)| *commits == 8));
+
+    // And it is a real check: a reordered trace must be rejected, and it
+    // survives the text round trip.
+    let mut tampered = LiveTrace::parse(&run.trace.render()).expect("trace text round-trips");
+    assert_eq!(tampered, run.trace);
+    tampered.commit_order.swap(0, 1);
+    assert!(
+        runtime::cross_validate(&tampered).is_err(),
+        "tampered commit order must fail cross-validation"
+    );
+}
