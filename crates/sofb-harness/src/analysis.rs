@@ -9,12 +9,13 @@
 use std::collections::{BTreeMap, HashMap};
 
 use sofb_proto::ids::SeqNo;
-use sofb_proto::request::Digest;
+use sofb_proto::request::{Digest, RequestId};
 use sofb_sim::engine::TimedEvent;
 use sofb_sim::metrics::Histogram;
 use sofb_sim::time::SimTime;
 
 use crate::event::ProtocolEvent;
+use crate::shard::ShardRouter;
 
 /// Order latency per sequence number: batch formation (`formed_at_ns`,
 /// stamped by the coordinator) to the *first* process committing it —
@@ -254,6 +255,67 @@ pub fn check_total_order(events: &[TimedEvent<ProtocolEvent>]) -> Result<(), Str
     Ok(())
 }
 
+/// Verifies exactly-once commit: every request id is bound to exactly one
+/// `(shard, sequence number)` across the whole trace. Nodes of one shard
+/// re-announcing the same binding is the normal replication echo; the
+/// same request surfacing under a second sequence number or on a second
+/// shard is a double commit. `nodes_per_shard` maps a global node index
+/// to its ordering group (shard `= node / nodes_per_shard`; pass the
+/// world size for a flat world).
+pub fn check_exactly_once(
+    events: &[TimedEvent<ProtocolEvent>],
+    nodes_per_shard: usize,
+) -> Result<(), String> {
+    let mut bindings: HashMap<RequestId, (usize, SeqNo)> = HashMap::new();
+    for ev in events {
+        if let ProtocolEvent::Committed { o, request_ids, .. } = &ev.event {
+            let shard = ev.node / nodes_per_shard;
+            for rid in request_ids.iter() {
+                match bindings.get(rid) {
+                    None => {
+                        bindings.insert(*rid, (shard, *o));
+                    }
+                    Some(&(s, seq)) if s == shard && seq == *o => {}
+                    Some(&(s, seq)) => {
+                        return Err(format!(
+                            "request {rid:?} committed twice: shard {s} at {seq:?} \
+                             vs shard {shard} at {o:?} (node {})",
+                            ev.node
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies shard isolation: every committed request landed on the shard
+/// the router assigns it to. A commit elsewhere means client traffic
+/// leaked across ordering-group boundaries.
+pub fn check_no_cross_shard_leakage(
+    events: &[TimedEvent<ProtocolEvent>],
+    nodes_per_shard: usize,
+    router: &ShardRouter,
+) -> Result<(), String> {
+    for ev in events {
+        if let ProtocolEvent::Committed { o, request_ids, .. } = &ev.event {
+            let shard = ev.node / nodes_per_shard;
+            for rid in request_ids.iter() {
+                let expected = router.route_request(rid.client, rid.seq);
+                if expected != shard {
+                    return Err(format!(
+                        "request {rid:?} routed to shard {expected} but committed \
+                         at {o:?} on shard {shard} (node {})",
+                        ev.node
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The largest sequence number committed by every one of `nodes` (liveness
 /// floor), if all of them committed anything.
 pub fn common_committed_prefix(
@@ -279,7 +341,7 @@ pub fn common_committed_prefix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sofb_proto::ids::Rank;
+    use sofb_proto::ids::{ClientId, Rank};
 
     fn committed(
         node: usize,
@@ -335,6 +397,83 @@ mod tests {
         assert!(check_total_order(&ok).is_ok());
         let bad = vec![committed(0, 10, 1, 7, 5), committed(1, 12, 1, 8, 5)];
         assert!(check_total_order(&bad).is_err());
+    }
+
+    /// Commit of `rids` at `(node, o)` — the shape the fuzz-oracle
+    /// mutation tests corrupt.
+    fn committed_rids(node: usize, o: u64, rids: &[(u32, u64)]) -> TimedEvent<ProtocolEvent> {
+        let ids: Vec<RequestId> = rids
+            .iter()
+            .map(|&(c, s)| RequestId {
+                client: ClientId(c),
+                seq: s,
+            })
+            .collect();
+        TimedEvent {
+            time: SimTime::from_ms(10),
+            node,
+            event: ProtocolEvent::Committed {
+                c: Rank(1),
+                o: SeqNo(o),
+                digest: Digest::new(&[o as u8]),
+                requests: ids.len(),
+                request_ids: ids.into(),
+                formed_at_ns: SimTime::from_ms(5).as_ns(),
+            },
+        }
+    }
+
+    // A checker that can't fail is not a fuzz oracle: each corrupted
+    // trace below must trip exactly the invariant it violates.
+
+    #[test]
+    fn safety_checker_catches_per_node_double_commit() {
+        let bad = vec![committed(0, 10, 1, 7, 5), committed(0, 12, 1, 8, 5)];
+        let err = check_total_order(&bad).unwrap_err();
+        assert!(err.contains("twice"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn exactly_once_accepts_replication_echo() {
+        // Both nodes of shard 0 announce the same binding: the normal
+        // replicated-commit shape, not a violation.
+        let ok = vec![
+            committed_rids(0, 1, &[(0, 0), (0, 1)]),
+            committed_rids(1, 1, &[(0, 0), (0, 1)]),
+        ];
+        assert!(check_exactly_once(&ok, 4).is_ok());
+    }
+
+    #[test]
+    fn exactly_once_catches_double_commit() {
+        // The same request surfaces again under a second sequence number.
+        let bad = vec![
+            committed_rids(0, 1, &[(0, 0)]),
+            committed_rids(0, 2, &[(0, 0)]),
+        ];
+        let err = check_exactly_once(&bad, 4).unwrap_err();
+        assert!(err.contains("committed twice"), "unexpected message: {err}");
+        // … or on a second shard (nodes 0 and 4 with 4 nodes per shard).
+        let bad = vec![
+            committed_rids(0, 1, &[(0, 0)]),
+            committed_rids(4, 1, &[(0, 0)]),
+        ];
+        assert!(check_exactly_once(&bad, 4).is_err());
+    }
+
+    #[test]
+    fn leakage_checker_catches_wrong_shard_commit() {
+        let router = ShardRouter::hash(2);
+        // Route each request to its proper shard: a clean two-shard trace.
+        let (mine, theirs): (Vec<_>, Vec<_>) = (0..8u64)
+            .map(|s| (0u32, s))
+            .partition(|&(c, s)| router.route_request(ClientId(c), s) == 0);
+        let ok = vec![committed_rids(0, 1, &mine), committed_rids(4, 1, &theirs)];
+        assert!(check_no_cross_shard_leakage(&ok, 4, &router).is_ok());
+        // Swap the shards: every commit now sits on the wrong group.
+        let bad = vec![committed_rids(0, 1, &theirs), committed_rids(4, 1, &mine)];
+        let err = check_no_cross_shard_leakage(&bad, 4, &router).unwrap_err();
+        assert!(err.contains("routed to shard"), "unexpected message: {err}");
     }
 
     #[test]

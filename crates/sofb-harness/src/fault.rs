@@ -45,6 +45,26 @@ pub enum FaultSpec<B> {
         /// Added one-way latency.
         extra: SimDuration,
     },
+    /// Within the window every message the process sends is transmitted
+    /// twice — the duplicate under an independently sampled link latency
+    /// (an at-least-once transport retrying spuriously).
+    Duplicate {
+        /// When duplication starts.
+        from: SimTime,
+        /// When duplication stops (`None`: forever).
+        until: Option<SimTime>,
+    },
+    /// Within the window every message the process sends incurs an extra
+    /// uniformly sampled delay in `[0, jitter]` — seeded, deterministic
+    /// reordering within delay bounds.
+    Reorder {
+        /// When the jitter starts.
+        from: SimTime,
+        /// When the jitter stops (`None`: forever).
+        until: Option<SimTime>,
+        /// Upper bound of the sampled per-message extra delay.
+        jitter: SimDuration,
+    },
     /// A protocol-specific scripted misbehaviour (value-domain faults,
     /// rubber-stamping shadows, mute primaries, …).
     Byzantine(B),
@@ -90,6 +110,24 @@ impl<B> FaultSpec<B> {
             extra,
         }
     }
+
+    /// Message duplication for the window `[from, until)`.
+    pub fn duplicate_until(from: SimTime, until: SimTime) -> Self {
+        FaultSpec::Duplicate {
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// Send reordering (jitter up to `jitter`) for the window
+    /// `[from, until)`.
+    pub fn reorder_until(from: SimTime, until: SimTime, jitter: SimDuration) -> Self {
+        FaultSpec::Reorder {
+            from,
+            until: Some(until),
+            jitter,
+        }
+    }
 }
 
 /// Installs one engine-level fault on world node `node` (Byzantine
@@ -106,6 +144,12 @@ where
         FaultSpec::Delay { from, until, extra } => {
             world.delay_sends_between(node, *from, *until, *extra)
         }
+        FaultSpec::Duplicate { from, until } => world.duplicate_sends_between(node, *from, *until),
+        FaultSpec::Reorder {
+            from,
+            until,
+            jitter,
+        } => world.reorder_sends_between(node, *from, *until, *jitter),
         FaultSpec::Byzantine(_) => {}
     }
 }

@@ -50,6 +50,7 @@ struct ShardRun {
 /// `scenario.world_workers >= 1` (the dispatch in `run_traced_as`).
 pub(crate) fn run_world_parallel<P: Protocol>(
     scenario: &Scenario,
+    enforce_safety: bool,
 ) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
     let n = P::node_count(&scenario.knobs);
     let shards = scenario.shards;
@@ -140,7 +141,14 @@ pub(crate) fn run_world_parallel<P: Protocol>(
     let merged = merge_traces(&shard_events);
     let refs: Vec<&[TimedEvent<ProtocolEvent>]> =
         shard_events.iter().map(|v| v.as_slice()).collect();
-    let report = summarize(&refs, &merged, scenario.window, messages_sent, counters);
+    let report = summarize(
+        &refs,
+        &merged,
+        scenario.window,
+        messages_sent,
+        counters,
+        enforce_safety,
+    );
     Ok((report, merged))
 }
 

@@ -169,8 +169,9 @@ pub enum RouterPolicy {
 
 impl RouterPolicy {
     /// Builds the router for a world of `shards` groups (shared with
-    /// the parallel runner).
-    pub(crate) fn build(&self, shards: usize) -> Result<ShardRouter, ScenarioError> {
+    /// the parallel runner; public so trace oracles outside the crate
+    /// can reconstruct the routing a scenario implies).
+    pub fn build(&self, shards: usize) -> Result<ShardRouter, ScenarioError> {
         let router = match self {
             RouterPolicy::Hash => ShardRouter::hash(shards),
             RouterPolicy::EvenRanges => ShardRouter::even_ranges(shards),
@@ -214,6 +215,26 @@ pub enum ScenarioFaultKind {
         until: Option<SimTime>,
         /// Added one-way latency.
         extra: SimDuration,
+    },
+    /// Transmit every message the process sends within the window twice,
+    /// the duplicate under an independently sampled link latency — an
+    /// at-least-once transport retrying spuriously.
+    Duplicate {
+        /// When duplication starts.
+        from: SimTime,
+        /// When duplication stops (`None`: forever).
+        until: Option<SimTime>,
+    },
+    /// Add a uniformly sampled extra delay in `[0, jitter]` to every
+    /// message the process sends within the window — deterministic
+    /// message reordering within a known delay bound.
+    Reorder {
+        /// When the jitter starts.
+        from: SimTime,
+        /// When the jitter stops (`None`: forever).
+        until: Option<SimTime>,
+        /// Upper bound of the sampled per-message extra delay.
+        jitter: SimDuration,
     },
     /// Value-domain corruption of the order carrying sequence number
     /// `o` — the Figure-6 fail-over trigger. Only SC/SCR script this;
@@ -272,6 +293,37 @@ impl ScenarioFault {
                 from,
                 until: Some(until),
                 extra,
+            },
+        }
+    }
+
+    /// A duplication window `[from, until)` on `process` (shard 0).
+    pub fn duplicate_until(process: ProcessId, from: SimTime, until: SimTime) -> Self {
+        ScenarioFault {
+            shard: 0,
+            process,
+            kind: ScenarioFaultKind::Duplicate {
+                from,
+                until: Some(until),
+            },
+        }
+    }
+
+    /// A reorder window `[from, until)` with jitter bound `jitter` on
+    /// `process` (shard 0).
+    pub fn reorder_until(
+        process: ProcessId,
+        from: SimTime,
+        until: SimTime,
+        jitter: SimDuration,
+    ) -> Self {
+        ScenarioFault {
+            shard: 0,
+            process,
+            kind: ScenarioFaultKind::Reorder {
+                from,
+                until: Some(until),
+                jitter,
             },
         }
     }
@@ -765,6 +817,15 @@ impl Scenario {
                     from,
                     until: Some(until),
                     ..
+                }
+                | ScenarioFaultKind::Duplicate {
+                    from,
+                    until: Some(until),
+                }
+                | ScenarioFaultKind::Reorder {
+                    from,
+                    until: Some(until),
+                    ..
                 } if until <= from => {
                     return Err(ScenarioError::FaultWindow {
                         fault: i,
@@ -799,6 +860,16 @@ impl Scenario {
             ScenarioFaultKind::Delay { from, until, extra } => {
                 FaultSpec::Delay { from, until, extra }
             }
+            ScenarioFaultKind::Duplicate { from, until } => FaultSpec::Duplicate { from, until },
+            ScenarioFaultKind::Reorder {
+                from,
+                until,
+                jitter,
+            } => FaultSpec::Reorder {
+                from,
+                until,
+                jitter,
+            },
             ScenarioFaultKind::CorruptOrderAt { o } => {
                 FaultSpec::Byzantine(P::value_fault(o).ok_or(ScenarioError::UnsupportedFault {
                     fault: index,
@@ -825,6 +896,25 @@ impl Scenario {
     pub fn run_traced_as<P: Protocol>(
         &self,
     ) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
+        self.run_traced_with::<P>(true)
+    }
+
+    /// [`Scenario::run_traced_as`] without the panicking per-shard
+    /// safety check: violations leave the trace intact for an outside
+    /// oracle to inspect. This is the fuzzer's entry point — a fuzz run
+    /// *wants* the violating trace back, not an abort.
+    #[allow(clippy::type_complexity)]
+    pub fn run_traced_unchecked_as<P: Protocol>(
+        &self,
+    ) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
+        self.run_traced_with::<P>(false)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_traced_with<P: Protocol>(
+        &self,
+        enforce_safety: bool,
+    ) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
         self.validate()?;
         // The validation above bounds-checked fault targets against the
         // *kind's* layout; if the caller lowered onto the wrong `P`, that
@@ -843,7 +933,7 @@ impl Scenario {
         // single-threaded engine, whose realized schedule is pinned by
         // the golden traces.
         if self.shards > 1 && self.world_workers >= 1 {
-            return crate::parallel::run_world_parallel::<P>(self);
+            return crate::parallel::run_world_parallel::<P>(self, enforce_safety);
         }
         let stop = self.window.end();
         if self.shards == 1 {
@@ -876,6 +966,7 @@ impl Scenario {
                 self.window,
                 d.world.messages_sent(),
                 d.world.counters(),
+                enforce_safety,
             );
             Ok((report, events))
         } else {
@@ -905,6 +996,7 @@ impl Scenario {
                 self.window,
                 d.world.messages_sent(),
                 d.world.counters(),
+                enforce_safety,
             );
             Ok((report, events))
         }
@@ -1013,6 +1105,7 @@ pub(crate) fn summarize(
     window: Window,
     messages_sent: u64,
     engine: EngineCounters,
+    enforce_safety: bool,
 ) -> Report {
     let warmup = window.warmup();
     let end = window.end();
@@ -1025,8 +1118,12 @@ pub(crate) fn summarize(
     for (s, events) in shard_events.iter().enumerate() {
         // Safety is a per-shard property: each group runs its own
         // sequence space, so the total-order check applies within it.
-        analysis::check_total_order(events)
-            .unwrap_or_else(|e| panic!("shard {s}: safety violated: {e}"));
+        // Unchecked runs (the fuzzer) skip the abort and apply their own
+        // oracles to the returned trace instead.
+        if enforce_safety {
+            analysis::check_total_order(events)
+                .unwrap_or_else(|e| panic!("shard {s}: safety violated: {e}"));
+        }
         let lat = analysis::latency_histogram_censored(events, warmup, end, horizon);
         rollup.merge_into(s, &lat);
         let latency = if lat.is_empty() {

@@ -359,6 +359,12 @@ struct NodeState<M, E> {
     mute: Option<(SimTime, Option<SimTime>)>,
     /// Send-delay window `(from, until, extra)`; `until = None` forever.
     send_delay: Option<(SimTime, Option<SimTime>, SimDuration)>,
+    /// Duplicate window `[from, until)`: every non-local send transmits
+    /// twice, the copy with an independently sampled link latency.
+    dup_sends: Option<(SimTime, Option<SimTime>)>,
+    /// Reorder window `(from, until, jitter)`: every non-local send
+    /// incurs an extra uniformly sampled delay in `[0, jitter]`.
+    reorder_sends: Option<(SimTime, Option<SimTime>, SimDuration)>,
     cpu: CpuModel,
     /// Arena payloads currently addressed to this node (in the network
     /// stores or the inbox) — the live counter behind
@@ -507,6 +513,8 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             crashed: false,
             mute: None,
             send_delay: None,
+            dup_sends: None,
+            reorder_sends: None,
             cpu,
             inflight: 0,
             stats: NodeStats::default(),
@@ -672,6 +680,41 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         extra: SimDuration,
     ) {
         self.nodes[node].send_delay = Some((from, until, extra));
+    }
+
+    /// Duplicates every message `node` sends during the window
+    /// `[from, until)`; `until = None` means forever. The duplicate is a
+    /// faithful retransmission: the same payload, delivered under an
+    /// independently sampled link latency (plus any active send delay),
+    /// so it may arrive before or after the original. Models a flaky NIC
+    /// or an at-least-once transport retrying spuriously — the classic
+    /// adversarial schedule that exposes protocols relying on
+    /// exactly-once delivery. Replaces any earlier duplicate plan.
+    ///
+    /// Outside the window this is a strict no-op: no extra randomness is
+    /// drawn and no event is scheduled, so realized schedules stay
+    /// bit-identical to a world without the plan.
+    pub fn duplicate_sends_between(&mut self, node: usize, from: SimTime, until: Option<SimTime>) {
+        self.nodes[node].dup_sends = Some((from, until));
+    }
+
+    /// Adds a uniformly sampled delay in `[0, jitter]` to every message
+    /// `node` sends during the window `[from, until)`; `until = None`
+    /// means forever. Messages whose base latencies differ by less than
+    /// the jitter bound can now overtake each other — deterministic,
+    /// seeded reordering within delay bounds. Replaces any earlier
+    /// reorder plan on the node.
+    ///
+    /// Outside the window this is a strict no-op (no randomness drawn),
+    /// preserving bit-identical schedules when the plan is absent.
+    pub fn reorder_sends_between(
+        &mut self,
+        node: usize,
+        from: SimTime,
+        until: Option<SimTime>,
+        jitter: SimDuration,
+    ) {
+        self.nodes[node].reorder_sends = Some((from, until, jitter));
     }
 
     /// Invokes `on_start` on every node (in index order, at time zero).
@@ -1025,12 +1068,19 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             .send_delay
             .and_then(|(from, until, extra)| in_window(from, until).then_some(extra))
             .unwrap_or(SimDuration::ZERO);
+        let dup = self.nodes[idx]
+            .dup_sends
+            .is_some_and(|(from, until)| in_window(from, until));
+        let reorder_jitter = self.nodes[idx]
+            .reorder_sends
+            .and_then(|(from, until, jitter)| in_window(from, until).then_some(jitter))
+            .filter(|j| *j > SimDuration::ZERO);
         for (to, msg) in sends.drain(..) {
             // The actor addresses peers relative to its base.
             let to = to + base;
             // Self-addressed messages never traverse the uplink, so the
-            // mute/delay faults (which model a cut or degraded network
-            // interface) do not apply to them.
+            // mute/delay/duplicate/reorder faults (which model a cut or
+            // degraded network interface) do not apply to them.
             let local = to == idx;
             if muted && !local {
                 continue;
@@ -1046,12 +1096,29 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                     extra_delay,
                 )
             };
+            // The duplicate is a retransmission of the same payload with
+            // its own latency draw (sampled before the jitter draws so
+            // the RNG stream order is fixed and replayable).
+            let copy = (dup && !local).then(|| {
+                (
+                    msg.clone(),
+                    self.net.link(idx, to).latency(&mut self.rng, done, len),
+                )
+            });
+            let jitter = |rng: &mut StdRng| match reorder_jitter {
+                Some(j) if !local => {
+                    use rand::Rng as _;
+                    SimDuration(rng.gen_range(0..=j.0))
+                }
+                _ => SimDuration::ZERO,
+            };
+            let first_jitter = jitter(&mut self.rng);
             let key = self.arena.insert(msg);
             let n = &mut self.nodes[to];
             n.inflight += 1;
             n.stats.max_inflight = n.stats.max_inflight.max(n.inflight);
             self.push_net(
-                done + latency + extra,
+                done + latency + extra + first_jitter,
                 NetEventKind::Deliver {
                     to,
                     from: idx,
@@ -1059,6 +1126,24 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
                     len: len as u32,
                 },
             );
+            if let Some((copy_msg, copy_latency)) = copy {
+                self.messages_sent += 1;
+                self.bytes_sent += len as u64;
+                let copy_jitter = jitter(&mut self.rng);
+                let key = self.arena.insert(copy_msg);
+                let n = &mut self.nodes[to];
+                n.inflight += 1;
+                n.stats.max_inflight = n.stats.max_inflight.max(n.inflight);
+                self.push_net(
+                    done + copy_latency + extra + copy_jitter,
+                    NetEventKind::Deliver {
+                        to,
+                        from: idx,
+                        key,
+                        len: len as u32,
+                    },
+                );
+            }
         }
         self.spare_sends = sends;
 

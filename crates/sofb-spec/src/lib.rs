@@ -59,14 +59,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod emit;
 mod error;
 mod parse;
 mod spec;
 
 pub mod report;
 
+pub use emit::{emit_spec, EmitError};
 pub use error::{SpecError, SpecErrorKind};
-pub use spec::Spec;
+pub use spec::{Spec, Verdict};
 
 #[cfg(test)]
 mod tests;

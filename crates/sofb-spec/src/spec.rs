@@ -8,6 +8,8 @@
 //! spec-equivalence tests pin that a spec-driven grid expands to
 //! bit-identical cells.
 
+use std::fmt;
+
 use sofb_crypto::scheme::SchemeId;
 use sofb_harness::scenario::{Axis, ClientLoad, RouterPolicy, Scenario, ScenarioFault, SweepGrid};
 use sofb_harness::{Arrival, ProtocolKind, ShardLoad};
@@ -27,11 +29,35 @@ use crate::parse::{split_sections, RawEntry, RawSection};
 pub struct Spec {
     /// The `[meta]` title, if the spec carries one.
     pub title: Option<String>,
+    /// The `[meta]` oracle name, if the spec pins one — which fuzz
+    /// oracle a repro under `specs/repros/` was minimized against.
+    pub oracle: Option<String>,
+    /// The `[meta]` pinned verdict, if the spec carries one — what
+    /// `sofb fuzz --replay` asserts when re-running the spec.
+    pub verdict: Option<Verdict>,
     /// The fully assembled base scenario every axis patches.
     pub base: Scenario,
     axes: Vec<AxisSpec>,
     seeds: Vec<u64>,
     smoke: Option<Smoke>,
+}
+
+/// The pinned outcome of a repro spec (`[meta] verdict = …`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The spec must run clean under its oracle.
+    Pass,
+    /// The spec must deterministically violate its oracle.
+    Violation,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "pass"),
+            Verdict::Violation => write!(f, "violation"),
+        }
+    }
 }
 
 /// The swept scenario fields an `[axis]` section can name.
@@ -47,6 +73,8 @@ enum AxisField {
     BacklogPad,
     Seed,
     GstMs,
+    DupMs,
+    ReorderMs,
     WorldWorkers,
 }
 
@@ -63,6 +91,8 @@ impl AxisField {
             "backlog_pad" => AxisField::BacklogPad,
             "seed" => AxisField::Seed,
             "gst_ms" => AxisField::GstMs,
+            "dup_ms" => AxisField::DupMs,
+            "reorder_ms" => AxisField::ReorderMs,
             "world_workers" => AxisField::WorldWorkers,
             _ => return None,
         })
@@ -81,6 +111,8 @@ impl AxisField {
             AxisField::BacklogPad => "backlog_pad",
             AxisField::Seed => "seed",
             AxisField::GstMs => "gst_ms",
+            AxisField::DupMs => "dup_ms",
+            AxisField::ReorderMs => "reorder_ms",
             AxisField::WorldWorkers => "world_workers",
         }
     }
@@ -172,10 +204,12 @@ struct AxisSpec {
     /// (labels keep the raw value) — `backlog_pad` in KB, for example.
     scale: u64,
     seed: Option<SeedExpr>,
-    /// `gst_ms` only: the delayed process.
+    /// `gst_ms`/`dup_ms`/`reorder_ms` only: the faulted process.
     process: u32,
     /// `gst_ms` only: the extra pre-GST one-way latency.
     extra_ms: u64,
+    /// `reorder_ms` only: the per-message jitter bound.
+    jitter_ms: u64,
 }
 
 impl AxisSpec {
@@ -205,10 +239,17 @@ impl AxisSpec {
             }
             Values::Ints(ints) => {
                 let (field, scale, seed) = (self.field, self.scale, self.seed);
-                let (process, extra_ms) = (self.process, self.extra_ms);
+                let (process, extra_ms, jitter_ms) = (self.process, self.extra_ms, self.jitter_ms);
                 for &v in ints {
                     a = a.value(v.to_string(), move |s| {
-                        apply_int_axis(field, v.saturating_mul(scale), process, extra_ms, s);
+                        apply_int_axis(
+                            field,
+                            v.saturating_mul(scale),
+                            process,
+                            extra_ms,
+                            jitter_ms,
+                            s,
+                        );
                         if let Some(e) = seed {
                             s.knobs.seed = e.eval(v, s.knobs.f);
                         }
@@ -222,7 +263,14 @@ impl AxisSpec {
 
 /// Writes one integer axis value into its scenario field — mirroring the
 /// canned in-code axes patch for patch.
-fn apply_int_axis(field: AxisField, v: u64, process: u32, extra_ms: u64, s: &mut Scenario) {
+fn apply_int_axis(
+    field: AxisField,
+    v: u64,
+    process: u32,
+    extra_ms: u64,
+    jitter_ms: u64,
+    s: &mut Scenario,
+) {
     match field {
         AxisField::F => s.knobs.f = v as u32,
         AxisField::IntervalMs => s.knobs.batching_interval = SimDuration::from_ms(v),
@@ -250,6 +298,32 @@ fn apply_int_axis(field: AxisField, v: u64, process: u32, extra_ms: u64, s: &mut
                     SimTime::ZERO,
                     SimTime::from_ms(v),
                     SimDuration::from_ms(extra_ms),
+                )]
+            };
+        }
+        AxisField::DupMs => {
+            // 0 means no duplication; any later bound scripts a
+            // duplicate window `[0, v)` on the chosen process, replacing
+            // the fault plan (the gst_ms convention).
+            s.faults = if v == 0 {
+                Vec::new()
+            } else {
+                vec![ScenarioFault::duplicate_until(
+                    ProcessId(process),
+                    SimTime::ZERO,
+                    SimTime::from_ms(v),
+                )]
+            };
+        }
+        AxisField::ReorderMs => {
+            s.faults = if v == 0 {
+                Vec::new()
+            } else {
+                vec![ScenarioFault::reorder_until(
+                    ProcessId(process),
+                    SimTime::ZERO,
+                    SimTime::from_ms(v),
+                    SimDuration::from_ms(jitter_ms),
                 )]
             };
         }
@@ -314,10 +388,20 @@ impl Spec {
         }
 
         let mut title = None;
+        let mut oracle = None;
+        let mut verdict = None;
         if let Some(meta) = sections.iter().find(|s| s.name == "meta") {
             for e in &meta.entries {
                 match e.key.as_str() {
                     "title" => title = Some(e.value.clone()),
+                    "oracle" => oracle = Some(e.value.clone()),
+                    "verdict" => {
+                        verdict = Some(match e.value.to_ascii_lowercase().as_str() {
+                            "pass" => Verdict::Pass,
+                            "violation" => Verdict::Violation,
+                            _ => return Err(bad_value(e, "`pass` or `violation`")),
+                        })
+                    }
                     _ => return Err(unknown_key(meta, e)),
                 }
             }
@@ -331,6 +415,8 @@ impl Spec {
 
         Ok(Spec {
             title,
+            oracle,
+            verdict,
             base,
             axes,
             seeds,
@@ -748,11 +834,19 @@ fn build_fault(section: &RawSection) -> Result<ScenarioFault, SpecError> {
             &["from_ms", "until_ms", "extra_ms"],
             "a `delay` fault takes only `from_ms`/`until_ms`/`extra_ms`",
         ),
+        "duplicate" => (
+            &["from_ms", "until_ms"],
+            "a `duplicate` fault takes only `from_ms`/`until_ms`",
+        ),
+        "reorder" => (
+            &["from_ms", "until_ms", "jitter_ms"],
+            "a `reorder` fault takes only `from_ms`/`until_ms`/`jitter_ms`",
+        ),
         "corrupt_order" => (&["seq"], "a `corrupt_order` fault takes only `seq`"),
         _ => {
             return Err(bad_value(
                 kind_entry,
-                "a fault kind (crash, mute, delay, corrupt_order)",
+                "a fault kind (crash, mute, delay, duplicate, reorder, corrupt_order)",
             ))
         }
     };
@@ -761,7 +855,7 @@ fn build_fault(section: &RawSection) -> Result<ScenarioFault, SpecError> {
         if !common && !allowed.contains(&e.key.as_str()) {
             if matches!(
                 e.key.as_str(),
-                "at_ms" | "from_ms" | "until_ms" | "extra_ms" | "seq"
+                "at_ms" | "from_ms" | "until_ms" | "extra_ms" | "jitter_ms" | "seq"
             ) {
                 return Err(SpecError::new(
                     e.line,
@@ -816,6 +910,27 @@ fn build_fault(section: &RawSection) -> Result<ScenarioFault, SpecError> {
                 kind: sofb_harness::scenario::ScenarioFaultKind::Delay { from, until, extra },
             }
         }
+        "duplicate" => {
+            let (from, until) = window(section)?;
+            ScenarioFault {
+                shard: 0,
+                process,
+                kind: sofb_harness::scenario::ScenarioFaultKind::Duplicate { from, until },
+            }
+        }
+        "reorder" => {
+            let jitter = SimDuration::from_ms(parse_u64(section.require("jitter_ms")?)?);
+            let (from, until) = window(section)?;
+            ScenarioFault {
+                shard: 0,
+                process,
+                kind: sofb_harness::scenario::ScenarioFaultKind::Reorder {
+                    from,
+                    until,
+                    jitter,
+                },
+            }
+        }
         "corrupt_order" => {
             ScenarioFault::corrupt_order_at(process, SeqNo(parse_u64(section.require("seq")?)?))
         }
@@ -830,7 +945,7 @@ fn build_axis(section: &RawSection) -> Result<AxisSpec, SpecError> {
         bad_value(
             field_entry,
             "an axis field (kind, f, scheme, interval_ms, shards, clients, rate, \
-             backlog_pad, seed, gst_ms, world_workers)",
+             backlog_pad, seed, gst_ms, dup_ms, reorder_ms, world_workers)",
         )
     })?;
     let values_entry = section.require("values")?;
@@ -843,6 +958,7 @@ fn build_axis(section: &RawSection) -> Result<AxisSpec, SpecError> {
         seed: None,
         process: 0,
         extra_ms: 0,
+        jitter_ms: 0,
     };
     for e in &section.entries {
         match e.key.as_str() {
@@ -873,27 +989,54 @@ fn build_axis(section: &RawSection) -> Result<AxisSpec, SpecError> {
                 }
                 axis.seed = Some(SeedExpr::parse(e)?);
             }
-            "process" | "extra_ms" => {
+            "process" => {
+                if !matches!(
+                    field,
+                    AxisField::GstMs | AxisField::DupMs | AxisField::ReorderMs
+                ) {
+                    return Err(SpecError::new(
+                        e.line,
+                        SpecErrorKind::KeyNotApplicable {
+                            key: e.key.clone(),
+                            reason: "`process` applies only to the fault-window axes \
+                                     (`gst_ms`, `dup_ms`, `reorder_ms`)",
+                        },
+                    ));
+                }
+                axis.process = parse_u32(e)?;
+            }
+            "extra_ms" => {
                 if field != AxisField::GstMs {
                     return Err(SpecError::new(
                         e.line,
                         SpecErrorKind::KeyNotApplicable {
                             key: e.key.clone(),
-                            reason: "`process`/`extra_ms` apply only to the `gst_ms` axis",
+                            reason: "`extra_ms` applies only to the `gst_ms` axis",
                         },
                     ));
                 }
-                if e.key == "process" {
-                    axis.process = parse_u32(e)?;
-                } else {
-                    axis.extra_ms = parse_u64(e)?;
+                axis.extra_ms = parse_u64(e)?;
+            }
+            "jitter_ms" => {
+                if field != AxisField::ReorderMs {
+                    return Err(SpecError::new(
+                        e.line,
+                        SpecErrorKind::KeyNotApplicable {
+                            key: e.key.clone(),
+                            reason: "`jitter_ms` applies only to the `reorder_ms` axis",
+                        },
+                    ));
                 }
+                axis.jitter_ms = parse_u64(e)?;
             }
             _ => return Err(unknown_key(section, e)),
         }
     }
     if field == AxisField::GstMs && section.get("extra_ms").is_none() {
         return Err(section.require("extra_ms").unwrap_err());
+    }
+    if field == AxisField::ReorderMs && section.get("jitter_ms").is_none() {
+        return Err(section.require("jitter_ms").unwrap_err());
     }
     Ok(axis)
 }

@@ -10,7 +10,9 @@ use sofb_harness::{ProtocolKind, ScenarioFaultKind};
 use sofb_proto::ids::{ProcessId, SeqNo};
 use sofb_sim::time::{SimDuration, SimTime};
 
-use crate::{Spec, SpecError, SpecErrorKind};
+use sofb_sim::cpu::CpuModel;
+
+use crate::{emit_spec, EmitError, Spec, SpecError, SpecErrorKind, Verdict};
 
 /// Two grids expand to the same cells: same order, labels, seeds and
 /// fully patched scenarios.
@@ -129,6 +131,17 @@ fn every_fault_kind_round_trips() {
          kind = corrupt_order\n\
          seq = 4\n\
          [fault]\n\
+         process = 1\n\
+         kind = duplicate\n\
+         from_ms = 200\n\
+         until_ms = 900\n\
+         [fault]\n\
+         process = 2\n\
+         kind = reorder\n\
+         from_ms = 100\n\
+         until_ms = 600\n\
+         jitter_ms = 40\n\
+         [fault]\n\
          process = 3\n\
          kind = mute\n\
          from_ms = 500\n",
@@ -146,6 +159,17 @@ fn every_fault_kind_round_trips() {
             )
             .on_shard(1),
             ScenarioFault::corrupt_order_at(ProcessId(0), SeqNo(4)),
+            ScenarioFault::duplicate_until(
+                ProcessId(1),
+                SimTime::from_ms(200),
+                SimTime::from_ms(900),
+            ),
+            ScenarioFault::reorder_until(
+                ProcessId(2),
+                SimTime::from_ms(100),
+                SimTime::from_ms(600),
+                SimDuration::from_ms(40),
+            ),
             // An open-ended mute: from 500 ms, forever.
             ScenarioFault {
                 shard: 0,
@@ -306,6 +330,52 @@ fn gst_axis_round_trips() {
     assert_cells_eq(
         &spec_grid("[axis]\nfield = gst_ms\nvalues = 0, 1000, 3000\nextra_ms = 800\n"),
         &SweepGrid::new(base_scenario()).axis(gst_axis),
+    );
+}
+
+#[test]
+fn dup_axis_round_trips() {
+    let mut dup_axis = Axis::new("dup_ms");
+    for ms in [0u64, 2000] {
+        dup_axis = dup_axis.value(ms.to_string(), move |s| {
+            s.faults = if ms == 0 {
+                Vec::new()
+            } else {
+                vec![ScenarioFault::duplicate_until(
+                    ProcessId(1),
+                    SimTime::ZERO,
+                    SimTime::from_ms(ms),
+                )]
+            };
+        });
+    }
+    assert_cells_eq(
+        &spec_grid("[axis]\nfield = dup_ms\nvalues = 0, 2000\nprocess = 1\n"),
+        &SweepGrid::new(base_scenario()).axis(dup_axis),
+    );
+}
+
+#[test]
+fn reorder_axis_round_trips() {
+    let jitter = SimDuration::from_ms(40);
+    let mut reorder_axis = Axis::new("reorder_ms");
+    for ms in [0u64, 1500] {
+        reorder_axis = reorder_axis.value(ms.to_string(), move |s| {
+            s.faults = if ms == 0 {
+                Vec::new()
+            } else {
+                vec![ScenarioFault::reorder_until(
+                    ProcessId(2),
+                    SimTime::ZERO,
+                    SimTime::from_ms(ms),
+                    jitter,
+                )]
+            };
+        });
+    }
+    assert_cells_eq(
+        &spec_grid("[axis]\nfield = reorder_ms\nvalues = 0, 1500\nprocess = 2\njitter_ms = 40\n"),
+        &SweepGrid::new(base_scenario()).axis(reorder_axis),
     );
 }
 
@@ -581,6 +651,153 @@ fn inapplicable_keys_are_rejected() {
     assert!(
         matches!(err.kind, SpecErrorKind::KeyNotApplicable { ref key, .. } if key == "extra_ms"),
         "{err:?}"
+    );
+
+    // `jitter_ms` belongs to `reorder` faults (and the `reorder_ms`
+    // axis) only.
+    let err = parse_err(
+        "[scenario]\nkind = SC\n[fault]\nprocess = 0\nkind = mute\nfrom_ms = 1\njitter_ms = 5\n",
+    );
+    assert_eq!(err.line, 7);
+    assert!(
+        matches!(err.kind, SpecErrorKind::KeyNotApplicable { ref key, .. } if key == "jitter_ms"),
+        "{err:?}"
+    );
+    let err = parse_err(
+        "[scenario]\nkind = SC\n[axis]\nfield = dup_ms\nvalues = 0, 100\njitter_ms = 5\n",
+    );
+    assert_eq!(err.line, 6);
+    assert!(
+        matches!(err.kind, SpecErrorKind::KeyNotApplicable { ref key, .. } if key == "jitter_ms"),
+        "{err:?}"
+    );
+
+    // A `reorder` without its jitter bound is missing a required key.
+    let err = parse_err("[scenario]\nkind = SC\n[fault]\nprocess = 0\nkind = reorder\n");
+    assert_eq!(err.line, 3);
+    assert_eq!(
+        err.kind,
+        SpecErrorKind::MissingKey {
+            section: "fault".into(),
+            key: "jitter_ms"
+        }
+    );
+    let err = parse_err("[scenario]\nkind = SC\n[axis]\nfield = reorder_ms\nvalues = 100\n");
+    assert_eq!(err.line, 3);
+    assert_eq!(
+        err.kind,
+        SpecErrorKind::MissingKey {
+            section: "axis".into(),
+            key: "jitter_ms"
+        }
+    );
+}
+
+// --- [meta] oracle/verdict and the repro emitter ----------------------
+
+#[test]
+fn meta_oracle_and_verdict_round_trip() {
+    let spec = parse(
+        "[meta]\ntitle = minimal repro\noracle = total_order\nverdict = violation\n\
+         [scenario]\nkind = SC\n",
+    );
+    assert_eq!(spec.title.as_deref(), Some("minimal repro"));
+    assert_eq!(spec.oracle.as_deref(), Some("total_order"));
+    assert_eq!(spec.verdict, Some(Verdict::Violation));
+
+    let spec = parse("[meta]\nverdict = pass\n[scenario]\nkind = SC\n");
+    assert_eq!(spec.verdict, Some(Verdict::Pass));
+    assert_eq!(spec.oracle, None);
+
+    let err = parse_err("[meta]\nverdict = maybe\n[scenario]\nkind = SC\n");
+    assert_eq!(err.line, 2);
+    assert!(
+        matches!(err.kind, SpecErrorKind::BadValue { ref key, .. } if key == "verdict"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn emitted_spec_round_trips() {
+    let mut s = Scenario::new(ProtocolKind::Scr)
+        .f(2)
+        .scheme(SchemeId::Sha1Dsa1024)
+        .seed(77)
+        .interval_ms(250)
+        .time_checks(false)
+        .request_timeout(SimDuration::from_ms(900))
+        .shards(2)
+        .router(RouterPolicy::EvenRanges)
+        .world_workers(2)
+        .window(Window {
+            warmup_s: 1,
+            run_s: 5,
+            drain_s: 7,
+        })
+        .client(ClientLoad::poisson(55.5, 256).per_shard().population(3))
+        .client(ClientLoad::constant(10.0, 100));
+    s.faults = vec![
+        ScenarioFault::crash(ProcessId(1), SimTime::from_secs(3)),
+        ScenarioFault::mute_until(ProcessId(2), SimTime::from_ms(1000), SimTime::from_ms(2500)),
+        ScenarioFault::delay_until(
+            ProcessId(0),
+            SimTime::ZERO,
+            SimTime::from_ms(4000),
+            SimDuration::from_ms(800),
+        )
+        .on_shard(1),
+        ScenarioFault::duplicate_until(ProcessId(1), SimTime::from_ms(200), SimTime::from_ms(900)),
+        ScenarioFault::reorder_until(
+            ProcessId(2),
+            SimTime::from_ms(100),
+            SimTime::from_ms(600),
+            SimDuration::from_ms(40),
+        ),
+        ScenarioFault::corrupt_order_at(ProcessId(0), SeqNo(4)),
+        // An open-ended mute exercises the omitted `until_ms`.
+        ScenarioFault {
+            shard: 0,
+            process: ProcessId(3),
+            kind: ScenarioFaultKind::Mute {
+                from: SimTime::from_ms(500),
+                until: None,
+            },
+        },
+    ];
+    let text = emit_spec("minimal repro", "total_order", Verdict::Violation, &s)
+        .expect("expressible scenario emits");
+    let spec = parse(&text);
+    assert_eq!(spec.base, s, "emitted spec re-parses to the same scenario");
+    assert_eq!(spec.title.as_deref(), Some("minimal repro"));
+    assert_eq!(spec.oracle.as_deref(), Some("total_order"));
+    assert_eq!(spec.verdict, Some(Verdict::Violation));
+    // A repro is a single-point spec: no axes, one cell.
+    assert_eq!(spec.len(false), 1);
+    // Emission is deterministic: same scenario, same bytes.
+    assert_eq!(
+        text,
+        emit_spec("minimal repro", "total_order", Verdict::Violation, &s).unwrap()
+    );
+}
+
+#[test]
+fn inexpressible_scenarios_are_emit_errors() {
+    let base = Scenario::new(ProtocolKind::Sc);
+
+    let mut sub_ms = base.clone();
+    sub_ms.knobs.batching_interval = SimDuration::from_us(500);
+    assert_eq!(
+        emit_spec("t", "o", Verdict::Pass, &sub_ms),
+        Err(EmitError::SubMillisecond {
+            what: "interval_ms"
+        })
+    );
+
+    let mut cpu = base.clone();
+    cpu.cpu = CpuModel::zero();
+    assert_eq!(
+        emit_spec("t", "o", Verdict::Pass, &cpu),
+        Err(EmitError::NonDefaultCpu)
     );
 }
 

@@ -28,6 +28,7 @@ use std::path::Path;
 use sofb_spec::report::{self, ReportMeta};
 use sofb_spec::{Spec, SpecError};
 
+use crate::fuzz::{self, FuzzOptions, Oracle};
 use crate::runtime;
 use crate::scenario::{default_workers, run_grid, ScenarioError};
 
@@ -81,6 +82,22 @@ pub enum CliError {
         /// What went wrong.
         detail: String,
     },
+    /// `sofb fuzz` found oracle violations (each one shrunk and written
+    /// as a repro spec before this is returned).
+    FuzzViolations {
+        /// How many shrunk violations were found.
+        count: usize,
+        /// One `oracle: error (repro path)` line per violation.
+        detail: String,
+    },
+    /// `sofb fuzz --replay` could not reproduce a repro spec's pinned
+    /// verdict.
+    Replay {
+        /// The repro spec.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -97,6 +114,10 @@ impl fmt::Display for CliError {
                 write!(f, "{count} invalid spec(s):\n{detail}")
             }
             CliError::Live { context, detail } => write!(f, "{context}: {detail}"),
+            CliError::FuzzViolations { count, detail } => {
+                write!(f, "fuzz found {count} violation(s):\n{detail}")
+            }
+            CliError::Replay { path, detail } => write!(f, "{path}: {detail}"),
         }
     }
 }
@@ -121,7 +142,10 @@ USAGE:
     sofb serve <spec.scn> [--addr A] [--for-ms N] [--time-scale X]
                           [--trace FILE] [--cross-validate]
     sofb call <addr> <op> [args…]
-    sofb list [dir]          (default dir: specs)
+    sofb fuzz <base.scn> [--runs N] [--seed S] [--smoke] [--oracle NAME]
+                         [--out-dir DIR]
+    sofb fuzz --replay <repro.scn>
+    sofb list [dir]          (default dir: specs; recurses, skipping bad/)
     sofb help
 
 run flags:
@@ -150,7 +174,22 @@ replaced by real calls):
 call — one request against a serving node; plain-text arguments are
 hex-encoded on the wire:
     sofb call 127.0.0.1:4780 put alice 100
-    ops: put K V | get K | del K | cas K EXPECT NEW | digest | shutdown";
+    ops: put K V | get K | del K | cas K EXPECT NEW | digest | shutdown
+
+fuzz — mutate the spec's base scenario along every adversarial axis
+(crash/mute/delay windows, Byzantine order corruption, partition-shaped
+mutes, message duplication/reordering, client load, seed), check the
+safety oracles on every run, and shrink + emit any violation as a repro
+spec:
+    --runs N       mutants to generate and run (default: 64)
+    --seed S       campaign seed; one seed reproduces one campaign
+                   exactly (default: 1)
+    --smoke        CI-sized budget (caps --runs at 8)
+    --oracle NAME  check one oracle instead of the default three
+                   (total_order, exactly_once, no_leakage, commit_cap:N)
+    --out-dir DIR  where shrunk repros are written (default: specs/repros)
+    --replay       re-run the repro spec once and assert its pinned
+                   [meta] verdict (excludes every other flag)";
 
 fn usage_err(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
@@ -438,6 +477,163 @@ fn call(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// One parsed `sofb fuzz` invocation.
+struct FuzzArgs {
+    spec_path: String,
+    runs: usize,
+    seed: u64,
+    smoke: bool,
+    oracle: Option<String>,
+    out_dir: String,
+    replay: bool,
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, CliError> {
+    let defaults = FuzzOptions::default();
+    let mut fz = FuzzArgs {
+        spec_path: String::new(),
+        runs: defaults.runs,
+        seed: defaults.seed,
+        smoke: false,
+        oracle: None,
+        out_dir: "specs/repros".to_string(),
+        replay: false,
+    };
+    let mut budget_flags = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                let v = it.next().ok_or_else(|| usage_err("--runs needs a value"))?;
+                fz.runs =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        usage_err(format!("--runs: `{v}` is not a positive integer"))
+                    })?;
+                budget_flags = true;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| usage_err("--seed needs a value"))?;
+                fz.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| usage_err(format!("--seed: `{v}` is not an integer")))?;
+                budget_flags = true;
+            }
+            "--smoke" => {
+                fz.smoke = true;
+                budget_flags = true;
+            }
+            "--oracle" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--oracle needs a name"))?;
+                // Parse now so a typo fails before any simulation runs.
+                Oracle::parse(v).ok_or_else(|| {
+                    usage_err(format!(
+                        "--oracle: `{v}` is not an oracle \
+                         (total_order, exactly_once, no_leakage, commit_cap:N)"
+                    ))
+                })?;
+                fz.oracle = Some(v.clone());
+                budget_flags = true;
+            }
+            "--out-dir" => {
+                fz.out_dir = it
+                    .next()
+                    .ok_or_else(|| usage_err("--out-dir needs a directory"))?
+                    .clone();
+                budget_flags = true;
+            }
+            "--replay" => fz.replay = true,
+            flag if flag.starts_with('-') => {
+                return Err(usage_err(format!("unknown flag `{flag}`")));
+            }
+            path if fz.spec_path.is_empty() => fz.spec_path = path.to_string(),
+            extra => return Err(usage_err(format!("unexpected extra argument `{extra}`"))),
+        }
+    }
+    if fz.spec_path.is_empty() {
+        return Err(usage_err("sofb fuzz needs a spec file"));
+    }
+    if fz.replay && budget_flags {
+        // A replay re-runs exactly what the repro pins; a budget or
+        // oracle flag alongside it would silently mean nothing.
+        return Err(usage_err("--replay excludes every other fuzz flag"));
+    }
+    if fz.smoke {
+        fz.runs = fz.runs.min(8);
+    }
+    Ok(fz)
+}
+
+fn fuzz_cmd(args: FuzzArgs) -> Result<String, CliError> {
+    let spec = load_spec(&args.spec_path)?;
+    if args.replay {
+        let confirmation = fuzz::replay(&spec).map_err(|e| CliError::Replay {
+            path: args.spec_path.clone(),
+            detail: e.to_string(),
+        })?;
+        return Ok(format!("{}: {confirmation}\n", args.spec_path));
+    }
+
+    let scenario_err = |error: ScenarioError| CliError::Scenario {
+        path: args.spec_path.clone(),
+        error,
+    };
+    spec.base.validate().map_err(scenario_err)?;
+    let opts = FuzzOptions {
+        runs: args.runs,
+        seed: args.seed,
+        // Validated during parsing; re-parse is infallible here.
+        oracles: args
+            .oracle
+            .as_deref()
+            .and_then(Oracle::parse)
+            .into_iter()
+            .collect(),
+        max_violations: 1,
+    };
+    eprintln!(
+        "fuzzing {}: {} run(s), seed {}…",
+        args.spec_path, opts.runs, opts.seed
+    );
+    let summary = fuzz::fuzz(&spec.base, &opts).map_err(scenario_err)?;
+    if summary.violations.is_empty() {
+        return Ok(format!(
+            "fuzz: {} run(s) on {}, no violations\n",
+            summary.executed, args.spec_path
+        ));
+    }
+
+    // Every violation is already shrunk; persist each as a committable
+    // repro spec before reporting the campaign as failed.
+    std::fs::create_dir_all(&args.out_dir).map_err(|e| CliError::Io {
+        path: args.out_dir.clone(),
+        error: e.to_string(),
+    })?;
+    let mut detail = Vec::new();
+    for violation in &summary.violations {
+        let emit_err = |e: sofb_spec::EmitError| CliError::Io {
+            path: args.out_dir.clone(),
+            error: format!("cannot emit repro: {e}"),
+        };
+        let text = violation.repro_text().map_err(emit_err)?;
+        let name = violation.repro_file_name().map_err(emit_err)?;
+        let path = format!("{}/{name}", args.out_dir.trim_end_matches('/'));
+        std::fs::write(&path, &text).map_err(|e| CliError::Io {
+            path: path.clone(),
+            error: e.to_string(),
+        })?;
+        detail.push(format!(
+            "{}: {} (run {}, repro {path})",
+            violation.oracle, violation.error, violation.run
+        ));
+    }
+    Err(CliError::FuzzViolations {
+        count: summary.violations.len(),
+        detail: detail.join("\n"),
+    })
+}
+
 /// Executes an invocation (everything after the program name) and
 /// returns the text destined for stdout. Progress notes go to stderr
 /// directly; all failures are typed, never panics.
@@ -446,6 +642,7 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
         Some("run") => run(parse_run_args(&args[1..])?),
         Some("serve") => serve(parse_serve_args(&args[1..])?),
         Some("call") => call(&args[1..]),
+        Some("fuzz") => fuzz_cmd(parse_fuzz_args(&args[1..])?),
         Some("list") => match args.len() {
             1 => list("specs"),
             2 => list(&args[1]),
@@ -552,21 +749,38 @@ fn run(args: RunArgs) -> Result<String, CliError> {
     Ok(rendered)
 }
 
-/// Validates every `.scn` file directly under `dir` (full expansion of
-/// the full-size and, where declared, smoke grids) and summarizes them.
-/// Any invalid spec makes the whole listing an error — this is the CI
-/// spec gate.
-fn list(dir: &str) -> Result<String, CliError> {
+/// Collects every `.scn` file under `dir`, recursing into
+/// subdirectories — except ones named `bad`, which hold the
+/// deliberately-malformed fixtures the rejection tests own.
+fn collect_specs(dir: &Path, paths: &mut Vec<String>) -> Result<(), CliError> {
     let entries = std::fs::read_dir(dir).map_err(|e| CliError::Io {
-        path: dir.to_string(),
+        path: dir.display().to_string(),
         error: e.to_string(),
     })?;
-    let mut paths: Vec<String> = entries
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "scn") && p.is_file())
-        .filter_map(|p| p.to_str().map(String::from))
-        .collect();
+    for entry in entries.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "bad") {
+                continue;
+            }
+            collect_specs(&p, paths)?;
+        } else if p.extension().is_some_and(|x| x == "scn") && p.is_file() {
+            if let Some(s) = p.to_str() {
+                paths.push(s.to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates every `.scn` file under `dir` — recursively, so committed
+/// fuzz repros in `specs/repros/` are covered too (full expansion of
+/// the full-size and, where declared, smoke grids) — and summarizes
+/// them. Any invalid spec makes the whole listing an error — this is
+/// the CI spec gate.
+fn list(dir: &str) -> Result<String, CliError> {
+    let mut paths: Vec<String> = Vec::new();
+    collect_specs(Path::new(dir), &mut paths)?;
     paths.sort();
     if paths.is_empty() {
         return Err(CliError::Io {
@@ -613,8 +827,11 @@ fn list(dir: &str) -> Result<String, CliError> {
         });
         match validated {
             Ok((spec, full, smoke)) => {
+                // Paths are shown relative to the listed directory so
+                // nested specs (`repros/…`) stay distinguishable.
                 let name = Path::new(path)
-                    .file_name()
+                    .strip_prefix(dir)
+                    .ok()
                     .and_then(|n| n.to_str())
                     .unwrap_or(path);
                 writeln!(

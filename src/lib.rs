@@ -73,6 +73,7 @@
 //! cargo run --release --bin sofb -- run specs/saturation.scn --smoke
 //! cargo run --release --bin sofb -- run specs/fig6.scn --dry-run
 //! cargo run --release --bin sofb -- list specs
+//! cargo run --release --bin sofb -- fuzz specs/fuzz_base.scn --smoke
 //! ```
 //!
 //! A spec is the grid: `[scenario]` holds the base point, `[axis]`
@@ -81,6 +82,15 @@
 //! and the emitted grid-report JSON is deterministic and diffable at
 //! 1e-9 (`sofb run … --check`). See `DESIGN.md` ("Spec language") for
 //! the grammar.
+//!
+//! Schedules nobody wrote also get explored: the [`fuzz`] module (and
+//! `sofb fuzz`) mutates any base spec along every adversarial axis —
+//! crash/mute/delay windows, Byzantine order corruption,
+//! partition-shaped mutes, engine-level message duplication and
+//! reordering — checks the cross-protocol safety oracles on every
+//! mutant, and delta-debugs any violation down to a minimal `.scn`
+//! repro under `specs/repros/` that replays its pinned verdict forever.
+//! See `DESIGN.md` ("Fuzzer").
 //!
 //! The same protocols also run on wall-clock time: the [`runtime`]
 //! module hosts them on real threads behind the [`service`] façade's
@@ -94,6 +104,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fuzz;
 pub mod runtime;
 pub mod scenario;
 pub mod service;

@@ -60,6 +60,21 @@ pub fn run_traced(
     }
 }
 
+/// [`run_traced`] without the panicking per-shard safety check: a
+/// total-order violation leaves the trace intact for an outside oracle.
+/// The fuzzer's runner — everything else should prefer [`run_traced`],
+/// whose abort-on-violation is the default safety net.
+#[allow(clippy::type_complexity)]
+pub fn run_traced_unchecked(
+    scenario: &Scenario,
+) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
+    match scenario.kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => scenario.run_traced_unchecked_as::<ScProtocol>(),
+        ProtocolKind::Bft => scenario.run_traced_unchecked_as::<BftProtocol>(),
+        ProtocolKind::Ct => scenario.run_traced_unchecked_as::<CtProtocol>(),
+    }
+}
+
 /// Executes a [`SweepGrid`] on up to `workers` threads with the
 /// kind-dispatching runner — the one-liner every sweep binary uses.
 pub fn run_grid(grid: &SweepGrid, workers: usize) -> Result<GridReport, ScenarioError> {

@@ -102,11 +102,15 @@ fn list_validates_the_committed_spec_directory() {
         "msg_counts.scn",
         "saturation.scn",
         "shard_sweep.scn",
+        "fuzz_base.scn",
     ] {
         assert!(out.contains(name), "missing {name} in:\n{out}");
     }
-    // The deliberately broken fixtures live one level down and must not
-    // be picked up by the top-level listing…
+    // The listing recurses, so the committed fuzz repros are validated
+    // too (shown relative to the listed directory).
+    assert!(out.contains("repros/"), "{out}");
+    // The deliberately broken fixtures live in `bad/`, which the
+    // recursion skips — they belong to the rejection tests…
     assert!(!out.contains("unknown_key.scn"), "{out}");
 
     // …but a listing of the bad directory itself fails typed.
@@ -210,4 +214,58 @@ fn usage_text_documents_the_live_commands() {
     ] {
         assert!(out.contains(needle), "usage text missing `{needle}`");
     }
+}
+
+#[test]
+fn fuzz_usage_defects_are_typed() {
+    for bad in [
+        vec!["fuzz"],
+        vec!["fuzz", "x.scn", "--runs", "0"],
+        vec!["fuzz", "x.scn", "--runs", "many"],
+        vec!["fuzz", "x.scn", "--runs"],
+        vec!["fuzz", "x.scn", "--seed", "nope"],
+        vec!["fuzz", "x.scn", "--oracle", "bogus"],
+        vec!["fuzz", "x.scn", "--oracle", "commit_cap:x"],
+        vec!["fuzz", "x.scn", "--oracle"],
+        vec!["fuzz", "x.scn", "--out-dir"],
+        vec!["fuzz", "x.scn", "--bogus"],
+        vec!["fuzz", "x.scn", "extra.scn"],
+        // A replay re-runs exactly what the repro pins; campaign flags
+        // alongside it would silently mean nothing.
+        vec!["fuzz", "x.scn", "--replay", "--runs", "4"],
+        vec!["fuzz", "x.scn", "--replay", "--oracle", "total_order"],
+    ] {
+        let err = execute(&args(&bad)).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{bad:?}: {err}");
+    }
+    // Flags parse before files open: a typed Io error, never a panic.
+    let err = execute(&args(&["fuzz", "specs/does_not_exist.scn", "--replay"])).unwrap_err();
+    assert!(matches!(err, CliError::Io { .. }), "{err}");
+}
+
+#[test]
+fn fuzz_replay_rejects_specs_without_a_pinned_verdict() {
+    // Any ordinary spec parses but pins no [meta] verdict — replaying
+    // it has nothing to assert, and says so as a typed error.
+    let path = repo_path("specs/fuzz_base.scn");
+    let err = execute(&args(&["fuzz", &path, "--replay"])).unwrap_err();
+    assert!(matches!(err, CliError::Replay { .. }), "{err}");
+    assert!(err.to_string().contains("verdict"), "{err}");
+}
+
+#[test]
+fn fuzz_replay_reproduces_the_committed_repros() {
+    let dir = repo_path("specs/repros");
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("specs/repros exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "scn") {
+            continue;
+        }
+        let out = execute(&args(&["fuzz", path.to_str().unwrap(), "--replay"]))
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(out.contains("reproduced"), "{out}");
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "no committed repros found under {dir}");
 }

@@ -1,0 +1,145 @@
+//! End-to-end proof of the fuzz → shrink → emit → replay pipeline.
+//!
+//! The protocols are safe, so the real oracles find nothing (also
+//! asserted here, and by the CI smoke run). To prove the *pipeline*
+//! works, the `commit_cap:N` oracle deliberately weakens "safe" to
+//! "never commits past sequence N" — which plain offered load violates.
+//! Under it, the fuzzer must find a violation, delta-debug it to a
+//! minimal scenario, emit a `.scn` repro that re-parses to the identical
+//! scenario, and reproduce the violation bit-identically from the
+//! emitted text. The committed repros under `specs/repros/` are held to
+//! the same standard forever.
+
+use sofbyz::fuzz::{fuzz, replay, FuzzOptions, Oracle};
+use sofbyz::scenario::run_traced_unchecked;
+use sofbyz::spec::{Spec, Verdict};
+
+fn base_spec() -> Spec {
+    let text = std::fs::read_to_string("specs/fuzz_base.scn").expect("specs/fuzz_base.scn");
+    Spec::parse(&text).expect("the shipped fuzz base parses")
+}
+
+fn weakened() -> FuzzOptions {
+    FuzzOptions {
+        runs: 8,
+        seed: 1,
+        oracles: vec![Oracle::CommitCap(5)],
+        max_violations: 1,
+    }
+}
+
+/// The tentpole acceptance test: a weakened oracle makes the fuzzer
+/// find a violation, the shrinker minimizes it, the emitter serializes
+/// it, and the emitted spec re-parses and reproduces the violation
+/// bit-identically.
+#[test]
+fn weakened_oracle_drives_find_shrink_emit_and_bit_identical_replay() {
+    let spec = base_spec();
+    let summary = fuzz(&spec.base, &weakened()).expect("fuzz campaign runs");
+    assert_eq!(
+        summary.violations.len(),
+        1,
+        "commit_cap:5 must trip on the very first mutants"
+    );
+    let v = &summary.violations[0];
+    assert_eq!(v.oracle, Oracle::CommitCap(5));
+
+    // Shrinking worked: the offered load violates the cap on its own,
+    // so every mutated fault must have been delta-debugged away, and
+    // the load pared down from the base's 60 req/s.
+    assert!(
+        v.scenario.faults.is_empty(),
+        "shrink left irrelevant faults: {:?}",
+        v.scenario.faults
+    );
+    assert!(
+        v.scenario.clients[0].rate_per_sec < spec.base.clients[0].rate_per_sec,
+        "shrink never reduced the client load"
+    );
+
+    // Emit → re-parse: the repro is the scenario, byte-for-byte and
+    // field-for-field.
+    let text = v.repro_text().expect("minimal scenarios are emittable");
+    let reparsed = Spec::parse(&text).expect("emitted repro re-parses");
+    assert_eq!(reparsed.base, v.scenario);
+    assert_eq!(reparsed.oracle.as_deref(), Some("commit_cap:5"));
+    assert_eq!(reparsed.verdict, Some(Verdict::Violation));
+
+    // Replay from the emitted text reproduces the violation — with the
+    // identical error, twice (the repro is deterministic, not flaky).
+    let confirmation = replay(&reparsed).expect("repro replays its pinned verdict");
+    assert!(
+        confirmation.contains(&v.error),
+        "replay `{confirmation}` does not carry the found violation `{}`",
+        v.error
+    );
+    let run_twice = || {
+        let (_, events) = run_traced_unchecked(&reparsed.base).unwrap();
+        v.oracle
+            .check(&reparsed.base, &events)
+            .expect_err("the repro must still violate its oracle")
+    };
+    assert_eq!(run_twice(), run_twice());
+    assert_eq!(run_twice(), v.error);
+}
+
+/// One campaign seed is one campaign: repeating the identical options
+/// reproduces the identical minimal repro, down to the emitted bytes.
+#[test]
+fn fuzz_campaigns_are_deterministic() {
+    let spec = base_spec();
+    let one = fuzz(&spec.base, &weakened()).unwrap();
+    let two = fuzz(&spec.base, &weakened()).unwrap();
+    assert_eq!(one.executed, two.executed);
+    assert_eq!(one.violations.len(), two.violations.len());
+    let (a, b) = (&one.violations[0], &two.violations[0]);
+    assert_eq!(a.run, b.run);
+    assert_eq!(a.error, b.error);
+    assert_eq!(a.repro_text().unwrap(), b.repro_text().unwrap());
+    assert_eq!(a.repro_file_name().unwrap(), b.repro_file_name().unwrap());
+}
+
+/// The real oracles hold on every mutant of the healthy base: the
+/// protocols are safe, so a default-oracle campaign finds nothing.
+/// (CI runs the same thing through `sofb fuzz specs/fuzz_base.scn
+/// --smoke`.)
+#[test]
+fn default_oracles_find_nothing_on_the_healthy_base() {
+    let spec = base_spec();
+    let opts = FuzzOptions {
+        runs: 4,
+        seed: 1,
+        oracles: Vec::new(),
+        max_violations: 1,
+    };
+    let summary = fuzz(&spec.base, &opts).unwrap();
+    assert!(summary.executed >= 1);
+    assert!(
+        summary.violations.is_empty(),
+        "safety violation on a healthy protocol: {:?}",
+        summary
+            .violations
+            .iter()
+            .map(|v| format!("{}: {}", v.oracle, v.error))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Every committed repro under `specs/repros/` still reproduces its
+/// pinned verdict — the shrunk artifacts stay honest forever.
+#[test]
+fn committed_repros_replay_their_pinned_verdicts() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir("specs/repros").expect("specs/repros exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "scn") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = Spec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let confirmation = replay(&spec).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(confirmation.contains("reproduced"), "{confirmation}");
+        checked += 1;
+    }
+    assert!(checked >= 1, "no committed repros found under specs/repros");
+}

@@ -6,11 +6,8 @@
 //! computes which shard; every schedule is a pure function of the
 //! scenario and the shard seeds.
 
-use std::collections::HashMap;
-
-use sofbyz::harness::{ProtocolEvent, ProtocolKind};
+use sofbyz::harness::{analysis, ProtocolEvent, ProtocolKind};
 use sofbyz::proto::ids::ProcessId;
-use sofbyz::proto::request::RequestId;
 use sofbyz::scenario::{run_traced, ClientLoad, Report, Scenario, ScenarioFault, Window};
 use sofbyz::sim::engine::TimedEvent;
 use sofbyz::sim::time::{SimDuration, SimTime};
@@ -110,7 +107,9 @@ fn population_load_runs_bit_identical_in_parallel() {
 }
 
 /// The parallel path preserves the sharding invariants: per-request-id
-/// exactly-once commitment, in the shard the router assigns.
+/// exactly-once commitment, in the shard the router assigns — asserted
+/// by the shared analysis checkers (the same ones the fuzzer's oracles
+/// run).
 #[test]
 fn parallel_runs_commit_each_request_exactly_once_in_its_routed_shard() {
     let shards = 4;
@@ -118,31 +117,8 @@ fn parallel_runs_commit_each_request_exactly_once_in_its_routed_shard() {
     let (report, trace) = run_traced(&s).unwrap();
     assert!(report.committed_requests() > 0);
     let n = s.nodes_per_shard();
-    let mut seen: HashMap<RequestId, usize> = HashMap::new();
-    for ev in &trace {
-        if let ProtocolEvent::Committed { request_ids, .. } = &ev.event {
-            let shard = ev.node / n;
-            for rid in request_ids.iter() {
-                match seen.get(rid) {
-                    None => {
-                        seen.insert(*rid, shard);
-                    }
-                    Some(s0) => assert_eq!(
-                        *s0, shard,
-                        "request {rid} committed in shards {s0} and {shard}"
-                    ),
-                }
-            }
-        }
-    }
-    assert!(!seen.is_empty());
+    analysis::check_exactly_once(&trace, n).unwrap();
     // With the default hash router, commitment shard == routed shard.
     let router = sofbyz::harness::ShardRouter::hash(shards);
-    for (rid, shard) in &seen {
-        assert_eq!(
-            *shard,
-            router.route_request(rid.client, rid.seq),
-            "request {rid} leaked into shard {shard}"
-        );
-    }
+    analysis::check_no_cross_shard_leakage(&trace, n, &router).unwrap();
 }

@@ -12,8 +12,6 @@
 //!
 //! plus the headline scaling property the sharded layer exists for.
 
-use std::collections::HashMap;
-
 use sofbyz::bft::sim::BftProtocol;
 use sofbyz::core::analysis;
 use sofbyz::core::sim::ScProtocol;
@@ -21,8 +19,6 @@ use sofbyz::ct::sim::CtProtocol;
 use sofbyz::harness::{
     ClientSpec, Protocol, ProtocolEvent, ShardRouter, ShardedDeployment, ShardedWorldBuilder,
 };
-use sofbyz::proto::ids::SeqNo;
-use sofbyz::proto::request::RequestId;
 use sofbyz::proto::topology::Variant;
 use sofbyz::sim::engine::TimedEvent;
 use sofbyz::sim::time::{SimDuration, SimTime};
@@ -93,39 +89,18 @@ fn check_invariants<P: Protocol>(
         "{name} {shards} shards: only {total_committed} commits"
     );
 
-    // (2) + (3) Per request id: the set of (shard, seqno) bindings it was
-    // committed under. Exactly-once means one binding; no leakage means
-    // that binding's shard is the router's.
-    let mut bindings: HashMap<RequestId, (usize, SeqNo)> = HashMap::new();
-    for (s, shard_events) in parts.iter().enumerate() {
-        for ev in shard_events {
-            if let ProtocolEvent::Committed { o, request_ids, .. } = &ev.event {
-                for rid in request_ids.iter() {
-                    match bindings.get(rid) {
-                        None => {
-                            bindings.insert(*rid, (s, *o));
-                        }
-                        Some((s0, o0)) => assert_eq!(
-                            (*s0, *o0),
-                            (s, *o),
-                            "{name} {shards} shards: request {rid} ordered twice \
-                             (shard {s0} seq {o0:?} and shard {s} seq {o:?})"
-                        ),
-                    }
-                }
-            }
-        }
-    }
-    assert!(!bindings.is_empty(), "{name}: no requests ordered at all");
-    let router = d.router();
-    for (rid, (s, _)) in &bindings {
-        let expected = router.route_request(rid.client, rid.seq);
-        assert_eq!(
-            *s, expected,
-            "{name} {shards} shards: request {rid} leaked into shard {s} \
-             (router assigns shard {expected})"
-        );
-    }
+    // (2) + (3) The shared analysis checkers (the same ones the fuzzer's
+    // oracles run): exactly-once commitment per request id, and every
+    // commit in the shard the router assigned.
+    let n = d.shard_range(0).len();
+    analysis::check_exactly_once(events, n)
+        .unwrap_or_else(|e| panic!("{name} {shards} shards: {e}"));
+    analysis::check_no_cross_shard_leakage(events, n, d.router())
+        .unwrap_or_else(|e| panic!("{name} {shards} shards: {e}"));
+    let ordered = events.iter().any(|ev| {
+        matches!(&ev.event, ProtocolEvent::Committed { request_ids, .. } if !request_ids.is_empty())
+    });
+    assert!(ordered, "{name}: no requests ordered at all");
 }
 
 #[test]
