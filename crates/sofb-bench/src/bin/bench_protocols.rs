@@ -1,9 +1,11 @@
 //! Machine-readable protocol smoke benchmark: one fixed-seed run per
-//! variant (SC, SCR, BFT, CT), a sharded section (SC at 1 and 2
-//! ordering groups, fixed per-shard load), and a parallel-scaling
-//! section (a 2-shard world of 10⁵ aggregated Poisson clients at 1 vs 2
-//! world workers), written to `BENCH_protocols.json` so successive
-//! changes have a perf trajectory to compare against.
+//! variant (SC, SCR, BFT, CT), a per-phase breakdown (a short traced
+//! run per variant, dispatch and protocol-phase records aggregated by
+//! name), a sharded section (SC at 1 and 2 ordering groups, fixed
+//! per-shard load), and a parallel-scaling section (a 2-shard world of
+//! 10⁵ aggregated Poisson clients at 1 vs 2 world workers), written to
+//! `BENCH_protocols.json` so successive changes have a perf trajectory
+//! to compare against.
 //!
 //! Both sections are declarative `SweepGrid`s over `Scenario`
 //! values — the flat grid sweeps the protocol-kind axis, the sharded
@@ -29,9 +31,10 @@
 #[global_allocator]
 static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc::new();
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use sofb_bench::experiments::default_workers;
+use sofb_bench::experiments::{bench_scenario, default_workers, ProtocolKind, Window};
 use sofb_bench::grids::{
     bench_flat, bench_sharded, million_clients, BENCH_F as F, BENCH_INTERVAL_MS as INTERVAL_MS,
     BENCH_SEED as SEED, BENCH_SHARD_F as SHARD_F,
@@ -39,7 +42,8 @@ use sofb_bench::grids::{
     BENCH_WINDOW as WINDOW, MILLION_POPULATION, MILLION_RATE_PER_CLIENT, MILLION_SHARDS, SCHEME,
 };
 use sofb_sim::metrics::{EngineCounters, HostCounters};
-use sofbyz::scenario::{run_grid, GridPoint};
+use sofbyz::obs::TraceConfig;
+use sofbyz::scenario::{run_grid, run_observed, GridPoint};
 
 /// Metric drift beyond this fails `--check`.
 const TOLERANCE: f64 = 1e-9;
@@ -85,6 +89,51 @@ fn measure() -> Vec<VariantRow> {
                 msgs_per_batch: p.report.msgs_per_batch,
                 wall_ms: p.wall_ms,
                 engine: p.report.engine,
+            }
+        })
+        .collect()
+}
+
+/// The short window the per-phase breakdown traces over — the
+/// breakdown is about *where time goes*, not absolute throughput, so a
+/// few seconds of sim time per variant is plenty.
+const PHASE_WINDOW: Window = Window {
+    warmup_s: 0,
+    run_s: 2,
+    drain_s: 3,
+};
+
+struct PhaseRow {
+    variant: String,
+    /// `(phase name, record count, summed busy sim-time ns)` in sorted
+    /// name order — deterministic, but not gated (no key here appears in
+    /// `extract_metrics`, and no `"name":` line resets the variant
+    /// prefix).
+    phases: Vec<(String, u64, u64)>,
+}
+
+/// One short traced run per variant: engine dispatch spans plus derived
+/// protocol phase spans, aggregated by record name.
+fn measure_phases() -> Vec<PhaseRow> {
+    ProtocolKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let scenario = bench_scenario(kind, F, SCHEME, INTERVAL_MS, SEED, PHASE_WINDOW);
+            let run = run_observed(&scenario, &TraceConfig::default()).expect("phase run is valid");
+            let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+            for rec in &run.records {
+                let slot = agg.entry(rec.name.clone()).or_default();
+                slot.0 += 1;
+                slot.1 += rec.dur_ns;
+            }
+            eprintln!(
+                "{kind} phases: {} record(s) across {} name(s)",
+                run.records.len(),
+                agg.len()
+            );
+            PhaseRow {
+                variant: kind.to_string(),
+                phases: agg.into_iter().map(|(k, (n, ns))| (k, n, ns)).collect(),
             }
         })
         .collect()
@@ -204,13 +253,14 @@ fn render_row_host(body: &mut String, engine: EngineCounters, wall_ms: f64) {
 
 fn render(
     rows: &[VariantRow],
+    phases: &[PhaseRow],
     sharded: &[ShardedRow],
     scaling: &[ScalingRow],
     process: &HostCounters,
 ) -> String {
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
-    writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v2\",").unwrap();
+    writeln!(body, "  \"schema\": \"sofbyz-bench-protocols/v3\",").unwrap();
     writeln!(body, "  \"f\": {F},").unwrap();
     writeln!(body, "  \"interval_ms\": {INTERVAL_MS},").unwrap();
     writeln!(body, "  \"seed\": {SEED},").unwrap();
@@ -242,6 +292,37 @@ fn render(
         writeln!(body, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }
     writeln!(body, "  ],").unwrap();
+    // Per-phase breakdown: deterministic sim-time totals from a short
+    // traced run per variant. Informational, not gated — none of its
+    // keys (variant/phase/events/busy_ns) appears in `extract_metrics`.
+    writeln!(
+        body,
+        "  \"phase_breakdown\": {{\"window_s\": {{\"warmup\": {}, \"run\": {}, \"drain\": {}}}, \
+         \"points\": [",
+        PHASE_WINDOW.warmup_s, PHASE_WINDOW.run_s, PHASE_WINDOW.drain_s
+    )
+    .unwrap();
+    for (i, r) in phases.iter().enumerate() {
+        writeln!(body, "    {{").unwrap();
+        writeln!(body, "      \"variant\": \"{}\",", r.variant).unwrap();
+        writeln!(body, "      \"phases\": [").unwrap();
+        for (j, (phase, events, busy_ns)) in r.phases.iter().enumerate() {
+            writeln!(
+                body,
+                "        {{\"phase\": \"{phase}\", \"events\": {events}, \"busy_ns\": {busy_ns}}}{}",
+                if j + 1 < r.phases.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(body, "      ]").unwrap();
+        writeln!(
+            body,
+            "    }}{}",
+            if i + 1 < phases.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(body, "  ]}},").unwrap();
     writeln!(
         body,
         "  \"sharded\": {{\"f\": {SHARD_F}, \"rate_per_client_per_shard\": {SHARD_RATE_PER_CLIENT}, \
@@ -410,6 +491,7 @@ fn extract_metrics(json: &str) -> Vec<(String, f64)> {
 
 fn check(
     rows: &[VariantRow],
+    phases: &[PhaseRow],
     sharded: &[ShardedRow],
     scaling: &[ScalingRow],
     process: &HostCounters,
@@ -418,7 +500,7 @@ fn check(
     let committed = std::fs::read_to_string(committed_path)
         .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
     let want = extract_metrics(&committed);
-    let got = extract_metrics(&render(rows, sharded, scaling, process));
+    let got = extract_metrics(&render(rows, phases, sharded, scaling, process));
     if want.is_empty() {
         return Err(format!("{committed_path}: no metrics found"));
     }
@@ -472,6 +554,7 @@ fn main() {
     let wall_start = std::time::Instant::now();
     let allocs_before = alloc_counter::allocations();
     let rows = measure();
+    let phases = measure_phases();
     let sharded = measure_sharded();
     let scaling = measure_parallel();
     let wall_ns = wall_start.elapsed().as_nanos() as u64;
@@ -515,7 +598,7 @@ fn main() {
         process.allocs_per_event()
     );
     if checking {
-        match check(&rows, &sharded, &scaling, &process, &path) {
+        match check(&rows, &phases, &sharded, &scaling, &process, &path) {
             Ok(()) => eprintln!("check passed: regenerated metrics match {path}"),
             Err(e) => {
                 eprintln!("check FAILED against {path}:\n{e}");
@@ -524,7 +607,7 @@ fn main() {
         }
         return;
     }
-    if let Err(e) = std::fs::write(&path, render(&rows, &sharded, &scaling, &process)) {
+    if let Err(e) = std::fs::write(&path, render(&rows, &phases, &sharded, &scaling, &process)) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     }

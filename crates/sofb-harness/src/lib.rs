@@ -33,6 +33,10 @@
 //!   §5 metric for every protocol;
 //! * [`analysis`] — that analysis module: the §5 measurements and the
 //!   safety checks, over [`event::ProtocolEvent`] logs of any variant;
+//! * [`obs`] — protocol phase spans (`order`, `commit`, milestone
+//!   instants) derived deterministically from the observation log, the
+//!   harness half of the `sofb-obs` tracing story (the engine half lives
+//!   behind `sofb-sim`'s `TraceSink` hooks);
 //! * [`scenario`] — the declarative layer on top of both builders: a
 //!   validated [`scenario::Scenario`] value lowers onto the flat or
 //!   sharded path and yields a uniform [`scenario::Report`], and a
@@ -53,6 +57,7 @@ pub mod builder;
 pub mod client;
 pub mod event;
 pub mod fault;
+pub mod obs;
 mod parallel;
 pub mod population;
 pub mod protocol;
@@ -66,8 +71,8 @@ pub use fault::{FaultPlan, FaultSpec};
 pub use population::ClientPopulation;
 pub use protocol::{Knobs, Links, Protocol, ProtocolKind};
 pub use scenario::{
-    Axis, ClientLoad, GridPoint, GridReport, LatencySummary, Report, RouterPolicy, Scenario,
-    ScenarioError, ScenarioFault, ScenarioFaultKind, ShardReport, SweepGrid, Window,
+    Axis, ClientLoad, GridPoint, GridReport, LatencySummary, ObservedRun, Report, RouterPolicy,
+    Scenario, ScenarioError, ScenarioFault, ScenarioFaultKind, ShardReport, SweepGrid, Window,
 };
 pub use shard::{
     RouterConfigError, ShardLoad, ShardRouter, ShardedDeployment, ShardedWorldBuilder,

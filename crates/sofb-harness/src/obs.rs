@@ -1,0 +1,218 @@
+//! Protocol phase spans derived from the observation log.
+//!
+//! The engine's trace sink sees dispatches and deliveries; the protocol
+//! layer's phases (order formation, commit, view change, checkpoint) are
+//! visible only in [`ProtocolEvent`]s. This module derives phase-level
+//! [`TraceRecord`]s *post hoc* from the event log, which keeps the event
+//! vocabulary itself untouched (golden-trace tests compare it bit for
+//! bit) and makes the phase trace automatically deterministic: the
+//! merged event log is bit-identical across `world_workers` counts, and
+//! these records are a pure function of it.
+//!
+//! Span model per committed sequence number:
+//!
+//! * an **`order` span** on the proposing replica, from the batch's
+//!   formation instant (`formed_at_ns`, the request-lifecycle origin —
+//!   client requests enter the trace at batch granularity) to the
+//!   proposal's emission;
+//! * a **`commit` span** on every committing replica, from the same
+//!   formation instant to that replica's commit, causally parented on
+//!   the proposer's `order` span — in Perfetto the parent link renders
+//!   as a flow arrow fanning out from the proposer's track.
+//!
+//! The remaining protocol milestones (fail-signals, Start certificates,
+//! installs, view changes, recoveries, checkpoints) become instant
+//! events on the emitting replica's track.
+
+use std::collections::BTreeMap;
+
+use sofb_obs::{SpanRef, TraceConfig, TraceKind, TraceRecord};
+use sofb_sim::engine::TimedEvent;
+
+use crate::event::ProtocolEvent;
+
+/// Derives phase records from an observation log whose node indices are
+/// world-global with `nodes_per_shard` processes per shard (shard =
+/// `node / nodes_per_shard`, so proposer lookups never cross shards).
+/// Records come out in event-log order, commit spans parented on their
+/// shard's `order` span.
+pub fn phase_records(
+    events: &[TimedEvent<ProtocolEvent>],
+    nodes_per_shard: usize,
+) -> Vec<TraceRecord> {
+    // Pass 1: the proposer's span ref per (shard, o) — commit spans in a
+    // shard parent on their own shard's proposal.
+    let mut proposed: BTreeMap<(usize, u64), SpanRef> = BTreeMap::new();
+    for ev in events {
+        if let ProtocolEvent::OrderProposed {
+            o, formed_at_ns, ..
+        } = &ev.event
+        {
+            let shard = ev.node / nodes_per_shard;
+            proposed.entry((shard, o.0)).or_insert(SpanRef {
+                time_ns: *formed_at_ns,
+                seq: o.0,
+                node: ev.node,
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let time_ns = ev.time.as_ns();
+        let instant = |name: &str| TraceRecord {
+            time_ns,
+            dur_ns: 0,
+            seq: i as u64,
+            node: ev.node,
+            kind: TraceKind::Milestone,
+            name: name.to_string(),
+            parent: None,
+        };
+        match &ev.event {
+            ProtocolEvent::OrderProposed {
+                o, formed_at_ns, ..
+            } => {
+                out.push(TraceRecord {
+                    time_ns: *formed_at_ns,
+                    dur_ns: time_ns.saturating_sub(*formed_at_ns),
+                    // The proposal's seq is the sequence number itself —
+                    // it must equal the `SpanRef` commits parent on.
+                    seq: o.0,
+                    node: ev.node,
+                    kind: TraceKind::Phase,
+                    name: "order".to_string(),
+                    parent: None,
+                });
+            }
+            ProtocolEvent::Committed {
+                o, formed_at_ns, ..
+            } => {
+                let shard = ev.node / nodes_per_shard;
+                out.push(TraceRecord {
+                    time_ns: *formed_at_ns,
+                    dur_ns: time_ns.saturating_sub(*formed_at_ns),
+                    seq: i as u64,
+                    node: ev.node,
+                    kind: TraceKind::Phase,
+                    name: "commit".to_string(),
+                    parent: proposed.get(&(shard, o.0)).copied(),
+                });
+            }
+            ProtocolEvent::FailSignalIssued { .. } => out.push(instant("fail_signal")),
+            ProtocolEvent::StartCertIssued { .. } => out.push(instant("start_cert")),
+            ProtocolEvent::Installed { .. } => out.push(instant("installed")),
+            ProtocolEvent::ViewChanged { .. } => out.push(instant("view_change")),
+            ProtocolEvent::UnwillingSent { .. } => out.push(instant("unwilling")),
+            ProtocolEvent::PairRecovered { .. } => out.push(instant("pair_recovered")),
+            ProtocolEvent::CheckpointStable { .. } => out.push(instant("checkpoint")),
+        }
+    }
+    out
+}
+
+/// Appends the phase records of `events` to `out`, filtered by `cfg`
+/// (the same filter the engine sink applies — node and name filters
+/// apply; phases are never sampled out).
+pub(crate) fn push_phase_records(
+    out: &mut Vec<TraceRecord>,
+    events: &[TimedEvent<ProtocolEvent>],
+    nodes_per_shard: usize,
+    cfg: &TraceConfig,
+) {
+    for rec in phase_records(events, nodes_per_shard) {
+        if cfg.keep(&rec) {
+            out.push(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofb_proto::ids::{Rank, SeqNo};
+    use sofb_proto::request::Digest;
+    use sofb_sim::time::SimTime;
+    use std::sync::Arc;
+
+    fn at(ns: u64, node: usize, event: ProtocolEvent) -> TimedEvent<ProtocolEvent> {
+        TimedEvent {
+            time: SimTime(ns),
+            node,
+            event,
+        }
+    }
+
+    fn committed(o: u64, formed_at_ns: u64) -> ProtocolEvent {
+        ProtocolEvent::Committed {
+            c: Rank(0),
+            o: SeqNo(o),
+            digest: Digest::default(),
+            requests: 1,
+            request_ids: Arc::from(Vec::new().into_boxed_slice()),
+            formed_at_ns,
+        }
+    }
+
+    #[test]
+    fn commit_spans_parent_on_their_shards_proposal() {
+        let events = vec![
+            at(
+                1_000,
+                0,
+                ProtocolEvent::OrderProposed {
+                    o: SeqNo(1),
+                    batch_len: 1,
+                    formed_at_ns: 400,
+                },
+            ),
+            at(2_000, 1, committed(1, 400)),
+            // Same sequence number in another shard (4 nodes per shard).
+            at(
+                1_500,
+                4,
+                ProtocolEvent::OrderProposed {
+                    o: SeqNo(1),
+                    batch_len: 1,
+                    formed_at_ns: 700,
+                },
+            ),
+            at(2_500, 5, committed(1, 700)),
+        ];
+        let recs = phase_records(&events, 4);
+        assert_eq!(recs.len(), 4);
+        let order0 = &recs[0];
+        assert_eq!(order0.name, "order");
+        assert_eq!((order0.time_ns, order0.dur_ns, order0.node), (400, 600, 0));
+        let commit0 = &recs[1];
+        assert_eq!(commit0.name, "commit");
+        assert_eq!(commit0.parent, Some(order0.self_ref()));
+        let commit1 = &recs[3];
+        assert_eq!(
+            commit1.parent,
+            Some(recs[2].self_ref()),
+            "shard 1's commit must parent on shard 1's proposal"
+        );
+    }
+
+    #[test]
+    fn milestones_become_instants() {
+        let events = vec![
+            at(10, 2, ProtocolEvent::CheckpointStable { o: SeqNo(8) }),
+            at(
+                20,
+                3,
+                ProtocolEvent::FailSignalIssued {
+                    pair: Rank(1),
+                    value_domain: true,
+                },
+            ),
+        ];
+        let recs = phase_records(&events, 4);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "checkpoint");
+        assert_eq!(recs[0].dur_ns, 0);
+        assert_eq!(recs[0].kind, TraceKind::Milestone);
+        assert_eq!(recs[1].name, "fail_signal");
+    }
+}

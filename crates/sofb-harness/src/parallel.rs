@@ -25,6 +25,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, RecvTimeoutError};
 
+use sofb_obs::{MemSink, MetricsSnapshot, TraceConfig, TraceRecord};
 use sofb_proto::ids::{ClientId, ProcessId};
 use sofb_sim::cpu::CpuModel;
 use sofb_sim::engine::{Actor, TimedEvent, World};
@@ -35,13 +36,15 @@ use crate::event::ProtocolEvent;
 use crate::fault::{apply_engine_fault, FaultSpec};
 use crate::population::ClientPopulation;
 use crate::protocol::Protocol;
-use crate::scenario::{summarize, Report, Scenario, ScenarioError};
+use crate::scenario::{summarize, ObservedRun, Scenario, ScenarioError};
 use crate::shard::{shard_seed, ShardRouter};
 
 /// One shard engine's outputs, sent back from its worker thread.
 struct ShardRun {
     events: Vec<TimedEvent<ProtocolEvent>>,
     counters: EngineCounters,
+    metrics: MetricsSnapshot,
+    trace: Vec<TraceRecord>,
     messages_sent: u64,
 }
 
@@ -51,7 +54,8 @@ struct ShardRun {
 pub(crate) fn run_world_parallel<P: Protocol>(
     scenario: &Scenario,
     enforce_safety: bool,
-) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
+    trace: Option<&TraceConfig>,
+) -> Result<ObservedRun, ScenarioError> {
     let n = P::node_count(&scenario.knobs);
     let shards = scenario.shards;
     let router = scenario.router.build(shards)?;
@@ -76,7 +80,7 @@ pub(crate) fn run_world_parallel<P: Protocol>(
         // makes `world_workers == 1` the determinism anchor N-worker
         // runs are compared against.
         for (s, slot) in runs.iter_mut().enumerate() {
-            *slot = Some(run_shard::<P>(scenario, s, n, &router, &faults));
+            *slot = Some(run_shard::<P>(scenario, s, n, &router, &faults, trace));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -92,7 +96,7 @@ pub(crate) fn run_world_parallel<P: Protocol>(
                     if s >= shards {
                         break;
                     }
-                    let run = run_shard::<P>(scenario, s, n, router_ref, faults_ref);
+                    let run = run_shard::<P>(scenario, s, n, router_ref, faults_ref, trace);
                     if tx.send((s, run)).is_err() {
                         break;
                     }
@@ -114,13 +118,16 @@ pub(crate) fn run_world_parallel<P: Protocol>(
     }
 
     let mut shard_events: Vec<Vec<TimedEvent<ProtocolEvent>>> = Vec::with_capacity(shards);
-    let mut counters = EngineCounters::default();
+    let mut engines = Vec::with_capacity(shards);
+    let mut metrics = MetricsSnapshot::new();
+    let mut records: Vec<TraceRecord> = Vec::new();
     let mut messages_sent = 0u64;
     for (s, slot) in runs.into_iter().enumerate() {
         let Some(run) = slot else {
             return Err(ScenarioError::WorldWorkerLost { shard: s });
         };
-        counters.absorb(&run.counters);
+        engines.push(run.counters);
+        metrics.absorb(&run.metrics);
         messages_sent += run.messages_sent;
         // Re-stamp local node indices into the global namespace (shard
         // `s`'s processes live at base `s·n`, matching the shared-world
@@ -136,6 +143,25 @@ pub(crate) fn run_world_parallel<P: Protocol>(
                 })
                 .collect(),
         );
+        // Trace records get the same restamping as events. Client-replica
+        // records (local node ≥ n) are dropped — each shard engine hosts
+        // its own replica of every client, so keeping them would record
+        // each client `shards` times under colliding indices. Records are
+        // concatenated in shard order: deterministic for every worker
+        // count, which is all the byte-identity contract needs.
+        records.extend(
+            run.trace
+                .into_iter()
+                .filter(|rec| rec.node < n)
+                .map(|rec| TraceRecord {
+                    node: s * n + rec.node,
+                    ..rec
+                })
+                // The config's node filter names *global* indices, so it
+                // was stripped from the in-shard sink and applies here,
+                // after restamping (see `run_shard`).
+                .filter(|rec| trace.is_none_or(|cfg| cfg.keep(rec))),
+        );
     }
 
     let merged = merge_traces(&shard_events);
@@ -146,10 +172,15 @@ pub(crate) fn run_world_parallel<P: Protocol>(
         &merged,
         scenario.window,
         messages_sent,
-        counters,
+        &engines,
+        metrics,
         enforce_safety,
     );
-    Ok((report, merged))
+    Ok(ObservedRun {
+        report,
+        events: merged,
+        records,
+    })
 }
 
 /// Builds and runs shard `s`'s isolated engine to the scenario horizon.
@@ -160,6 +191,7 @@ fn run_shard<P: Protocol>(
     n: usize,
     router: &ShardRouter,
     faults: &[(usize, ProcessId, FaultSpec<P::Byz>)],
+    trace: Option<&TraceConfig>,
 ) -> ShardRun {
     // The shard's knob set and network are exactly the shared-world
     // builder's: seed decorrelated per shard, the protocol's own link
@@ -230,11 +262,24 @@ fn run_shard<P: Protocol>(
         }
     }
 
+    if let Some(cfg) = trace {
+        // The in-shard sink filters by name and sample rate only; the
+        // node filter names global indices and is applied by the caller
+        // after restamping.
+        let local = TraceConfig {
+            nodes: None,
+            ..cfg.clone()
+        };
+        world.set_trace_sink(Box::new(MemSink::new(local)));
+    }
+
     world.start();
     world.run_until(scenario.window.horizon());
     ShardRun {
         events: world.drain_events(),
         counters: world.counters(),
+        metrics: world.metrics(),
+        trace: world.drain_trace(),
         messages_sent: world.messages_sent(),
     }
 }

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sofb_crypto::scheme::SchemeId;
+use sofb_obs::{MemSink, MetricsSnapshot, TraceConfig, TraceRecord};
 use sofb_proto::ids::{ProcessId, SeqNo};
 use sofb_proto::topology::Variant;
 use sofb_sim::cpu::CpuModel;
@@ -910,11 +911,41 @@ impl Scenario {
         self.run_traced_with::<P>(false)
     }
 
+    /// [`Scenario::run_traced_as`], additionally recording a structured
+    /// trace through `config`: engine records (dispatch spans, deliver
+    /// and fault instants) plus protocol phase spans derived from the
+    /// observation log. The record stream is deterministic — bit-identical
+    /// across `world_workers` counts, like the observation log itself.
+    pub fn run_observed_as<P: Protocol>(
+        &self,
+        config: &TraceConfig,
+    ) -> Result<ObservedRun, ScenarioError> {
+        self.run_observed_with::<P>(true, Some(config))
+    }
+
+    /// [`Scenario::run_observed_as`] without the panicking per-shard
+    /// safety check (the fuzzer's tracing entry point).
+    pub fn run_observed_unchecked_as<P: Protocol>(
+        &self,
+        config: &TraceConfig,
+    ) -> Result<ObservedRun, ScenarioError> {
+        self.run_observed_with::<P>(false, Some(config))
+    }
+
     #[allow(clippy::type_complexity)]
     fn run_traced_with<P: Protocol>(
         &self,
         enforce_safety: bool,
     ) -> Result<(Report, Vec<TimedEvent<ProtocolEvent>>), ScenarioError> {
+        self.run_observed_with::<P>(enforce_safety, None)
+            .map(|run| (run.report, run.events))
+    }
+
+    fn run_observed_with<P: Protocol>(
+        &self,
+        enforce_safety: bool,
+        trace: Option<&TraceConfig>,
+    ) -> Result<ObservedRun, ScenarioError> {
         self.validate()?;
         // The validation above bounds-checked fault targets against the
         // *kind's* layout; if the caller lowered onto the wrong `P`, that
@@ -933,7 +964,16 @@ impl Scenario {
         // single-threaded engine, whose realized schedule is pinned by
         // the golden traces.
         if self.shards > 1 && self.world_workers >= 1 {
-            return crate::parallel::run_world_parallel::<P>(self, enforce_safety);
+            let mut run = crate::parallel::run_world_parallel::<P>(self, enforce_safety, trace)?;
+            if let Some(cfg) = trace {
+                crate::obs::push_phase_records(
+                    &mut run.records,
+                    &run.events,
+                    self.nodes_per_shard(),
+                    cfg,
+                );
+            }
+            return Ok(run);
         }
         let stop = self.window.end();
         if self.shards == 1 {
@@ -957,18 +997,30 @@ impl Scenario {
                 b = b.fault(fault.process, self.lower_fault::<P>(i, fault)?);
             }
             let mut d = b.build();
+            if let Some(cfg) = trace {
+                d.world.set_trace_sink(Box::new(MemSink::new(cfg.clone())));
+            }
             d.start();
             d.run_until(self.window.horizon());
             let events = d.world.drain_events();
+            let mut records = d.world.drain_trace();
             let report = summarize(
                 &[&events],
                 &events,
                 self.window,
                 d.world.messages_sent(),
-                d.world.counters(),
+                &[d.world.counters()],
+                d.world.metrics(),
                 enforce_safety,
             );
-            Ok((report, events))
+            if let Some(cfg) = trace {
+                crate::obs::push_phase_records(&mut records, &events, self.nodes_per_shard(), cfg);
+            }
+            Ok(ObservedRun {
+                report,
+                events,
+                records,
+            })
         } else {
             let mut b = ShardedWorldBuilder::<P>::new(self.shards, self.knobs.f)
                 .knobs(self.knobs.clone())
@@ -984,9 +1036,13 @@ impl Scenario {
                 b = b.fault(fault.shard, fault.process, self.lower_fault::<P>(i, fault)?);
             }
             let mut d = b.build();
+            if let Some(cfg) = trace {
+                d.world.set_trace_sink(Box::new(MemSink::new(cfg.clone())));
+            }
             d.start();
             d.run_until(self.window.horizon());
             let events = d.world.drain_events();
+            let mut records = d.world.drain_trace();
             let parts = d.partition_events(&events);
             let refs: Vec<&[TimedEvent<ProtocolEvent>]> =
                 parts.iter().map(|p| p.as_slice()).collect();
@@ -995,12 +1051,33 @@ impl Scenario {
                 &events,
                 self.window,
                 d.world.messages_sent(),
-                d.world.counters(),
+                &[d.world.counters()],
+                d.world.metrics(),
                 enforce_safety,
             );
-            Ok((report, events))
+            if let Some(cfg) = trace {
+                crate::obs::push_phase_records(&mut records, &events, self.nodes_per_shard(), cfg);
+            }
+            Ok(ObservedRun {
+                report,
+                events,
+                records,
+            })
         }
     }
+}
+
+/// The full product of one observed scenario run: the measurement
+/// report, the raw observation log, and the structured trace records
+/// (engine spans/instants followed by derived protocol phase spans).
+#[derive(Clone, Debug)]
+pub struct ObservedRun {
+    /// The same report [`Scenario::run_as`] returns.
+    pub report: Report,
+    /// The raw observation log (what golden tests compare bit for bit).
+    pub events: Vec<TimedEvent<ProtocolEvent>>,
+    /// Trace records in deterministic order, node indices world-global.
+    pub records: Vec<TraceRecord>,
 }
 
 /// Mean / median / tail of one censored order-latency distribution (ms);
@@ -1055,6 +1132,16 @@ pub struct Report {
     /// host-performance rates. Seed-determined, so safe under the
     /// `PartialEq` determinism comparisons this struct participates in.
     pub engine: EngineCounters,
+    /// The same counters per engine, before aggregation: one entry per
+    /// isolated engine — per shard on the parallel path, a single entry
+    /// for flat worlds and the legacy shared-engine path. Lets a
+    /// parallel-scaling regression (arena high water, heap traffic) be
+    /// attributed to a shard instead of disappearing into the sum.
+    pub engine_per_shard: Vec<EngineCounters>,
+    /// Deterministic named metrics scraped from the engine(s) — the
+    /// counter set of [`sofb_sim::engine::World::metrics`], absorbed
+    /// across shard engines like `NodeStats::absorb`.
+    pub metrics: MetricsSnapshot,
 }
 
 impl Report {
@@ -1104,9 +1191,17 @@ pub(crate) fn summarize(
     all_events: &[TimedEvent<ProtocolEvent>],
     window: Window,
     messages_sent: u64,
-    engine: EngineCounters,
+    engines: &[EngineCounters],
+    metrics: MetricsSnapshot,
     enforce_safety: bool,
 ) -> Report {
+    let engine = {
+        let mut total = EngineCounters::default();
+        for e in engines {
+            total.absorb(e);
+        }
+        total
+    };
     let warmup = window.warmup();
     let end = window.end();
     let horizon = window.horizon();
@@ -1171,6 +1266,8 @@ pub(crate) fn summarize(
         },
         failover_ms: analysis::failover_latency_ms(all_events),
         engine,
+        engine_per_shard: engines.to_vec(),
+        metrics,
     }
 }
 

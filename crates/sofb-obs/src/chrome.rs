@@ -1,0 +1,205 @@
+//! Chrome trace-event JSON exporter (the format Perfetto's
+//! `ui.perfetto.dev` opens directly).
+//!
+//! Layout: one *process* per node (`pid` = node index) with two *thread*
+//! lanes — `tid 1` for engine records (dispatch spans, deliver/fault
+//! instants) and `tid 2` for protocol records (phase spans, milestones).
+//! Causal `parent` links render as flow arrows (`ph:"s"`/`ph:"f"`).
+//!
+//! Determinism: timestamps are nanoseconds rendered as exact microsecond
+//! decimal text (`{ns/1000}.{ns%1000:03}`) — never `f64` formatting — so
+//! equal record streams produce byte-identical JSON.
+
+use crate::trace::{fnv1a, SpanRef, TraceKind, TraceRecord};
+
+/// Lane ids inside each per-node process.
+const TID_ENGINE: u32 = 1;
+const TID_PROTOCOL: u32 = 2;
+
+fn lane(kind: TraceKind) -> u32 {
+    match kind {
+        TraceKind::Dispatch | TraceKind::Deliver | TraceKind::Fault => TID_ENGINE,
+        TraceKind::Phase | TraceKind::Milestone => TID_PROTOCOL,
+    }
+}
+
+/// Exact microsecond text for a nanosecond timestamp.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(body);
+}
+
+/// Render a record stream as a Chrome trace-event JSON document.
+///
+/// Emits, in order: metadata naming each node's process and its two
+/// lanes, then per input record a `"X"` complete event (spans) or `"i"`
+/// instant event, then one `"s"`/`"f"` flow pair per causal `parent`
+/// link. Output order is a pure function of input order, and every
+/// number is integer-rendered, so the bytes are deterministic.
+pub fn render(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Metadata: name each node's track. Nodes sorted, deduplicated.
+    let mut nodes: Vec<usize> = records.iter().map(|r| r.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for node in &nodes {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":0,\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":{TID_ENGINE},\
+                 \"args\":{{\"name\":\"engine\"}}}}"
+            ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":{TID_PROTOCOL},\
+                 \"args\":{{\"name\":\"protocol\"}}}}"
+            ),
+        );
+    }
+
+    for rec in records {
+        let tid = lane(rec.kind);
+        let ts = us(rec.time_ns);
+        let mut body = String::with_capacity(160);
+        body.push_str("{\"name\":\"");
+        push_escaped(&mut body, &rec.name);
+        body.push_str("\",\"cat\":\"");
+        body.push_str(rec.kind.label());
+        body.push('"');
+        if rec.dur_ns > 0 {
+            body.push_str(&format!(",\"ph\":\"X\",\"dur\":{}", us(rec.dur_ns)));
+        } else {
+            body.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+        }
+        body.push_str(&format!(
+            ",\"ts\":{ts},\"pid\":{},\"tid\":{tid},\"args\":{{\"seq\":{},\"id\":{}}}}}",
+            rec.node,
+            rec.seq,
+            rec.self_ref().id()
+        ));
+        push_event(&mut out, &mut first, &body);
+
+        if let Some(parent) = &rec.parent {
+            let edge = flow_id(parent, &rec.self_ref());
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{edge},\
+                     \"ts\":{},\"pid\":{},\"tid\":{TID_PROTOCOL}}}",
+                    us(parent.time_ns),
+                    parent.node
+                ),
+            );
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{edge},\"ts\":{ts},\"pid\":{},\"tid\":{tid}}}",
+                    rec.node
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Deterministic flow-arrow id for a causal edge.
+fn flow_id(parent: &SpanRef, child: &SpanRef) -> u64 {
+    fnv1a(&[parent.id(), child.id()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn span(node: usize, seq: u64, name: &str, parent: Option<SpanRef>) -> TraceRecord {
+        TraceRecord {
+            time_ns: 1_500 + seq,
+            dur_ns: 250,
+            seq,
+            node,
+            kind: TraceKind::Phase,
+            name: name.to_string(),
+            parent,
+        }
+    }
+
+    #[test]
+    fn render_is_valid_json_and_deterministic() {
+        let order = span(0, 0, "order", None);
+        let commit = span(1, 1, "commit", Some(order.self_ref()));
+        let recs = vec![
+            order,
+            commit,
+            TraceRecord {
+                time_ns: 900,
+                dur_ns: 0,
+                seq: 2,
+                node: 1,
+                kind: TraceKind::Fault,
+                name: "crash".to_string(),
+                parent: None,
+            },
+        ];
+        let a = render(&recs);
+        let b = render(&recs);
+        assert_eq!(a, b);
+        let doc = json::parse(&a).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 2 nodes * 3 metadata + 3 records + 1 flow pair = 11 events.
+        assert_eq!(events.len(), 11);
+        // Timestamps render as exact microsecond text.
+        assert!(a.contains("\"ts\":1.500"));
+        assert!(a.contains("\"ts\":0.900"));
+    }
+
+    #[test]
+    fn escapes_names() {
+        let mut r = span(0, 0, "we\"ird\\name", None);
+        r.dur_ns = 0;
+        let out = render(&[r]);
+        assert!(json::parse(&out).is_ok());
+        assert!(out.contains("we\\\"ird\\\\name"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Atomic file writes: write to a sibling temp file, then rename over
+//! the target. An interrupted run leaves either the old contents or
+//! nothing — never a truncated artifact that `--check`/`--replay` would
+//! then mis-diagnose.
+
+use std::io;
+use std::path::Path;
+
+/// Write `bytes` to `path` atomically (temp file + rename).
+///
+/// The temp file lives next to the target (same filesystem, so the
+/// rename is atomic) and its name includes the process id so concurrent
+/// writers of *different* targets never collide. On any error the temp
+/// file is removed and the target is untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!("{}.tmp.{}", file_name.to_string_lossy(), std::process::id());
+    let tmp_path = match dir {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    if let Err(e) = std::fs::write(&tmp_path, bytes) {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp_path, path) {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(e);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("sofb_obs_fsio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.json");
+        write_atomic(&target, b"first").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first");
+        write_atomic(&target, b"second").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_parent_fails_cleanly() {
+        let bogus = std::env::temp_dir()
+            .join(format!("sofb_obs_missing_{}", std::process::id()))
+            .join("deep")
+            .join("out.json");
+        assert!(write_atomic(&bogus, b"x").is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! # sofb-obs — deterministic observability for the sofbyz stack
+//!
+//! A dependency-free tracing and metrics layer shared by the simulator
+//! (`sofb-sim`), the experiment harness (`sofb-harness`), and the live
+//! runtime. Everything it produces is deterministic: span ids are pure
+//! functions of `(time, seq, node)`, exporters render integers as exact
+//! decimal text, and snapshots roll up with commutative merges — so a
+//! trace of a deterministic run is itself a golden artifact, bit-identical
+//! across `world_workers` counts.
+//!
+//! # Quickstart
+//!
+//! Record a couple of spans into a [`MemSink`] and export them as Chrome
+//! trace-event JSON (loadable at `ui.perfetto.dev`):
+//!
+//! ```
+//! use sofb_obs::{chrome, MemSink, TraceConfig, TraceKind, TraceRecord, TraceSink};
+//!
+//! let mut sink = MemSink::new(TraceConfig::default());
+//! let order = TraceRecord {
+//!     time_ns: 1_000,
+//!     dur_ns: 500,
+//!     seq: 0,
+//!     node: 0,
+//!     kind: TraceKind::Phase,
+//!     name: "order".to_string(),
+//!     parent: None,
+//! };
+//! let mut commit = TraceRecord {
+//!     time_ns: 2_000,
+//!     dur_ns: 700,
+//!     seq: 1,
+//!     node: 1,
+//!     kind: TraceKind::Phase,
+//!     name: "commit".to_string(),
+//!     parent: Some(order.self_ref()), // causal link, rendered as a flow arrow
+//! };
+//! sink.record(order);
+//! sink.record(commit.clone());
+//! commit.node = 2;
+//! sink.record(commit);
+//!
+//! let json = chrome::render(&sink.drain());
+//! assert!(sofb_obs::json::parse(&json).is_ok());
+//! ```
+//!
+//! Count things with the registry and scrape a deterministic snapshot:
+//!
+//! ```
+//! use sofb_obs::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let served = reg.counter("requests_served");
+//! served.add(3);
+//! reg.histogram("latency_ns").observe(250);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("requests_served"), Some(3));
+//! ```
+//!
+//! The crate deliberately has no dependencies (not even the workspace
+//! shims) so it can sit below `sofb-sim` in the crate graph and be
+//! compiled into the zero-alloc hot path: when no sink is installed the
+//! only cost is an `Option::is_some` check per hook site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod fsio;
+pub mod json;
+pub mod metrics;
+pub mod summary;
+pub mod trace;
+
+pub use fsio::write_atomic;
+pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use trace::{
+    debug_label, MemSink, NullSink, SpanRef, TraceConfig, TraceKind, TraceRecord, TraceSink,
+};

@@ -1,0 +1,63 @@
+//! Human-readable trace summary: record counts and total busy time per
+//! `(kind, name)` group, one aligned line each.
+
+use std::collections::BTreeMap;
+
+use crate::trace::TraceRecord;
+
+/// Render a deterministic per-`(kind, name)` summary table.
+///
+/// Groups are sorted by kind label then name; each line shows the record
+/// count and the summed span duration in microseconds. Instants
+/// contribute zero duration.
+pub fn render(records: &[TraceRecord]) -> String {
+    let mut groups: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    for rec in records {
+        let entry = groups
+            .entry((rec.kind.label().to_string(), rec.name.clone()))
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += rec.dur_ns;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<24} {:>10} {:>14}\n",
+        "kind", "name", "records", "busy_us"
+    ));
+    for ((kind, name), (count, busy_ns)) in &groups {
+        out.push_str(&format!(
+            "{:<10} {:<24} {:>10} {:>10}.{:03}\n",
+            kind,
+            name,
+            count,
+            busy_ns / 1000,
+            busy_ns % 1000
+        ));
+    }
+    out.push_str(&format!("total records: {}\n", records.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    #[test]
+    fn groups_and_sums() {
+        let mk = |name: &str, dur: u64| TraceRecord {
+            time_ns: 0,
+            dur_ns: dur,
+            seq: 0,
+            node: 0,
+            kind: TraceKind::Dispatch,
+            name: name.to_string(),
+            parent: None,
+        };
+        let out = render(&[mk("Ack", 1_500), mk("Ack", 500), mk("Prepare", 100)]);
+        assert!(out.contains("Ack"));
+        assert!(out.contains("2")); // Ack count
+        assert!(out.contains("2.000")); // Ack busy in us
+        assert!(out.contains("total records: 3"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Span and event records, the sink trait the engine emits into, and the
+//! trace filter configured by a spec's `[trace]` section.
+//!
+//! The determinism contract: a record's identity ([`SpanRef`] and the id
+//! derived from it) is a pure function of `(time_ns, seq, node)` in the
+//! *global* (merged) node numbering. Shard engines record with local node
+//! indices and the harness restamps them to `shard * n + local`, exactly
+//! like protocol events, so traces from parallel shard execution are
+//! bit-identical to single-worker runs.
+
+use std::fmt;
+
+/// A stable reference to a span: the deterministic coordinates it was
+/// recorded at. Used both as a span's own identity and as the causal
+/// `parent` link of another record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanRef {
+    /// Start time of the span in sim (or wall) nanoseconds.
+    pub time_ns: u64,
+    /// Disambiguating sequence number for records sharing a timestamp.
+    /// Engine records use the processed-event ordinal; harness phase
+    /// records use the protocol sequence number or event index.
+    pub seq: u64,
+    /// Global node index that recorded the span.
+    pub node: usize,
+}
+
+impl SpanRef {
+    /// Deterministic 64-bit id: FNV-1a over `(time_ns, seq, node)`.
+    ///
+    /// No randomness, no global counters — the same logical span gets the
+    /// same id in every run and under every `world_workers` count.
+    pub fn id(&self) -> u64 {
+        fnv1a(&[self.time_ns, self.seq, self.node as u64])
+    }
+}
+
+/// FNV-1a over the little-endian bytes of each word.
+pub(crate) fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// What layer of the stack a record came from. The set is closed on
+/// purpose: exporters map each kind to a fixed track/lane, and filters
+/// treat the high-volume kinds ([`Dispatch`](TraceKind::Dispatch),
+/// [`Deliver`](TraceKind::Deliver)) specially when sampling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Engine: an actor callback ran (span; `dur_ns` = CPU service time).
+    Dispatch,
+    /// Engine: the network handed a message to a node (instant).
+    Deliver,
+    /// Engine: a fault fired — crash, mute drop (instant).
+    Fault,
+    /// Harness: a protocol phase — order, commit (span, causally linked).
+    Phase,
+    /// Harness: a protocol milestone — view change, checkpoint (instant).
+    Milestone,
+}
+
+impl TraceKind {
+    /// Stable lower-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::Deliver => "deliver",
+            TraceKind::Fault => "fault",
+            TraceKind::Phase => "phase",
+            TraceKind::Milestone => "milestone",
+        }
+    }
+}
+
+/// One trace record: a span if `dur_ns > 0`, an instant event otherwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Start time in nanoseconds (sim time in the simulator, wall time in
+    /// the live runtime).
+    pub time_ns: u64,
+    /// Duration in nanoseconds; `0` renders as an instant event.
+    pub dur_ns: u64,
+    /// Sequence number disambiguating same-timestamp records; see
+    /// [`SpanRef::seq`].
+    pub seq: u64,
+    /// Global node index the record belongs to (one exporter track each).
+    pub node: usize,
+    /// Which layer emitted the record.
+    pub kind: TraceKind,
+    /// Human-readable name: message variant for dispatches, phase name
+    /// for protocol spans, fault label for instants.
+    pub name: String,
+    /// Causal parent, if any — rendered as a Perfetto flow arrow.
+    pub parent: Option<SpanRef>,
+}
+
+impl TraceRecord {
+    /// The [`SpanRef`] other records use to name this one as a parent.
+    pub fn self_ref(&self) -> SpanRef {
+        SpanRef {
+            time_ns: self.time_ns,
+            seq: self.seq,
+            node: self.node,
+        }
+    }
+}
+
+/// Where the engine sends trace records. The engine holds an
+/// `Option<Box<dyn TraceSink>>`; with `None` installed every hook site
+/// reduces to a branch on `Option::is_some`, which keeps the zero-alloc
+/// hot path zero-alloc (proved by `zero_alloc.rs` in `sofb-sim`).
+pub trait TraceSink {
+    /// Accept one record. Sinks may drop it (filtering, sampling).
+    fn record(&mut self, rec: TraceRecord);
+    /// Take all records accepted so far, leaving the sink empty.
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+}
+
+/// A sink that drops everything. Useful to measure tracing overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// Filter configured by a spec's `[trace]` section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch; `false` drops everything.
+    pub enabled: bool,
+    /// Keep only these global node indices (`None` = all nodes).
+    pub nodes: Option<Vec<usize>>,
+    /// Keep only records whose `name` is listed (`None` = all names).
+    /// Matches phase names (`order`, `commit`), message variants, and
+    /// fault labels alike.
+    pub phases: Option<Vec<String>>,
+    /// Keep every `sample`-th high-volume record (`Dispatch`/`Deliver`,
+    /// keyed on `seq % sample == 0`). Phases, faults, and milestones are
+    /// always kept. `1` keeps everything.
+    pub sample: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            nodes: None,
+            phases: None,
+            sample: 1,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Does this record pass the filter?
+    pub fn keep(&self, rec: &TraceRecord) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        if let Some(nodes) = &self.nodes {
+            if !nodes.contains(&rec.node) {
+                return false;
+            }
+        }
+        if let Some(phases) = &self.phases {
+            if !phases.iter().any(|p| p == &rec.name) {
+                return false;
+            }
+        }
+        if self.sample > 1 && matches!(rec.kind, TraceKind::Dispatch | TraceKind::Deliver) {
+            return rec.seq.is_multiple_of(self.sample);
+        }
+        true
+    }
+}
+
+/// An in-memory sink applying a [`TraceConfig`] filter on the way in.
+#[derive(Debug, Default)]
+pub struct MemSink {
+    config: TraceConfig,
+    records: Vec<TraceRecord>,
+}
+
+impl MemSink {
+    /// A sink filtering through `config`.
+    pub fn new(config: TraceConfig) -> Self {
+        MemSink {
+            config,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl TraceSink for MemSink {
+    fn record(&mut self, rec: TraceRecord) {
+        if self.config.keep(&rec) {
+            self.records.push(rec);
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// The leading identifier of a value's `Debug` rendering — for an enum,
+/// its variant name. Used to label dispatch spans with the message
+/// variant without requiring a naming trait on every message type.
+/// Allocates, so call it only when a sink is installed.
+pub fn debug_label<T: fmt::Debug>(value: &T) -> String {
+    let s = format!("{value:?}");
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    if end == 0 {
+        "msg".to_string()
+    } else {
+        s[..end].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: usize, seq: u64, kind: TraceKind, name: &str) -> TraceRecord {
+        TraceRecord {
+            time_ns: 100 * seq,
+            dur_ns: 0,
+            seq,
+            node,
+            kind,
+            name: name.to_string(),
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_distinct() {
+        let a = SpanRef {
+            time_ns: 5,
+            seq: 1,
+            node: 2,
+        };
+        let b = SpanRef {
+            time_ns: 5,
+            seq: 1,
+            node: 2,
+        };
+        let c = SpanRef {
+            time_ns: 5,
+            seq: 1,
+            node: 3,
+        };
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_ne!(
+            a.id(),
+            SpanRef {
+                time_ns: 5,
+                seq: 2,
+                node: 2
+            }
+            .id()
+        );
+        assert_ne!(
+            a.id(),
+            SpanRef {
+                time_ns: 6,
+                seq: 1,
+                node: 2
+            }
+            .id()
+        );
+    }
+
+    #[test]
+    fn config_filters_nodes_names_and_samples() {
+        let cfg = TraceConfig {
+            enabled: true,
+            nodes: Some(vec![0, 2]),
+            phases: None,
+            sample: 2,
+        };
+        assert!(cfg.keep(&rec(0, 0, TraceKind::Dispatch, "x")));
+        assert!(
+            !cfg.keep(&rec(1, 0, TraceKind::Dispatch, "x")),
+            "node filtered"
+        );
+        assert!(
+            !cfg.keep(&rec(0, 1, TraceKind::Dispatch, "x")),
+            "sampled out"
+        );
+        assert!(
+            cfg.keep(&rec(2, 1, TraceKind::Phase, "commit")),
+            "phases never sampled"
+        );
+
+        let named = TraceConfig {
+            phases: Some(vec!["commit".to_string()]),
+            ..TraceConfig::default()
+        };
+        assert!(named.keep(&rec(0, 0, TraceKind::Phase, "commit")));
+        assert!(!named.keep(&rec(0, 0, TraceKind::Phase, "order")));
+
+        assert!(!TraceConfig {
+            enabled: false,
+            ..TraceConfig::default()
+        }
+        .keep(&rec(0, 0, TraceKind::Phase, "commit")));
+    }
+
+    #[test]
+    fn mem_sink_applies_filter_and_drains() {
+        let mut sink = MemSink::new(TraceConfig {
+            nodes: Some(vec![1]),
+            ..TraceConfig::default()
+        });
+        sink.record(rec(0, 0, TraceKind::Deliver, "deliver"));
+        sink.record(rec(1, 1, TraceKind::Deliver, "deliver"));
+        let out = sink.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node, 1);
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn debug_label_extracts_variant_names() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum M {
+            PrePrepare { o: u64 },
+            Ack(u8),
+        }
+        assert_eq!(debug_label(&M::PrePrepare { o: 3 }), "PrePrepare");
+        assert_eq!(debug_label(&M::Ack(1)), "Ack");
+        assert_eq!(debug_label(&42u32), "42");
+    }
+}

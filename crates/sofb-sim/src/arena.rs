@@ -41,6 +41,7 @@ pub struct EventArena<M> {
     free: Vec<u32>,
     live: usize,
     high_water: usize,
+    inserts: u64,
 }
 
 impl<M> Default for EventArena<M> {
@@ -57,6 +58,7 @@ impl<M> EventArena<M> {
             free: Vec::new(),
             live: 0,
             high_water: 0,
+            inserts: 0,
         }
     }
 
@@ -75,6 +77,7 @@ impl<M> EventArena<M> {
         *cell = Some(payload);
         self.live += 1;
         self.high_water = self.high_water.max(self.live);
+        self.inserts += 1;
         EventKey { slot, gen: *gen }
     }
 
@@ -118,6 +121,12 @@ impl<M> EventArena<M> {
     /// final size, and the engine's peak event-memory footprint.
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Total payloads ever inserted — the arena's alloc-side traffic
+    /// counter, scraped into the engine's metrics snapshot.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
     }
 }
 

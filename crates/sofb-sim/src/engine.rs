@@ -42,6 +42,8 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use sofb_obs::{TraceKind, TraceRecord, TraceSink};
+
 use crate::arena::{EventArena, EventKey};
 use crate::cpu::CpuModel;
 use crate::delay::NetworkModel;
@@ -452,6 +454,10 @@ pub struct World<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> {
     messages_sent: u64,
     bytes_sent: u64,
     heap_pushes: u64,
+    /// Optional trace sink. With `None` installed (the default) every
+    /// hook site reduces to a branch on `Option::is_some`, keeping the
+    /// hot path zero-alloc — `zero_alloc.rs` pins this.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
@@ -479,6 +485,7 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             messages_sent: 0,
             bytes_sent: 0,
             heap_pushes: 0,
+            sink: None,
         }
     }
 
@@ -593,11 +600,62 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         }
     }
 
+    /// Installs `sink` to receive engine trace records (dispatch spans,
+    /// deliver instants, fault instants), replacing any previous sink.
+    /// Spans carry the node index this engine knows; hosts embedding
+    /// several engines (the parallel shard runner) restamp node indices
+    /// when merging, exactly as they do for observed events.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// True if a trace sink is installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Drains the installed sink's accepted records (empty if no sink).
+    pub fn drain_trace(&mut self) -> Vec<TraceRecord> {
+        match self.sink.as_mut() {
+            Some(sink) => sink.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Deterministic snapshot of the engine's internal traffic counters
+    /// as named metrics: the [`World::counters`] quartet plus the stores'
+    /// own counters (arena insert traffic, timer-wheel cascades) that
+    /// `EngineCounters` aggregates away. Snapshots from concurrent shard
+    /// engines merge with [`sofb_obs::MetricsSnapshot::absorb`].
+    pub fn metrics(&self) -> sofb_obs::MetricsSnapshot {
+        let mut m = sofb_obs::MetricsSnapshot::new();
+        m.set_counter("engine.events_processed", self.processed);
+        m.set_counter("engine.heap_pushes", self.heap_pushes);
+        m.set_counter("engine.messages_sent", self.messages_sent);
+        m.set_counter("engine.bytes_sent", self.bytes_sent);
+        m.set_counter("engine.arena_inserts", self.arena.inserts());
+        m.set_counter("engine.arena_high_water", self.arena.high_water() as u64);
+        m.set_counter("engine.timer_cascades", self.wheel.cascades());
+        m.set_gauge("engine.sim_ns", self.now.as_ns() as f64);
+        m
+    }
+
     /// Marks a node crashed: its queue is discarded, its armed timers are
     /// cancelled and it receives no further callbacks. (Byzantine
     /// behaviours live in the actors; crash is the only failure the
     /// engine itself models.)
     pub fn crash(&mut self, node: usize) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceRecord {
+                time_ns: self.now.as_ns(),
+                dur_ns: 0,
+                seq: self.processed,
+                node,
+                kind: TraceKind::Fault,
+                name: "crash".to_string(),
+                parent: None,
+            });
+        }
         let n = &mut self.nodes[node];
         n.crashed = true;
         for inc in n.inbox.drain(..) {
@@ -859,6 +917,17 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
     /// The payload stays in the arena until the callback dispatches it;
     /// a crashed destination frees the slot instead.
     fn deliver(&mut self, to: usize, from: usize, key: EventKey, len: u32, seq: u64) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceRecord {
+                time_ns: self.now.as_ns(),
+                dur_ns: 0,
+                seq,
+                node: to,
+                kind: TraceKind::Deliver,
+                name: "deliver".to_string(),
+                parent: None,
+            });
+        }
         let node = &mut self.nodes[to];
         if node.crashed {
             node.inflight -= 1;
@@ -1010,6 +1079,18 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             }
             _ => None,
         };
+        // Dispatch-span label: the message's variant name, captured before
+        // the actor consumes the payload. Allocates only when tracing.
+        let dispatch_label: Option<String> = if self.sink.is_some() {
+            Some(match (&incoming, &taken) {
+                (None, _) => "start".to_string(),
+                (Some(Incoming::Timer { .. }), _) => "timer".to_string(),
+                (_, Some(m)) => sofb_obs::debug_label(m),
+                _ => "message".to_string(),
+            })
+        } else {
+            None
+        };
         let base = self.nodes[idx].base;
         let mut events_buf = std::mem::take(&mut self.events);
         let (mut sends, mut timer_ops, cost_ns) = {
@@ -1056,6 +1137,23 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
         stats.busy_ns += service;
         stats.busy_until = done;
 
+        if let Some(name) = dispatch_label {
+            // seq: the callback's processed-ordinal (incremented above) —
+            // deterministic and unique within one engine.
+            let rec = TraceRecord {
+                time_ns: start.as_ns(),
+                dur_ns: service,
+                seq: self.processed - 1,
+                node: idx,
+                kind: TraceKind::Dispatch,
+                name,
+                parent: None,
+            };
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record(rec);
+            }
+        }
+
         // Transmit queued sends at completion time (unless a fault plan
         // has muted or degraded this node's uplink by then). Windows are
         // half-open `[from, until)`; `until = None` means forever.
@@ -1083,6 +1181,17 @@ impl<M: Clone + WireSize + fmt::Debug, E: fmt::Debug> World<M, E> {
             // degraded network interface) do not apply to them.
             let local = to == idx;
             if muted && !local {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(TraceRecord {
+                        time_ns: done.as_ns(),
+                        dur_ns: 0,
+                        seq: self.messages_sent,
+                        node: idx,
+                        kind: TraceKind::Fault,
+                        name: "mute_drop".to_string(),
+                        parent: None,
+                    });
+                }
                 continue;
             }
             let len = msg.wire_len();

@@ -107,6 +107,7 @@ pub struct Wheel<T> {
     /// everything else leaves locations untouched (slot vectors only
     /// append outside of pops).
     cached_min: Option<CachedMin>,
+    cascades: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +145,15 @@ impl<T> Wheel<T> {
             base_tick: 0,
             live: 0,
             cached_min: None,
+            cascades: 0,
         }
+    }
+
+    /// Total higher-level slots cascaded down to level 0 so far — the
+    /// wheel's refiling-traffic counter, scraped into the engine's
+    /// metrics snapshot.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
     }
 
     /// Number of live (scheduled, not cancelled) entries.
@@ -356,6 +365,7 @@ impl<T> Wheel<T> {
             }
             // Cascade: advance the cursor to the slot's window (nothing
             // live lies before it) and refile its entries lower down.
+            self.cascades += 1;
             self.base_tick = self.base_tick.max(start_tick);
             let mut refs = std::mem::replace(
                 &mut self.levels[level][slot],

@@ -7,6 +7,11 @@
 //! performs **zero** heap allocations: every delivered event reuses
 //! arena slots and pooled scratch.
 //!
+//! The tracing hooks (`World::set_trace_sink`) are compiled into this
+//! build but no sink is installed, so the test also pins the zero-cost
+//! disabled path: with the sink left `None`, every hook must reduce to
+//! an `Option` check and the hot path must stay allocation-free.
+//!
 //! The counting allocator is process-global, so this file deliberately
 //! holds exactly one `#[test]` — a second test running concurrently
 //! would perturb the count.

@@ -10,8 +10,8 @@
 use crate::error::{SpecError, SpecErrorKind};
 
 /// The section names the language defines.
-pub(crate) const SECTIONS: [&str; 8] = [
-    "meta", "scenario", "window", "client", "fault", "axis", "grid", "smoke",
+pub(crate) const SECTIONS: [&str; 9] = [
+    "meta", "scenario", "window", "client", "fault", "axis", "grid", "smoke", "trace",
 ];
 
 /// One `key = value` assignment.

@@ -130,6 +130,23 @@ pub fn render(report: &GridReport, meta: ReportMeta<'_>) -> String {
             json_num(p.report.failover_ms)
         )
         .unwrap();
+        // Per-engine scheduler/arena traffic, before aggregation: one row
+        // per isolated engine (per shard on the parallel path; a single
+        // row otherwise). Deterministic integers, compared exactly by
+        // `check` — a parallel-scaling regression names its shard.
+        writeln!(body, "      \"engine_shards\": [").unwrap();
+        let engines = &p.report.engine_per_shard;
+        for (s, e) in engines.iter().enumerate() {
+            writeln!(
+                body,
+                "        {{\"shard\": {s}, \"arena_high_water\": {}, \"heap_pushes\": {}}}{}",
+                e.arena_high_water,
+                e.heap_pushes,
+                if s + 1 < engines.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(body, "      ],").unwrap();
         writeln!(body, "      \"wall_ms\": {:.1}", p.wall_ms).unwrap();
         writeln!(
             body,

@@ -13,6 +13,7 @@ use std::fmt;
 use sofb_crypto::scheme::SchemeId;
 use sofb_harness::scenario::{Axis, ClientLoad, RouterPolicy, Scenario, ScenarioFault, SweepGrid};
 use sofb_harness::{Arrival, ProtocolKind, ShardLoad};
+use sofb_obs::TraceConfig;
 use sofb_proto::ids::{ProcessId, SeqNo};
 use sofb_sim::time::{SimDuration, SimTime};
 
@@ -37,6 +38,10 @@ pub struct Spec {
     pub verdict: Option<Verdict>,
     /// The fully assembled base scenario every axis patches.
     pub base: Scenario,
+    /// The `[trace]` section, if the spec carries one: how `sofb trace`
+    /// (and any observed run of this spec) filters its structured trace.
+    /// Grid lowering ignores it — tracing never perturbs measurements.
+    pub trace: Option<TraceConfig>,
     axes: Vec<AxisSpec>,
     seeds: Vec<u64>,
     smoke: Option<Smoke>,
@@ -413,11 +418,18 @@ impl Spec {
             .map(|s| build_smoke(s, &base, &axes))
             .transpose()?;
 
+        let trace = sections
+            .iter()
+            .find(|s| s.name == "trace")
+            .map(build_trace)
+            .transpose()?;
+
         Ok(Spec {
             title,
             oracle,
             verdict,
             base,
+            trace,
             axes,
             seeds,
             smoke,
@@ -506,7 +518,7 @@ impl Spec {
 }
 
 fn check_singletons(sections: &[RawSection]) -> Result<(), SpecError> {
-    for name in ["meta", "scenario", "window", "grid", "smoke"] {
+    for name in ["meta", "scenario", "window", "grid", "smoke", "trace"] {
         let mut seen: Option<usize> = None;
         for s in sections.iter().filter(|s| s.name == name) {
             if let Some(first_line) = seen {
@@ -655,6 +667,56 @@ const ROUTER_EXPECTED: &str =
     "`hash`, `even_ranges`, or `ranges <lo>..=<hi> ...` (hi may be `max`)";
 
 /// Splits a comma-separated value list into trimmed non-empty tokens.
+/// Lowers a `[trace]` section onto a [`TraceConfig`]:
+///
+/// ```text
+/// [trace]
+/// enable = on          # default on; off parses but filters everything
+/// nodes  = 0, 1, 2     # optional: keep only these global node indices
+/// phases = order, commit  # optional: keep only these record names
+/// sample = 10          # optional: keep every 10th dispatch/deliver
+/// ```
+fn build_trace(section: &RawSection) -> Result<TraceConfig, SpecError> {
+    let mut config = TraceConfig::default();
+    for e in &section.entries {
+        match e.key.as_str() {
+            "enable" => config.enabled = parse_bool(e)?,
+            "nodes" => {
+                let mut nodes = Vec::new();
+                for t in split_list(&e.value) {
+                    nodes.push(
+                        t.parse::<usize>()
+                            .map_err(|_| bad_value(e, "a list of node indices"))?,
+                    );
+                }
+                if nodes.is_empty() {
+                    return Err(bad_value(e, "a non-empty list of node indices"));
+                }
+                config.nodes = Some(nodes);
+            }
+            "phases" => {
+                let phases: Vec<String> = split_list(&e.value)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+                if phases.is_empty() {
+                    return Err(bad_value(e, "a non-empty list of record names"));
+                }
+                config.phases = Some(phases);
+            }
+            "sample" => {
+                let sample = parse_u64(e)?;
+                if sample == 0 {
+                    return Err(bad_value(e, "a positive sampling interval (>= 1)"));
+                }
+                config.sample = sample;
+            }
+            _ => return Err(unknown_key(section, e)),
+        }
+    }
+    Ok(config)
+}
+
 fn split_list(value: &str) -> Vec<&str> {
     value
         .split(',')

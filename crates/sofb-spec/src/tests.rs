@@ -869,3 +869,58 @@ fn spec_error_is_a_std_error_with_display() {
     assert!(msg.contains("line 3"), "{msg}");
     assert!(msg.contains("`f`"), "{msg}");
 }
+
+// --- [trace] section ---------------------------------------------------
+
+#[test]
+fn trace_section_round_trips() {
+    let spec = parse(
+        "[scenario]\nkind = SC\n[trace]\nenable = on\nnodes = 0, 2\nphases = order, commit\nsample = 10\n",
+    );
+    let trace = spec.trace.expect("trace config parsed");
+    assert!(trace.enabled);
+    assert_eq!(trace.nodes, Some(vec![0, 2]));
+    assert_eq!(
+        trace.phases,
+        Some(vec!["order".to_string(), "commit".to_string()])
+    );
+    assert_eq!(trace.sample, 10);
+
+    // Defaults: an empty section is the permissive config, and a spec
+    // without the section carries none at all.
+    let spec = parse("[scenario]\nkind = SC\n[trace]\n");
+    assert_eq!(spec.trace, Some(sofb_obs::TraceConfig::default()));
+    assert_eq!(parse("[scenario]\nkind = SC\n").trace, None);
+
+    let spec = parse("[scenario]\nkind = SC\n[trace]\nenable = off\n");
+    assert!(!spec.trace.expect("parsed").enabled);
+}
+
+#[test]
+fn trace_section_rejects_bad_values() {
+    let err = parse_err("[scenario]\nkind = SC\n[trace]\nsample = 0\n");
+    assert_eq!(err.line, 4);
+    let err = parse_err("[scenario]\nkind = SC\n[trace]\nnodes = ,\n");
+    assert_eq!(err.line, 4);
+    let err = parse_err("[scenario]\nkind = SC\n[trace]\nphases =\n");
+    assert_eq!(err.line, 4);
+    let err = parse_err("[scenario]\nkind = SC\n[trace]\nbogus = 1\n");
+    assert_eq!(err.line, 4);
+    assert_eq!(
+        err.kind,
+        SpecErrorKind::UnknownKey {
+            section: "trace".into(),
+            key: "bogus".into(),
+        }
+    );
+    // Singleton: a second [trace] section names both lines.
+    let err = parse_err("[scenario]\nkind = SC\n[trace]\n[trace]\n");
+    assert_eq!(err.line, 4);
+    assert_eq!(
+        err.kind,
+        SpecErrorKind::DuplicateSection {
+            section: "trace".into(),
+            first_line: 3,
+        }
+    );
+}

@@ -5,6 +5,7 @@
 //! sofb run specs/fig6.scn --out FIG6.json     # run and write the grid report
 //! sofb run specs/fig6.scn --check FIG6.json   # regenerate and diff at 1e-9
 //! sofb run specs/fig6.scn --dry-run           # parse + validate + expand only
+//! sofb trace specs/fig6.scn --out trace.json  # Perfetto-loadable span trace
 //! sofb list specs                             # validate and summarize a spec directory
 //! ```
 //!
@@ -25,12 +26,13 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
 
+use sofb_obs::{chrome, json, summary, write_atomic, TraceConfig};
 use sofb_spec::report::{self, ReportMeta};
 use sofb_spec::{Spec, SpecError};
 
 use crate::fuzz::{self, FuzzOptions, Oracle};
 use crate::runtime;
-use crate::scenario::{default_workers, run_grid, ScenarioError};
+use crate::scenario::{default_workers, run_grid, run_observed, ScenarioError};
 
 /// A failed `sofb` invocation. The binary prints the `Display` form and
 /// exits non-zero (2 for usage errors, 1 for everything else).
@@ -138,9 +140,11 @@ sofb — run data-driven scenario specs (.scn)
 
 USAGE:
     sofb run <spec.scn> [--smoke] [--dry-run] [--workers N] [--world-workers N]
-                        [--out FILE] [--check FILE]
+                        [--out FILE] [--check FILE] [--profile]
+    sofb trace <spec.scn> [--out FILE] [--format chrome|summary]
+                          [--world-workers N]
     sofb serve <spec.scn> [--addr A] [--for-ms N] [--time-scale X]
-                          [--trace FILE] [--cross-validate]
+                          [--trace FILE] [--cross-validate] [--profile]
     sofb call <addr> <op> [args…]
     sofb fuzz <base.scn> [--runs N] [--seed S] [--smoke] [--oracle NAME]
                          [--out-dir DIR]
@@ -156,8 +160,23 @@ run flags:
                    per-world shard threads for multi-shard points (results
                    identical; overrides the spec's `world_workers`)
     --out FILE     write the grid-report JSON to FILE instead of stdout
+                   (written atomically: temp file + rename)
     --check FILE   regenerate and compare against FILE at 1e-9 (wall excluded)
                    (--out and --check are mutually exclusive)
+    --profile      print each point's engine metrics snapshot to stderr
+
+trace — run the spec's base scenario once with structured tracing on
+(engine dispatch/deliver/fault records plus derived protocol phase
+spans) and emit the trace; the spec's [trace] section, if any, supplies
+the node/phase/sample filters:
+    --out FILE     write the trace to FILE (atomically) instead of stdout
+    --format F     chrome (default): Chrome trace-event JSON, loadable in
+                   Perfetto — one process per node, spans nested by
+                   causality, instant events for faults;
+                   summary: an aligned per-phase count/busy-time table
+    --world-workers N
+                   shard worker threads; the emitted trace is bit-identical
+                   at any count
 
 serve — run the spec's protocol on wall-clock threads, serving the KV
 store over TCP (single-shard, fault-free specs only; [client] load is
@@ -166,10 +185,14 @@ replaced by real calls):
     --for-ms N         serve for N ms, then shut down (default: until a
                        `sofb call <addr> shutdown`)
     --time-scale X     stretch protocol timer delays by X (default: 1.0)
-    --trace FILE       write the recorded live trace (sofb-live-trace/v1)
+    --trace FILE       write the recorded live trace (sofb-live-trace/v1;
+                       written atomically)
     --cross-validate   after shutdown, replay the recorded trace through
                        the simulator on all four variants and fail unless
                        every commit order matches the live run
+    --profile          sample wall-clock timings (node drive callbacks,
+                       wire-command handling, commit application) and
+                       print the metrics snapshot at shutdown
 
 call — one request against a serving node; plain-text arguments are
 hex-encoded on the wire:
@@ -211,6 +234,7 @@ struct RunArgs {
     world_workers: Option<usize>,
     out: Option<String>,
     check: Option<String>,
+    profile: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
@@ -222,6 +246,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
         world_workers: None,
         out: None,
         check: None,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -259,6 +284,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
                         .clone(),
                 );
             }
+            "--profile" => run.profile = true,
             flag if flag.starts_with('-') => {
                 return Err(usage_err(format!("unknown flag `{flag}`")));
             }
@@ -281,6 +307,134 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
     Ok(run)
 }
 
+/// Output renderings `sofb trace` knows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    /// Chrome trace-event JSON (Perfetto-loadable).
+    Chrome,
+    /// Aligned per-phase count/busy-time table.
+    Summary,
+}
+
+/// One parsed `sofb trace` invocation.
+struct TraceArgs {
+    spec_path: String,
+    out: Option<String>,
+    format: TraceFormat,
+    world_workers: Option<usize>,
+}
+
+fn parse_trace_args(args: &[String]) -> Result<TraceArgs, CliError> {
+    let mut tr = TraceArgs {
+        spec_path: String::new(),
+        out: None,
+        format: TraceFormat::Chrome,
+        world_workers: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                tr.out = Some(
+                    it.next()
+                        .ok_or_else(|| usage_err("--out needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--format needs a value"))?;
+                tr.format = match v.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "summary" => TraceFormat::Summary,
+                    other => {
+                        return Err(usage_err(format!(
+                            "--format: `{other}` is not a format (chrome, summary)"
+                        )))
+                    }
+                };
+            }
+            "--world-workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--world-workers needs a value"))?;
+                tr.world_workers =
+                    Some(v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        usage_err(format!("--world-workers: `{v}` is not a positive integer"))
+                    })?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(usage_err(format!("unknown flag `{flag}`")));
+            }
+            path if tr.spec_path.is_empty() => tr.spec_path = path.to_string(),
+            extra => return Err(usage_err(format!("unexpected extra argument `{extra}`"))),
+        }
+    }
+    if tr.spec_path.is_empty() {
+        return Err(usage_err("sofb trace needs a spec file"));
+    }
+    Ok(tr)
+}
+
+fn trace_cmd(args: TraceArgs) -> Result<String, CliError> {
+    let spec = load_spec(&args.spec_path)?;
+    let scenario_err = |error: ScenarioError| CliError::Scenario {
+        path: args.spec_path.clone(),
+        error,
+    };
+    // Trace the base point of the grid (one run, not a sweep), with the
+    // spec's [trace] filters if declared — forced on: asking for a trace
+    // overrides `enable = off`.
+    let mut scenario = spec.base.clone();
+    if let Some(w) = args.world_workers {
+        scenario.world_workers = w;
+    }
+    scenario.validate().map_err(scenario_err)?;
+    let cfg = TraceConfig {
+        enabled: true,
+        ..spec.trace.clone().unwrap_or_default()
+    };
+    let run = run_observed(&scenario, &cfg).map_err(scenario_err)?;
+    let nodes: std::collections::BTreeSet<usize> = run.records.iter().map(|r| r.node).collect();
+    let rendered = match args.format {
+        TraceFormat::Chrome => {
+            let text = chrome::render(&run.records);
+            // Self-check before anything is written: the emitter promises
+            // Perfetto-loadable JSON, so a parse failure here is a bug
+            // worth failing loudly on, not a file to debug in a viewer.
+            if let Err(e) = json::parse(&text) {
+                return Err(CliError::Live {
+                    context: args.spec_path.clone(),
+                    detail: format!("emitted chrome trace is not valid JSON: {e}"),
+                });
+            }
+            text
+        }
+        TraceFormat::Summary => summary::render(&run.records),
+    };
+    eprintln!(
+        "traced {} record(s) on {} node(s) ({} committed request(s))",
+        run.records.len(),
+        nodes.len(),
+        run.report.committed_requests()
+    );
+    match &args.out {
+        Some(out_path) => {
+            write_atomic(Path::new(out_path), rendered.as_bytes()).map_err(|e| CliError::Io {
+                path: out_path.clone(),
+                error: e.to_string(),
+            })?;
+            Ok(format!(
+                "wrote {out_path} ({} records, {} nodes)\n",
+                run.records.len(),
+                nodes.len()
+            ))
+        }
+        None => Ok(rendered),
+    }
+}
+
 /// One parsed `sofb serve` invocation.
 struct ServeArgs {
     spec_path: String,
@@ -289,6 +443,7 @@ struct ServeArgs {
     time_scale: f64,
     trace: Option<String>,
     cross_validate: bool,
+    profile: bool,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
@@ -299,6 +454,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         time_scale: 1.0,
         trace: None,
         cross_validate: false,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -338,6 +494,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 );
             }
             "--cross-validate" => serve.cross_validate = true,
+            "--profile" => serve.profile = true,
             flag if flag.starts_with('-') => {
                 return Err(usage_err(format!("unknown flag `{flag}`")));
             }
@@ -381,6 +538,9 @@ fn serve(args: ServeArgs) -> Result<String, CliError> {
         path: args.addr.clone(),
         error: e.to_string(),
     })?;
+    if args.profile {
+        runtime::enable_profiling();
+    }
     let svc = runtime::spawn_live_kv(kind, &knobs, args.time_scale);
     eprintln!(
         "serving {kind} (f={}, scheme {}) on {addr}{}…",
@@ -422,11 +582,16 @@ fn serve(args: ServeArgs) -> Result<String, CliError> {
     )
     .unwrap();
     if let Some(trace_path) = &args.trace {
-        std::fs::write(trace_path, outcome.run.trace.render()).map_err(|e| CliError::Io {
-            path: trace_path.clone(),
-            error: e.to_string(),
-        })?;
+        write_atomic(Path::new(trace_path), outcome.run.trace.render().as_bytes()).map_err(
+            |e| CliError::Io {
+                path: trace_path.clone(),
+                error: e.to_string(),
+            },
+        )?;
         writeln!(out, "trace written to {trace_path}").unwrap();
+    }
+    if let Some(snapshot) = runtime::profile_snapshot() {
+        writeln!(out, "profile: {}", snapshot.render_json()).unwrap();
     }
     if args.cross_validate {
         let per_variant =
@@ -619,7 +784,7 @@ fn fuzz_cmd(args: FuzzArgs) -> Result<String, CliError> {
         let text = violation.repro_text().map_err(emit_err)?;
         let name = violation.repro_file_name().map_err(emit_err)?;
         let path = format!("{}/{name}", args.out_dir.trim_end_matches('/'));
-        std::fs::write(&path, &text).map_err(|e| CliError::Io {
+        write_atomic(Path::new(&path), text.as_bytes()).map_err(|e| CliError::Io {
             path: path.clone(),
             error: e.to_string(),
         })?;
@@ -640,6 +805,7 @@ fn fuzz_cmd(args: FuzzArgs) -> Result<String, CliError> {
 pub fn execute(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("run") => run(parse_run_args(&args[1..])?),
+        Some("trace") => trace_cmd(parse_trace_args(&args[1..])?),
         Some("serve") => serve(parse_serve_args(&args[1..])?),
         Some("call") => call(&args[1..]),
         Some("fuzz") => fuzz_cmd(parse_fuzz_args(&args[1..])?),
@@ -718,6 +884,15 @@ fn run(args: RunArgs) -> Result<String, CliError> {
         args.workers
     );
     let report = run_grid(&grid, args.workers).map_err(scenario_err)?;
+    if args.profile {
+        // Per-point engine metrics, in the same deterministic snapshot
+        // format `sofb serve --profile` emits — to stderr so the report
+        // JSON on stdout stays machine-consumable.
+        eprintln!("profile: per-point engine metrics");
+        for p in &report.points {
+            eprintln!("  point {:>3}: {}", p.index, p.report.metrics.render_json());
+        }
+    }
     let rendered = report::render(
         &report,
         ReportMeta {
@@ -740,7 +915,7 @@ fn run(args: RunArgs) -> Result<String, CliError> {
         };
     }
     if let Some(out_path) = &args.out {
-        std::fs::write(out_path, &rendered).map_err(|e| CliError::Io {
+        write_atomic(Path::new(out_path), rendered.as_bytes()).map_err(|e| CliError::Io {
             path: out_path.clone(),
             error: e.to_string(),
         })?;

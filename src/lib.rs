@@ -22,6 +22,10 @@
 //! * [`core`] — the SC and SCR protocols (the paper's contribution);
 //! * [`bft`] — the BFT baseline;
 //! * [`ct`] — the crash-tolerant baseline;
+//! * [`obs`] — dependency-free observability: span/event tracing with a
+//!   zero-cost disabled path, a typed metrics registry and deterministic
+//!   [`obs::MetricsSnapshot`]s, and the Chrome trace-event exporter
+//!   behind `sofb trace` (load the output in Perfetto);
 //! * [`app`] — a deterministic replicated KV service and workloads;
 //! * [`spec`] — the `.scn` spec language: scenarios and sweep grids as
 //!   data files, with line-numbered parse errors and the diffable
@@ -72,6 +76,7 @@
 //! ```sh
 //! cargo run --release --bin sofb -- run specs/saturation.scn --smoke
 //! cargo run --release --bin sofb -- run specs/fig6.scn --dry-run
+//! cargo run --release --bin sofb -- trace specs/bench_protocols.scn --out trace.json
 //! cargo run --release --bin sofb -- list specs
 //! cargo run --release --bin sofb -- fuzz specs/fuzz_base.scn --smoke
 //! ```
@@ -115,6 +120,7 @@ pub use sofb_core as core;
 pub use sofb_crypto as crypto;
 pub use sofb_ct as ct;
 pub use sofb_harness as harness;
+pub use sofb_obs as obs;
 pub use sofb_proto as proto;
 pub use sofb_sim as sim;
 pub use sofb_spec as spec;

@@ -33,6 +33,8 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -54,7 +56,66 @@ use sofb_proto::request::{Request, RequestId};
 use sofb_sim::engine::{Actor, Ctx, TimedEvent, TimerRequest, WireSize};
 use sofb_sim::time::{SimDuration, SimTime};
 
+use sofb_obs::{MetricsRegistry, MetricsSnapshot};
+
 use crate::service::{ServiceCore, GATEWAY_NODE};
+
+// ---------------------------------------------------------------------------
+// Wall-clock profiler
+// ---------------------------------------------------------------------------
+
+/// The process-wide live profiler (`sofb serve --profile`): one shared
+/// [`MetricsRegistry`] the runtime's hot paths sample wall-clock
+/// durations into when enabled. Off by default, and the hooks then cost
+/// a single relaxed atomic load — the serve path is unchanged unless the
+/// operator asked to be measured.
+static PROFILER: OnceLock<MetricsRegistry> = OnceLock::new();
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Turns the live profiler on for the rest of the process: node drive
+/// callbacks (`live.node_drive_ns`), wire-command handling
+/// (`live.handle_line_ns`), commit application (`live.commit_apply_ns`)
+/// and connection accepts (`live.accepts`) start sampling into the
+/// shared registry.
+pub fn enable_profiling() {
+    PROFILING.store(true, Ordering::Relaxed);
+}
+
+/// Scrapes the live profiler — the same [`MetricsSnapshot`] format the
+/// simulator's engine metrics ride in — or `None` when profiling was
+/// never enabled.
+pub fn profile_snapshot() -> Option<MetricsSnapshot> {
+    if PROFILING.load(Ordering::Relaxed) {
+        Some(PROFILER.get_or_init(MetricsRegistry::new).snapshot())
+    } else {
+        None
+    }
+}
+
+/// Times `f` into the nanosecond histogram `name` when profiling is on;
+/// otherwise runs it untouched.
+fn prof_time<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !PROFILING.load(Ordering::Relaxed) {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    PROFILER
+        .get_or_init(MetricsRegistry::new)
+        .histogram(name)
+        .observe(t0.elapsed().as_nanos() as u64);
+    out
+}
+
+/// Bumps the counter `name` by `n` when profiling is on.
+fn prof_count(name: &str, n: u64) {
+    if PROFILING.load(Ordering::Relaxed) {
+        PROFILER
+            .get_or_init(MetricsRegistry::new)
+            .counter(name)
+            .add(n);
+    }
+}
 
 /// A boxed actor that may cross threads (what [`ThreadedHost::spawn`]
 /// takes; [`ThreadedHost::spawn_with`] lifts the `Send` requirement by
@@ -131,7 +192,7 @@ where
                     ($call:expr) => {{
                         let mut local_events: Vec<TimedEvent<E>> = Vec::new();
                         let mut ctx = Ctx::standalone(now(), idx, &mut rng, &mut local_events);
-                        $call(&mut ctx);
+                        prof_time("live.node_drive_ns", || $call(&mut ctx));
                         let outputs = ctx.into_outputs();
                         if !local_events.is_empty() {
                             sink.lock().extend(local_events);
@@ -371,7 +432,7 @@ where
         self.core.stage(&new);
         self.events.extend(new);
         analysis::check_total_order(&self.events).expect("live ordering safety");
-        self.core.execute_ready();
+        prof_time("live.commit_apply_ns", || self.core.execute_ready());
         self.core.replies()
     }
 
@@ -857,6 +918,7 @@ pub fn serve(
     while !stop && !expired(deadline) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                prof_count("live.accepts", 1);
                 stream.set_nonblocking(false)?;
                 stream.set_read_timeout(Some(Duration::from_millis(200)))?;
                 let mut reader = BufReader::new(stream.try_clone()?);
@@ -867,7 +929,9 @@ pub fn serve(
                     match reader.read_line(&mut line) {
                         Ok(0) => break, // connection closed
                         Ok(_) => {
-                            let (resp, shutdown) = handle_line(line.trim(), &mut svc, opts);
+                            let (resp, shutdown) = prof_time("live.handle_line_ns", || {
+                                handle_line(line.trim(), &mut svc, opts)
+                            });
                             calls += 1;
                             let _ = writeln!(stream, "{resp}");
                             let _ = stream.flush();

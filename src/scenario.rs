@@ -27,12 +27,13 @@ use sofb_bft::sim::BftProtocol;
 use sofb_core::sim::ScProtocol;
 use sofb_ct::sim::CtProtocol;
 use sofb_harness::ProtocolKind;
+use sofb_obs::TraceConfig;
 use sofb_sim::engine::TimedEvent;
 
 pub use sofb_harness::scenario::{
-    Axis, ClientLoad, GridCell, GridPoint, GridReport, LatencySummary, Report, RouterPolicy,
-    Scenario, ScenarioError, ScenarioFault, ScenarioFaultKind, ScenarioPatch, ShardReport,
-    SweepGrid, Window,
+    Axis, ClientLoad, GridCell, GridPoint, GridReport, LatencySummary, ObservedRun, Report,
+    RouterPolicy, Scenario, ScenarioError, ScenarioFault, ScenarioFaultKind, ScenarioPatch,
+    ShardReport, SweepGrid, Window,
 };
 pub use sofb_harness::ProtocolEvent;
 
@@ -72,6 +73,38 @@ pub fn run_traced_unchecked(
         ProtocolKind::Sc | ProtocolKind::Scr => scenario.run_traced_unchecked_as::<ScProtocol>(),
         ProtocolKind::Bft => scenario.run_traced_unchecked_as::<BftProtocol>(),
         ProtocolKind::Ct => scenario.run_traced_unchecked_as::<CtProtocol>(),
+    }
+}
+
+/// [`run_traced`], additionally collecting the structured trace: engine
+/// dispatch/deliver/fault records plus the derived protocol phase spans,
+/// filtered by `config`. The [`ObservedRun`] also carries the
+/// per-shard engine counters and the deterministic metrics snapshot —
+/// this is what `sofb trace` renders into Chrome trace JSON.
+pub fn run_observed(
+    scenario: &Scenario,
+    config: &TraceConfig,
+) -> Result<ObservedRun, ScenarioError> {
+    match scenario.kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => scenario.run_observed_as::<ScProtocol>(config),
+        ProtocolKind::Bft => scenario.run_observed_as::<BftProtocol>(config),
+        ProtocolKind::Ct => scenario.run_observed_as::<CtProtocol>(config),
+    }
+}
+
+/// [`run_observed`] without the panicking per-shard safety check — the
+/// observability counterpart of [`run_traced_unchecked`], for tracing
+/// runs whose verdict an outside oracle decides.
+pub fn run_observed_unchecked(
+    scenario: &Scenario,
+    config: &TraceConfig,
+) -> Result<ObservedRun, ScenarioError> {
+    match scenario.kind {
+        ProtocolKind::Sc | ProtocolKind::Scr => {
+            scenario.run_observed_unchecked_as::<ScProtocol>(config)
+        }
+        ProtocolKind::Bft => scenario.run_observed_unchecked_as::<BftProtocol>(config),
+        ProtocolKind::Ct => scenario.run_observed_unchecked_as::<CtProtocol>(config),
     }
 }
 
